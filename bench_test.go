@@ -1,0 +1,200 @@
+// Benchmarks regenerating the paper's evaluation. One testing.B benchmark
+// per table and figure (running the corresponding experiment at Small
+// scale), the ablation benches DESIGN.md calls out, plus micro-benchmarks
+// of the expensive primitives (TANE mining, NBC training and prediction,
+// rewrite generation and end-to-end selection).
+//
+// Run everything:  go test -bench=. -benchmem
+// One experiment:  go test -bench=BenchmarkFigure8 -benchmem
+package qpiad
+
+import (
+	"math/rand"
+	"testing"
+
+	"qpiad/internal/afd"
+	"qpiad/internal/core"
+	"qpiad/internal/datagen"
+	"qpiad/internal/experiments"
+	"qpiad/internal/nbc"
+	"qpiad/internal/relation"
+	"qpiad/internal/source"
+)
+
+// benchScale trims the Small scale a little further so the full bench
+// suite stays in the minutes range.
+func benchScale() experiments.Scale {
+	s := experiments.Small
+	s.CarsN = 4000
+	s.CensusN = 4000
+	s.ComplaintsN = 5000
+	s.WebN = 3000
+	return s
+}
+
+// runExperiment benches one experiment end to end (world construction,
+// mining, query processing, metric computation).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	s := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 && len(rep.Series) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// --- one bench per paper table/figure ---
+
+func BenchmarkTable1SourceStats(b *testing.B)        { runExperiment(b, "table1") }
+func BenchmarkTable3ClassifierAccuracy(b *testing.B) { runExperiment(b, "table3") }
+func BenchmarkFigure3(b *testing.B)                  { runExperiment(b, "fig3") }
+func BenchmarkFigure4(b *testing.B)                  { runExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)                  { runExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)                  { runExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)                  { runExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)                  { runExperiment(b, "fig8") }
+func BenchmarkFigure9(b *testing.B)                  { runExperiment(b, "fig9") }
+func BenchmarkFigure10(b *testing.B)                 { runExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B)                 { runExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B)                 { runExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B)                 { runExperiment(b, "fig13") }
+
+// --- ablation benches (DESIGN.md) ---
+
+func BenchmarkExtMultiJoin(b *testing.B)            { runExperiment(b, "ext-multijoin") }
+func BenchmarkExtParallel(b *testing.B)             { runExperiment(b, "ext-parallel") }
+func BenchmarkAblationOrdering(b *testing.B)        { runExperiment(b, "ablation-ordering") }
+func BenchmarkAblationBaseSetVsSample(b *testing.B) { runExperiment(b, "ablation-base-vs-sample") }
+func BenchmarkAblationAKeyPruning(b *testing.B)     { runExperiment(b, "ablation-akey-pruning") }
+func BenchmarkAblationAggregateRule(b *testing.B)   { runExperiment(b, "ablation-agg-rule") }
+func BenchmarkClassifierComparison(b *testing.B)    { runExperiment(b, "classifiers") }
+
+// --- micro-benchmarks of the core primitives ---
+
+func benchSample(n int) *relation.Relation {
+	gd := datagen.Cars(n, 99)
+	ed, _ := datagen.MakeIncomplete(gd, 0.10, 100)
+	return ed
+}
+
+func BenchmarkTANEMining(b *testing.B) {
+	smpl := benchSample(5000).Sample(2000, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := afd.Mine(smpl, afd.Config{MinSupport: 5})
+		if len(res.AFDs) == 0 {
+			b.Fatal("no AFDs mined")
+		}
+	}
+}
+
+func BenchmarkNBCTraining(b *testing.B) {
+	smpl := benchSample(5000).Sample(2000, rand.New(rand.NewSource(2)))
+	mined := afd.Mine(smpl, afd.Config{MinSupport: 5})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nbc.TrainPredictor(smpl, "body_style", mined, nbc.PredictorConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNBCPrediction(b *testing.B) {
+	smpl := benchSample(5000).Sample(2000, rand.New(rand.NewSource(3)))
+	mined := afd.Mine(smpl, afd.Config{MinSupport: 5})
+	p, err := nbc.TrainPredictor(smpl, "body_style", mined, nbc.PredictorConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := map[string]relation.Value{"model": relation.String("Z4")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := p.PredictEvidence(ev); d.Len() == 0 {
+			b.Fatal("empty distribution")
+		}
+	}
+}
+
+func benchKnowledge(b *testing.B, ed *relation.Relation) *core.Knowledge {
+	b.Helper()
+	smpl := ed.Sample(ed.Len()/10, rand.New(rand.NewSource(4)))
+	k, err := core.MineKnowledge("cars", smpl, 10, smpl.IncompleteFraction(), core.KnowledgeConfig{
+		AFD: afd.Config{MinSupport: 5},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+func BenchmarkRewriteGeneration(b *testing.B) {
+	ed := benchSample(8000)
+	k := benchKnowledge(b, ed)
+	q := relation.NewQuery("cars", relation.Eq("body_style", relation.String("Convt")))
+	base := ed.Select(q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := core.GenerateRewrites(k, q, base, ed.Schema); len(got) == 0 {
+			b.Fatal("no rewrites")
+		}
+	}
+}
+
+func BenchmarkQuerySelectEndToEnd(b *testing.B) {
+	ed := benchSample(8000)
+	k := benchKnowledge(b, ed)
+	med := core.New(core.Config{Alpha: 0, K: 10})
+	med.Register(source.New("cars", ed, source.Capabilities{}), k)
+	q := relation.NewQuery("cars", relation.Eq("body_style", relation.String("Convt")))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := med.QuerySelect("cars", q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Certain) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+func BenchmarkSourceIndexedSelect(b *testing.B) {
+	ed := benchSample(20000)
+	src := source.New("cars", ed, source.Capabilities{})
+	q := relation.NewQuery("cars", relation.Eq("model", relation.String("Civic")))
+	if _, err := src.Query(q); err != nil { // warm the index
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := src.Query(q)
+		if err != nil || len(rows) == 0 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}
+
+func BenchmarkDatagenCars(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := datagen.Cars(10000, int64(i)); r.Len() != 10000 {
+			b.Fatal("bad size")
+		}
+	}
+}

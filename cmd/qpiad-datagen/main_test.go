@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestBuildDatasets(t *testing.T) {
+	for _, ds := range []string{"cars", "census", "complaints", "webcars", "autotrader", "carsdirect", "googlebase"} {
+		rel, err := build(ds, 500, 1, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		if rel.Len() != 500 {
+			t.Errorf("%s: %d tuples", ds, rel.Len())
+		}
+	}
+}
+
+func TestBuildWithIncompleteness(t *testing.T) {
+	rel, err := build("cars", 2000, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rel.IncompleteFraction()
+	if f < 0.15 || f > 0.25 {
+		t.Errorf("incomplete fraction = %v, want ≈0.2", f)
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := build("nope", 10, 1, 0); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}

@@ -1,0 +1,82 @@
+// Command qpiad-experiments regenerates the paper's evaluation: every
+// table and figure of Section 6, plus the ablations and extensions listed
+// in DESIGN.md.
+//
+// Examples:
+//
+//	qpiad-experiments                      # run everything at small scale
+//	qpiad-experiments -scale full          # paper-scale datasets
+//	qpiad-experiments -exp fig3,fig8       # a subset
+//	qpiad-experiments -list                # show the experiment registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qpiad/internal/experiments"
+)
+
+func main() {
+	var (
+		scale = flag.String("scale", "small", "small | full")
+		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		seed  = flag.Int64("seed", 0, "override the scale's random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-24s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "small":
+		s = experiments.Small
+	case "full":
+		s = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "qpiad-experiments: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "qpiad-experiments: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		rep, err := e.Run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qpiad-experiments: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep.Render())
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

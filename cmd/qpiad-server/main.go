@@ -1,0 +1,91 @@
+// Command qpiad-server runs a QPIAD mediator as a JSON-over-HTTP service —
+// the deployment shape of the paper's live web demo. It generates (or
+// loads) an incomplete car database, mines knowledge, and serves:
+//
+//	GET  /healthz
+//	GET  /sources
+//	GET  /knowledge?source=cars
+//	POST /query   {"sql": "SELECT * FROM cars WHERE body_style = 'Convt'"}
+//
+// Example session:
+//
+//	qpiad-server -addr :8080 &
+//	curl -s localhost:8080/sources
+//	curl -s -X POST localhost:8080/query \
+//	     -d '{"sql": "SELECT * FROM cars WHERE body_style = '\''Convt'\''", "k": 5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+
+	"qpiad/internal/afd"
+	"qpiad/internal/core"
+	"qpiad/internal/datagen"
+	"qpiad/internal/httpapi"
+	"qpiad/internal/nbc"
+	"qpiad/internal/relation"
+	"qpiad/internal/source"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		csvPath  = flag.String("csv", "", "serve this typed-header CSV as source 'db' instead of generated cars")
+		n        = flag.Int("n", 20000, "generated dataset size")
+		seed     = flag.Int64("seed", 42, "random seed")
+		incmp    = flag.Float64("incomplete", 0.10, "generated incompleteness")
+		smplFrac = flag.Float64("sample", 0.10, "training sample fraction")
+		alpha    = flag.Float64("alpha", 0, "default F-measure alpha")
+		k        = flag.Int("k", 10, "default rewritten-query budget")
+		parallel = flag.Int("parallel", 4, "concurrent rewrite issuing")
+	)
+	flag.Parse()
+
+	med, err := buildMediator(*csvPath, *n, *seed, *incmp, *smplFrac, core.Config{
+		Alpha: *alpha, K: *k, Parallel: *parallel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("qpiad-server listening on %s (sources: %v)", *addr, med.SourceNames())
+	log.Fatal(http.ListenAndServe(*addr, httpapi.New(med)))
+}
+
+func buildMediator(csvPath string, n int, seed int64, incmp, smplFrac float64, cfg core.Config) (*core.Mediator, error) {
+	var (
+		db   *relation.Relation
+		name string
+	)
+	if csvPath != "" {
+		var err error
+		db, err = relation.LoadCSV("db", csvPath)
+		if err != nil {
+			return nil, err
+		}
+		name = "db"
+	} else {
+		gd := datagen.Cars(n, seed)
+		db, _ = datagen.MakeIncomplete(gd, incmp, seed+1)
+		name = "cars"
+		db.Name = name
+	}
+	src := source.New(name, db, source.Capabilities{})
+	smplN := int(float64(db.Len()) * smplFrac)
+	if smplN < 1 {
+		return nil, fmt.Errorf("sample fraction %v leaves no training data", smplFrac)
+	}
+	smpl := db.Sample(smplN, rand.New(rand.NewSource(seed+2)))
+	know, err := core.MineKnowledge(name, smpl,
+		float64(db.Len())/float64(smpl.Len()), smpl.IncompleteFraction(),
+		core.KnowledgeConfig{AFD: afd.Config{MinSupport: 5}, Predictor: nbc.PredictorConfig{}})
+	if err != nil {
+		return nil, err
+	}
+	med := core.New(cfg)
+	med.Register(src, know)
+	return med, nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"qpiad/internal/core"
+	"qpiad/internal/datagen"
+	"qpiad/internal/relation"
+)
+
+func TestBuildMediatorGenerated(t *testing.T) {
+	med, err := buildMediator("", 3000, 1, 0.10, 0.10, core.Config{Alpha: 0, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := med.SourceNames(); len(names) != 1 || names[0] != "cars" {
+		t.Errorf("sources = %v", names)
+	}
+	rs, err := med.QuerySelect("cars", relation.NewQuery("cars",
+		relation.Eq("body_style", relation.String("Convt"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Certain) == 0 {
+		t.Error("no certain answers through the built mediator")
+	}
+}
+
+func TestBuildMediatorCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cars.csv")
+	gd := datagen.Cars(2000, 2)
+	ed, _ := datagen.MakeIncomplete(gd, 0.10, 3)
+	if err := ed.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	med, err := buildMediator(path, 0, 4, 0, 0.10, core.Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := med.SourceNames(); len(names) != 1 || names[0] != "db" {
+		t.Errorf("sources = %v", names)
+	}
+}
+
+func TestBuildMediatorErrors(t *testing.T) {
+	if _, err := buildMediator("/nonexistent.csv", 0, 1, 0, 0.1, core.Config{}); err == nil {
+		t.Error("missing CSV should error")
+	}
+	if _, err := buildMediator("", 100, 1, 0.1, 0.000001, core.Config{}); err == nil {
+		t.Error("degenerate sample fraction should error")
+	}
+}

@@ -1,0 +1,370 @@
+// Command qpiad answers queries over an incomplete car database, showing
+// certain answers followed by QPIAD's ranked relevant possible answers
+// with confidences and AFD-based explanations.
+//
+// By default it generates the synthetic Cars dataset, makes 10% of the
+// tuples incomplete, learns from a 10% sample, and runs the query given by
+// -attr/-value (optionally more predicates via -where).
+//
+// Examples:
+//
+//	qpiad -attr body_style -value Convt
+//	qpiad -attr price -value 20000 -alpha 1 -k 15
+//	qpiad -csv mycars.csv -attr body_style -value Coupe
+//	qpiad -attr model -value Accord -where "year=2003"
+//	qpiad -sql "SELECT * FROM db WHERE body_style = 'Convt' AND year >= 2002"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qpiad"
+	"qpiad/internal/datagen"
+)
+
+func main() {
+	var (
+		csvPath  = flag.String("csv", "", "load the database from a typed-header CSV instead of generating cars")
+		n        = flag.Int("n", 20000, "generated dataset size")
+		seed     = flag.Int64("seed", 42, "random seed")
+		incmp    = flag.Float64("incomplete", 0.10, "fraction of tuples made incomplete (generated data only)")
+		smplFrac = flag.Float64("sample", 0.10, "training sample fraction")
+		attr     = flag.String("attr", "body_style", "constrained attribute")
+		value    = flag.String("value", "Convt", "constrained value")
+		where    = flag.String("where", "", "extra predicates, comma-separated attr=value pairs")
+		sql      = flag.String("sql", "", "full SQL query (overrides -attr/-value/-where)")
+		replMode = flag.Bool("repl", false, "interactive SQL shell after learning")
+		alpha    = flag.Float64("alpha", 0, "F-measure alpha (0 = precision-only ordering)")
+		k        = flag.Int("k", 10, "max rewritten queries (-1 = unlimited)")
+		limit    = flag.Int("limit", 15, "answers to print per section")
+		explain  = flag.Bool("explain", true, "show AFD-based explanations")
+	)
+	flag.Parse()
+
+	if *replMode {
+		sys, db, err := setup(*csvPath, *n, *seed, *incmp, *smplFrac, *alpha, *k)
+		if err == nil {
+			err = repl(sys, db, os.Stdin, os.Stdout, *limit, *explain)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpiad:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*csvPath, *n, *seed, *incmp, *smplFrac, *attr, *value, *where, *sql, *alpha, *k, *limit, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "qpiad:", err)
+		os.Exit(1)
+	}
+}
+
+// setup builds the learned system over a loaded or generated database.
+func setup(csvPath string, n int, seed int64, incmp, smplFrac, alpha float64, k int) (*qpiad.System, *qpiad.Relation, error) {
+	var db *qpiad.Relation
+	if csvPath != "" {
+		var err error
+		db, err = qpiad.LoadCSV("db", csvPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("loaded %d tuples from %s (%.1f%% incomplete)\n",
+			db.Len(), csvPath, 100*db.IncompleteFraction())
+	} else {
+		gd := datagen.Cars(n, seed)
+		db, _ = datagen.MakeIncomplete(gd, incmp, seed+1)
+		fmt.Printf("generated %d car tuples, %.1f%% incomplete\n", db.Len(), 100*db.IncompleteFraction())
+	}
+
+	sys := qpiad.New(qpiad.Config{Alpha: alpha, K: k})
+	if err := sys.AddSource("db", db, qpiad.Capabilities{}); err != nil {
+		return nil, nil, err
+	}
+	smpl := db.Sample(int(float64(db.Len())*smplFrac), rand.New(rand.NewSource(seed+2)))
+	if err := sys.LearnFromSample("db", smpl, 0); err != nil {
+		return nil, nil, err
+	}
+	if know, ok := sys.Knowledge("db"); ok {
+		fmt.Printf("mined %d AFDs (%d pruned by the AKey rule) from a %d-tuple sample\n",
+			len(know.AFDs.AFDs), len(know.AFDs.Pruned), smpl.Len())
+	}
+	return sys, db, nil
+}
+
+func run(csvPath string, n int, seed int64, incmp, smplFrac float64, attr, value, where, sql string, alpha float64, k, limit int, explain bool) error {
+	sys, db, err := setup(csvPath, n, seed, incmp, smplFrac, alpha, k)
+	if err != nil {
+		return err
+	}
+	if know, ok := sys.Knowledge("db"); ok && attr != "" {
+		if best, ok := know.AFDs.Best(attr); ok {
+			fmt.Printf("best AFD for %s: %s\n", attr, best)
+		}
+	}
+
+	var (
+		q          qpiad.Query
+		projection []string
+		stmt       *qpiad.Statement
+	)
+	if sql != "" {
+		st, err := qpiad.ParseSQL(sql)
+		if err != nil {
+			return err
+		}
+		if err := st.CoerceTypes(db.Schema); err != nil {
+			return err
+		}
+		if st.Query.Agg != nil {
+			return runAggregate(sys, db.Schema, st.Query)
+		}
+		q = st.Query
+		q.Relation = "db"
+		projection = st.Projection
+		stmt = st
+	} else {
+		var err error
+		q, err = buildQuery(db.Schema, attr, value, where)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nquery: %s\n", q)
+	rs, err := sys.Query("db", q)
+	if err != nil {
+		return err
+	}
+	if stmt != nil {
+		if len(stmt.Order) > 0 {
+			cmp, err := stmt.Comparator(db.Schema)
+			if err != nil {
+				return err
+			}
+			for _, sec := range [][]qpiad.Answer{rs.Certain, rs.Possible, rs.Unranked} {
+				sec := sec
+				sort.SliceStable(sec, func(i, j int) bool { return cmp(sec[i].Tuple, sec[j].Tuple) < 0 })
+			}
+		}
+		if stmt.Limit > 0 {
+			trim := func(a []qpiad.Answer) []qpiad.Answer {
+				if len(a) > stmt.Limit {
+					return a[:stmt.Limit]
+				}
+				return a
+			}
+			rs.Certain, rs.Possible, rs.Unranked = trim(rs.Certain), trim(rs.Possible), trim(rs.Unranked)
+		}
+	}
+	if len(projection) > 0 {
+		projected, _, err := rs.Project(db.Schema, projection)
+		if err != nil {
+			return err
+		}
+		rs = projected
+	}
+
+	fmt.Printf("\n-- certain answers (%d) --\n", len(rs.Certain))
+	printAnswers(db.Schema, rs.Certain, limit, false)
+	fmt.Printf("\n-- relevant possible answers (%d, ranked) --\n", len(rs.Possible))
+	printAnswers(db.Schema, rs.Possible, limit, explain)
+	if len(rs.Unranked) > 0 {
+		fmt.Printf("\n-- unranked (multiple nulls on constrained attributes: %d) --\n", len(rs.Unranked))
+		printAnswers(db.Schema, rs.Unranked, limit, false)
+	}
+	fmt.Printf("\nissued %d rewritten queries (of %d generated):\n", len(rs.Issued), rs.Generated)
+	for _, rq := range rs.Issued {
+		fmt.Printf("  %-60s precision=%.3f estSel=%.1f F=%.3f\n", rq.Query, rq.Precision, rq.EstSel, rq.F)
+	}
+	if st, ok := sys.SourceStats("db"); ok {
+		fmt.Printf("\nsource accounting: %d queries, %d tuples transferred\n", st.Queries, st.TuplesReturned)
+	}
+	return nil
+}
+
+// repl reads SQL statements line by line and executes each against the
+// learned system, printing certain and ranked possible answers. Blank
+// lines and lines starting with -- are skipped; \q or EOF exits.
+func repl(sys *qpiad.System, db *qpiad.Relation, in io.Reader, out io.Writer, limit int, explain bool) error {
+	fmt.Fprintln(out, "qpiad> enter SQL (FROM db); \\q to quit")
+	scanner := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "qpiad> ")
+		if !scanner.Scan() {
+			fmt.Fprintln(out)
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+			continue
+		case line == `\q` || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit"):
+			return nil
+		}
+		if err := execSQL(sys, db, line, out, limit, explain); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	}
+}
+
+// execSQL parses and executes one statement, printing to out.
+func execSQL(sys *qpiad.System, db *qpiad.Relation, sql string, out io.Writer, limit int, explain bool) error {
+	st, err := qpiad.ParseSQL(sql)
+	if err != nil {
+		return err
+	}
+	if err := st.CoerceTypes(db.Schema); err != nil {
+		return err
+	}
+	q := st.Query
+	q.Relation = "db"
+	if q.Agg != nil {
+		plain, err := sys.QueryAggregate("db", q, qpiad.AggOptions{})
+		if err != nil {
+			return err
+		}
+		pred, err := sys.QueryAggregate("db", q, qpiad.AggOptions{
+			IncludePossible: true, PredictMissing: true, Rule: qpiad.RuleArgmax,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "certain-only: %.2f   with prediction: %.2f\n", plain.Total, pred.Total)
+		return nil
+	}
+	rs, err := sys.Query("db", q)
+	if err != nil {
+		return err
+	}
+	if len(st.Order) > 0 {
+		cmp, err := st.Comparator(db.Schema)
+		if err != nil {
+			return err
+		}
+		for _, sec := range [][]qpiad.Answer{rs.Certain, rs.Possible} {
+			sec := sec
+			sort.SliceStable(sec, func(i, j int) bool { return cmp(sec[i].Tuple, sec[j].Tuple) < 0 })
+		}
+	}
+	max := limit
+	if st.Limit > 0 && st.Limit < max {
+		max = st.Limit
+	}
+	if len(st.Projection) > 0 {
+		projected, _, err := rs.Project(db.Schema, st.Projection)
+		if err != nil {
+			return err
+		}
+		rs = projected
+	}
+	fmt.Fprintf(out, "-- certain (%d) --\n", len(rs.Certain))
+	fprintAnswers(out, rs.Certain, max, false)
+	fmt.Fprintf(out, "-- possible (%d, ranked) --\n", len(rs.Possible))
+	fprintAnswers(out, rs.Possible, max, explain)
+	return nil
+}
+
+func fprintAnswers(out io.Writer, answers []qpiad.Answer, limit int, explain bool) {
+	for i, a := range answers {
+		if i >= limit {
+			fmt.Fprintf(out, "  ... and %d more\n", len(answers)-limit)
+			return
+		}
+		fmt.Fprintf(out, "  [%.3f] %s\n", a.Confidence, a.Tuple)
+		if explain && a.Explanation != "" {
+			fmt.Fprintf(out, "          because: %s\n", a.Explanation)
+		}
+	}
+	if len(answers) == 0 {
+		fmt.Fprintln(out, "  (none)")
+	}
+}
+
+// runAggregate processes an aggregate SQL statement, reporting the
+// certain-only and with-prediction totals side by side.
+func runAggregate(sys *qpiad.System, s *qpiad.Schema, q qpiad.Query) error {
+	q.Relation = "db"
+	fmt.Printf("\naggregate query: %s\n", q)
+	plain, err := sys.QueryAggregate("db", q, qpiad.AggOptions{})
+	if err != nil {
+		return err
+	}
+	pred, err := sys.QueryAggregate("db", q, qpiad.AggOptions{
+		IncludePossible: true,
+		PredictMissing:  true,
+		Rule:            qpiad.RuleArgmax,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("certain answers only:   %.2f (%d rows)\n", plain.Total, plain.CertainRows)
+	fmt.Printf("with QPIAD prediction:  %.2f (%d certain + %d possible rows, %d rewrites combined)\n",
+		pred.Total, pred.CertainRows, pred.PossibleRows, len(pred.Included))
+	return nil
+}
+
+func buildQuery(s *qpiad.Schema, attr, value, where string) (qpiad.Query, error) {
+	q := qpiad.NewQuery("db")
+	addPred := func(a, v string) error {
+		kind, ok := s.KindOf(a)
+		if !ok {
+			return fmt.Errorf("no attribute %q in schema %s", a, s)
+		}
+		var val qpiad.Value
+		switch kind {
+		case qpiad.KindInt:
+			i, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("attribute %q wants an integer: %w", a, err)
+			}
+			val = qpiad.Int(i)
+		case qpiad.KindFloat:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("attribute %q wants a float: %w", a, err)
+			}
+			val = qpiad.Float(f)
+		default:
+			val = qpiad.String(v)
+		}
+		q = q.With(qpiad.Eq(a, val))
+		return nil
+	}
+	if err := addPred(attr, value); err != nil {
+		return q, err
+	}
+	if where != "" {
+		for _, clause := range strings.Split(where, ",") {
+			a, v, found := strings.Cut(strings.TrimSpace(clause), "=")
+			if !found {
+				return q, fmt.Errorf("bad -where clause %q (want attr=value)", clause)
+			}
+			if err := addPred(strings.TrimSpace(a), strings.TrimSpace(v)); err != nil {
+				return q, err
+			}
+		}
+	}
+	return q, nil
+}
+
+func printAnswers(s *qpiad.Schema, answers []qpiad.Answer, limit int, explain bool) {
+	for i, a := range answers {
+		if i >= limit {
+			fmt.Printf("  ... and %d more\n", len(answers)-limit)
+			return
+		}
+		fmt.Printf("  [%.3f] %s\n", a.Confidence, a.Tuple)
+		if explain && a.Explanation != "" {
+			fmt.Printf("          because: %s\n", a.Explanation)
+		}
+	}
+	if len(answers) == 0 {
+		fmt.Println("  (none)")
+	}
+}

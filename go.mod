@@ -1,0 +1,3 @@
+module qpiad
+
+go 1.23

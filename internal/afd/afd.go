@@ -1,0 +1,416 @@
+// Package afd mines Approximate Functional Dependencies (AFDs) and
+// approximate keys (AKeys) from a relation sample, following the TANE
+// partition-refinement approach of Huhtala et al. (ICDE 1998) with the
+// g3 error measure of Kivinen & Mannila (ICDT 1992), as used by QPIAD
+// (Section 5.1 of the paper).
+//
+// An AFD X ⤳ A holds on all but a small fraction of tuples; its confidence
+// is conf = 1 − g3, where g3 is the minimum fraction of tuples that must be
+// removed for X → A to become an exact functional dependency. An AKey is an
+// attribute set that is a key on all but a small fraction of tuples.
+//
+// QPIAD prunes AFDs whose determining set is (a superset of) a high
+// confidence AKey: such determining sets almost uniquely identify tuples,
+// so they carry no generalizable signal for predicting missing values
+// (the paper's VIN example). The pruning rule keeps an AFD only if
+// conf(AFD) − conf(AKey(dtrSet)) ≥ δ.
+package afd
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"qpiad/internal/relation"
+)
+
+// AFD is a mined approximate functional dependency dtrSet ⤳ Dependent.
+type AFD struct {
+	// Determining is the determining set dtrSet(Dependent), in schema order.
+	Determining []string
+	// Dependent is the attribute whose value the determining set predicts.
+	Dependent string
+	// Confidence is 1 − g3 ∈ [0, 1].
+	Confidence float64
+	// AKeyConfidence is the approximate-key confidence of the determining
+	// set (fraction of tuples uniquely identified by their dtrSet value).
+	AKeyConfidence float64
+	// Support is the number of sample tuples (non-null on dtrSet ∪ {A})
+	// the confidence was computed over.
+	Support int
+}
+
+// String renders the AFD as "{X1,X2} ~> A (conf=0.93)".
+func (a AFD) String() string {
+	return fmt.Sprintf("{%s} ~> %s (conf=%.3f)", strings.Join(a.Determining, ","), a.Dependent, a.Confidence)
+}
+
+// AKey is a mined approximate key.
+type AKey struct {
+	Attrs      []string
+	Confidence float64
+}
+
+// String renders the AKey.
+func (k AKey) String() string {
+	return fmt.Sprintf("AKey{%s} (conf=%.3f)", strings.Join(k.Attrs, ","), k.Confidence)
+}
+
+// Config controls mining.
+type Config struct {
+	// MinConfidence is β: AFDs below this confidence are discarded.
+	// Default 0.5 (low, so the classifier layer can apply its own cutoff).
+	MinConfidence float64
+	// MaxDetermining bounds the determining-set size (lattice depth).
+	// Default 3.
+	MaxDetermining int
+	// PruneDelta is δ: an AFD is pruned when conf(AFD) − conf(AKey(dtrSet))
+	// < δ. The paper sets δ = 0.3 experimentally. Default 0.3.
+	PruneDelta float64
+	// AKeyMinConfidence is the reporting threshold for the AKeys list.
+	// Default 0.95.
+	AKeyMinConfidence float64
+	// MinSupport is the minimum number of usable (non-null) tuples required
+	// to score a candidate. Default 10.
+	MinSupport int
+	// KeepNonMinimal, when true, retains AFDs whose determining set is a
+	// strict superset of an already-accepted AFD for the same dependent.
+	// TANE outputs minimal dependencies; the default (false) matches that.
+	KeepNonMinimal bool
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MinConfidence == 0 {
+		c.MinConfidence = 0.5
+	}
+	if c.MaxDetermining == 0 {
+		c.MaxDetermining = 3
+	}
+	if c.PruneDelta == 0 {
+		c.PruneDelta = 0.3
+	}
+	if c.AKeyMinConfidence == 0 {
+		c.AKeyMinConfidence = 0.95
+	}
+	if c.MinSupport == 0 {
+		c.MinSupport = 10
+	}
+	return c
+}
+
+// Result holds the outcome of mining one relation.
+type Result struct {
+	// Relation is the name of the mined relation.
+	Relation string
+	// N is the number of tuples mined over.
+	N int
+	// AFDs are the retained dependencies, grouped by dependent attribute
+	// and sorted by descending confidence within each group.
+	AFDs []AFD
+	// Pruned are AFDs that met the confidence threshold but were removed by
+	// the AKey pruning rule; retained for introspection and explanation.
+	Pruned []AFD
+	// AKeys are minimal approximate keys above AKeyMinConfidence.
+	AKeys []AKey
+}
+
+// ForDependent returns the retained AFDs with the given dependent
+// attribute, highest confidence first.
+func (r *Result) ForDependent(dep string) []AFD {
+	var out []AFD
+	for _, a := range r.AFDs {
+		if a.Dependent == dep {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Best returns the highest-confidence retained AFD for the dependent
+// attribute (the paper's "highest confidence AFD" used for dtrSet(Am)).
+func (r *Result) Best(dep string) (AFD, bool) {
+	best := AFD{Confidence: -1}
+	for _, a := range r.AFDs {
+		if a.Dependent == dep && a.Confidence > best.Confidence {
+			best = a
+		}
+	}
+	return best, best.Confidence >= 0
+}
+
+// Mine runs TANE-style levelwise AFD and AKey discovery over rel.
+func Mine(rel *relation.Relation, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	m := newMiner(rel, cfg)
+	return m.run()
+}
+
+// miner holds interned columns and search state.
+type miner struct {
+	cfg    Config
+	rel    *relation.Relation
+	n      int
+	nattrs int
+	names  []string
+	cols   [][]int32 // cols[a][t] = interned value id of attribute a in tuple t; -1 for null
+	domain []int     // domain[a] = number of distinct non-null values
+}
+
+func newMiner(rel *relation.Relation, cfg Config) *miner {
+	s := rel.Schema
+	m := &miner{
+		cfg:    cfg,
+		rel:    rel,
+		n:      rel.Len(),
+		nattrs: s.Len(),
+		names:  s.Names(),
+		cols:   make([][]int32, s.Len()),
+		domain: make([]int, s.Len()),
+	}
+	for a := 0; a < s.Len(); a++ {
+		ids := make([]int32, m.n)
+		intern := make(map[string]int32)
+		for t := 0; t < m.n; t++ {
+			v := rel.Tuple(t)[a]
+			if v.IsNull() {
+				ids[t] = -1
+				continue
+			}
+			k := v.Key()
+			id, ok := intern[k]
+			if !ok {
+				id = int32(len(intern))
+				intern[k] = id
+			}
+			ids[t] = id
+		}
+		m.cols[a] = ids
+		m.domain[a] = len(intern)
+	}
+	return m
+}
+
+// attrSet is a bitmask of attribute positions (schemas are bounded at 64
+// attributes, far above any dataset in the paper).
+type attrSet uint64
+
+func (s attrSet) has(a int) bool     { return s&(1<<uint(a)) != 0 }
+func (s attrSet) with(a int) attrSet { return s | 1<<uint(a) }
+func (s attrSet) size() int          { return bits.OnesCount64(uint64(s)) }
+func (s attrSet) members() []int {
+	out := make([]int, 0, s.size())
+	for a := 0; s != 0; a++ {
+		if s.has(a) {
+			out = append(out, a)
+			s &^= 1 << uint(a)
+		}
+	}
+	return out
+}
+func (s attrSet) isSubsetOf(t attrSet) bool { return s&t == s }
+
+// classify assigns each tuple an equivalence-class id under the attribute
+// set X; tuples null on any attribute of X get class -1.
+// It also returns the number of classes.
+func (m *miner) classify(x attrSet) (classes []int32, nclasses int) {
+	attrs := x.members()
+	classes = make([]int32, m.n)
+	intern := make(map[string]int32, m.n/4+1)
+	var buf []byte
+	for t := 0; t < m.n; t++ {
+		buf = buf[:0]
+		null := false
+		for _, a := range attrs {
+			id := m.cols[a][t]
+			if id < 0 {
+				null = true
+				break
+			}
+			buf = append(buf,
+				byte(id), byte(id>>8), byte(id>>16), byte(id>>24), 0xff)
+		}
+		if null {
+			classes[t] = -1
+			continue
+		}
+		k := string(buf)
+		c, ok := intern[k]
+		if !ok {
+			c = int32(len(intern))
+			intern[k] = c
+		}
+		classes[t] = c
+	}
+	return classes, len(intern)
+}
+
+// score computes, for determining set X (with classes precomputed) and
+// dependent a, the g3 confidence and support. Tuples null on X or on a are
+// excluded.
+func (m *miner) score(classes []int32, nclasses int, a int) (conf float64, support int) {
+	col := m.cols[a]
+	// counts[class][valueID] -> occurrences
+	type cell struct {
+		class int32
+		val   int32
+	}
+	counts := make(map[cell]int)
+	classTotal := make([]int, nclasses)
+	classMax := make([]int, nclasses)
+	for t := 0; t < m.n; t++ {
+		c := classes[t]
+		if c < 0 || col[t] < 0 {
+			continue
+		}
+		support++
+		classTotal[c]++
+		k := cell{c, col[t]}
+		counts[k]++
+		if counts[k] > classMax[c] {
+			classMax[c] = counts[k]
+		}
+	}
+	if support == 0 {
+		return 0, 0
+	}
+	keep := 0
+	for c := 0; c < nclasses; c++ {
+		keep += classMax[c]
+	}
+	// g3 = (support - keep) / support; conf = 1 - g3.
+	return float64(keep) / float64(support), support
+}
+
+// akeyConf computes the approximate-key confidence of X: the fraction of
+// tuples (non-null on X) that would remain after keeping one tuple per
+// equivalence class, i.e. #classes / #tuples.
+func akeyConf(classes []int32, nclasses int) (float64, int) {
+	total := 0
+	for _, c := range classes {
+		if c >= 0 {
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(nclasses) / float64(total), total
+}
+
+func (m *miner) run() *Result {
+	res := &Result{Relation: m.rel.Name, N: m.n}
+	if m.n == 0 || m.nattrs == 0 {
+		return res
+	}
+	// accepted[a] holds determining sets already accepted for dependent a;
+	// supersets are non-minimal and skipped unless KeepNonMinimal.
+	accepted := make([][]attrSet, m.nattrs)
+	// akeyFound holds minimal AKeys discovered so far (for minimality of
+	// the reported AKey list).
+	var akeyMinimal []attrSet
+
+	level := make([]attrSet, 0, m.nattrs)
+	for a := 0; a < m.nattrs; a++ {
+		level = append(level, attrSet(0).with(a))
+	}
+	seen := make(map[attrSet]bool)
+	for _, x := range level {
+		seen[x] = true
+	}
+
+	for depth := 1; depth <= m.cfg.MaxDetermining && len(level) > 0; depth++ {
+		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
+		var next []attrSet
+		for _, x := range level {
+			classes, nclasses := m.classify(x)
+			kconf, ksupport := akeyConf(classes, nclasses)
+
+			// AKey reporting (minimal only).
+			if ksupport >= m.cfg.MinSupport && kconf >= m.cfg.AKeyMinConfidence {
+				minimal := true
+				for _, prev := range akeyMinimal {
+					if prev.isSubsetOf(x) {
+						minimal = false
+						break
+					}
+				}
+				if minimal {
+					akeyMinimal = append(akeyMinimal, x)
+					res.AKeys = append(res.AKeys, AKey{Attrs: m.attrNames(x), Confidence: kconf})
+				}
+			}
+
+			for a := 0; a < m.nattrs; a++ {
+				if x.has(a) {
+					continue
+				}
+				if !m.cfg.KeepNonMinimal && hasSubset(accepted[a], x) {
+					continue
+				}
+				conf, support := m.score(classes, nclasses, a)
+				if support < m.cfg.MinSupport || conf < m.cfg.MinConfidence {
+					continue
+				}
+				dep := AFD{
+					Determining:    m.attrNames(x),
+					Dependent:      m.names[a],
+					Confidence:     conf,
+					AKeyConfidence: kconf,
+					Support:        support,
+				}
+				accepted[a] = append(accepted[a], x)
+				// AKey pruning rule (Section 5.1): determining sets that
+				// nearly key the relation generalize poorly.
+				if conf-kconf < m.cfg.PruneDelta {
+					res.Pruned = append(res.Pruned, dep)
+				} else {
+					res.AFDs = append(res.AFDs, dep)
+				}
+			}
+			// Candidate generation: extend x by attributes greater than its
+			// maximum member (standard levelwise enumeration).
+			if depth < m.cfg.MaxDetermining {
+				maxMember := -1
+				for _, a := range x.members() {
+					maxMember = a
+				}
+				for a := maxMember + 1; a < m.nattrs; a++ {
+					nx := x.with(a)
+					if !seen[nx] {
+						seen[nx] = true
+						next = append(next, nx)
+					}
+				}
+			}
+		}
+		level = next
+	}
+
+	sort.Slice(res.AFDs, func(i, j int) bool {
+		if res.AFDs[i].Dependent != res.AFDs[j].Dependent {
+			return res.AFDs[i].Dependent < res.AFDs[j].Dependent
+		}
+		return res.AFDs[i].Confidence > res.AFDs[j].Confidence
+	})
+	return res
+}
+
+func hasSubset(sets []attrSet, x attrSet) bool {
+	for _, s := range sets {
+		if s.isSubsetOf(x) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *miner) attrNames(x attrSet) []string {
+	members := x.members()
+	out := make([]string, len(members))
+	for i, a := range members {
+		out[i] = m.names[a]
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package afd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"qpiad/internal/relation"
+)
+
+// carsRel builds a relation where model -> make holds exactly and
+// model ~> body_style holds at a known confidence.
+func carsRel() *relation.Relation {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "make", Kind: relation.KindString},
+		relation.Attribute{Name: "model", Kind: relation.KindString},
+		relation.Attribute{Name: "body_style", Kind: relation.KindString},
+	)
+	r := relation.New("cars", s)
+	// 10 Z4s: 9 Convt, 1 Coupe => model=Z4 predicts Convt with 0.9.
+	for i := 0; i < 9; i++ {
+		r.MustInsert(relation.Tuple{relation.String("BMW"), relation.String("Z4"), relation.String("Convt")})
+	}
+	r.MustInsert(relation.Tuple{relation.String("BMW"), relation.String("Z4"), relation.String("Coupe")})
+	// 10 Civics: 8 Sedan, 2 Coupe => 0.8.
+	for i := 0; i < 8; i++ {
+		r.MustInsert(relation.Tuple{relation.String("Honda"), relation.String("Civic"), relation.String("Sedan")})
+	}
+	for i := 0; i < 2; i++ {
+		r.MustInsert(relation.Tuple{relation.String("Honda"), relation.String("Civic"), relation.String("Coupe")})
+	}
+	return r
+}
+
+func TestMineExactFD(t *testing.T) {
+	res := Mine(carsRel(), Config{MinSupport: 2, MaxDetermining: 1})
+	var found *AFD
+	for i, a := range res.AFDs {
+		if a.Dependent == "make" && len(a.Determining) == 1 && a.Determining[0] == "model" {
+			found = &res.AFDs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("model ~> make not mined; got %v (pruned %v)", res.AFDs, res.Pruned)
+	}
+	if found.Confidence != 1.0 {
+		t.Errorf("model -> make confidence = %v, want 1.0", found.Confidence)
+	}
+}
+
+func TestMineApproximateConfidence(t *testing.T) {
+	res := Mine(carsRel(), Config{MinSupport: 2, MaxDetermining: 1})
+	var found *AFD
+	for i, a := range res.AFDs {
+		if a.Dependent == "body_style" && len(a.Determining) == 1 && a.Determining[0] == "model" {
+			found = &res.AFDs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("model ~> body_style not mined; got %v", res.AFDs)
+	}
+	// keep = 9 + 8 = 17 of 20 => conf = 0.85.
+	if math.Abs(found.Confidence-0.85) > 1e-9 {
+		t.Errorf("model ~> body_style confidence = %v, want 0.85", found.Confidence)
+	}
+	if found.Support != 20 {
+		t.Errorf("support = %d, want 20", found.Support)
+	}
+}
+
+func TestBestAndForDependent(t *testing.T) {
+	res := Mine(carsRel(), Config{MinSupport: 2})
+	best, ok := res.Best("make")
+	if !ok {
+		t.Fatal("no AFD for make")
+	}
+	if best.Confidence != 1.0 {
+		t.Errorf("best for make = %v", best)
+	}
+	deps := res.ForDependent("body_style")
+	for i := 1; i < len(deps); i++ {
+		if deps[i-1].Confidence < deps[i].Confidence {
+			t.Error("ForDependent not sorted by confidence desc")
+		}
+	}
+	if _, ok := res.Best("nonexistent"); ok {
+		t.Error("Best(nonexistent) should be false")
+	}
+}
+
+// TestAKeyPruning reproduces the paper's VIN example: an attribute that is
+// an (approximate) key determines everything, but such AFDs are useless for
+// prediction and must be pruned.
+func TestAKeyPruning(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "vin", Kind: relation.KindInt},
+		relation.Attribute{Name: "model", Kind: relation.KindString},
+		relation.Attribute{Name: "make", Kind: relation.KindString},
+	)
+	r := relation.New("cars", s)
+	models := []string{"Z4", "Civic", "Camry", "A4"}
+	makes := []string{"BMW", "Honda", "Toyota", "Audi"}
+	for i := 0; i < 200; i++ {
+		m := i % 4
+		r.MustInsert(relation.Tuple{
+			relation.Int(int64(i)), // unique: a true key
+			relation.String(models[m]),
+			relation.String(makes[m]),
+		})
+	}
+	res := Mine(r, Config{MinSupport: 5})
+	for _, a := range res.AFDs {
+		for _, d := range a.Determining {
+			if d == "vin" {
+				t.Errorf("AFD with key in determining set survived pruning: %v", a)
+			}
+		}
+	}
+	foundPruned := false
+	for _, a := range res.Pruned {
+		if len(a.Determining) == 1 && a.Determining[0] == "vin" {
+			foundPruned = true
+		}
+	}
+	if !foundPruned {
+		t.Error("vin ~> * should appear in Pruned")
+	}
+	// vin must be reported as an AKey.
+	foundKey := false
+	for _, k := range res.AKeys {
+		if len(k.Attrs) == 1 && k.Attrs[0] == "vin" {
+			foundKey = true
+			if k.Confidence != 1.0 {
+				t.Errorf("vin AKey confidence = %v", k.Confidence)
+			}
+		}
+	}
+	if !foundKey {
+		t.Errorf("vin not reported as AKey: %v", res.AKeys)
+	}
+	// model ~> make must survive.
+	if best, ok := res.Best("make"); !ok || best.Determining[0] != "model" {
+		t.Errorf("model ~> make should survive pruning, got %v %v", best, ok)
+	}
+}
+
+func TestMinimality(t *testing.T) {
+	// model -> make exactly, so {model, body_style} -> make is non-minimal
+	// and must not be emitted by default.
+	res := Mine(carsRel(), Config{MinSupport: 2})
+	for _, a := range res.AFDs {
+		if a.Dependent == "make" && len(a.Determining) > 1 {
+			t.Errorf("non-minimal AFD emitted: %v", a)
+		}
+	}
+	// With KeepNonMinimal, supersets may appear.
+	res2 := Mine(carsRel(), Config{MinSupport: 2, KeepNonMinimal: true})
+	if len(res2.AFDs)+len(res2.Pruned) < len(res.AFDs)+len(res.Pruned) {
+		t.Error("KeepNonMinimal should not shrink the result")
+	}
+}
+
+func TestNullExclusion(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "a", Kind: relation.KindString},
+		relation.Attribute{Name: "b", Kind: relation.KindString},
+	)
+	r := relation.New("r", s)
+	// 10 clean pairs supporting a->b exactly, plus nulls that would break it
+	// if counted as values.
+	for i := 0; i < 10; i++ {
+		r.MustInsert(relation.Tuple{relation.String("x"), relation.String("y")})
+	}
+	r.MustInsert(relation.Tuple{relation.String("x"), relation.Null()})
+	r.MustInsert(relation.Tuple{relation.Null(), relation.String("z")})
+	res := Mine(r, Config{MinSupport: 2, MaxDetermining: 1, PruneDelta: 0.001})
+	var found *AFD
+	for i, a := range res.AFDs {
+		if a.Dependent == "b" && a.Determining[0] == "a" {
+			found = &res.AFDs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("a ~> b missing: %+v", res)
+	}
+	if found.Confidence != 1.0 {
+		t.Errorf("null tuples should be excluded; conf = %v", found.Confidence)
+	}
+	if found.Support != 10 {
+		t.Errorf("support = %d, want 10", found.Support)
+	}
+}
+
+func TestMinSupport(t *testing.T) {
+	r := carsRel()
+	res := Mine(r, Config{MinSupport: 1000})
+	if len(res.AFDs) != 0 {
+		t.Errorf("no AFD should meet support 1000, got %v", res.AFDs)
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	s := relation.MustSchema(relation.Attribute{Name: "a", Kind: relation.KindString})
+	res := Mine(relation.New("e", s), Config{})
+	if len(res.AFDs) != 0 || len(res.AKeys) != 0 {
+		t.Error("empty relation should mine nothing")
+	}
+}
+
+func TestMaxDetermining(t *testing.T) {
+	res := Mine(carsRel(), Config{MinSupport: 2, MaxDetermining: 2, KeepNonMinimal: true, PruneDelta: 0.0001})
+	for _, a := range append(res.AFDs, res.Pruned...) {
+		if len(a.Determining) > 2 {
+			t.Errorf("determining set exceeds bound: %v", a)
+		}
+	}
+}
+
+// TestMineMatchesDirectG3 cross-checks the levelwise miner against the
+// direct G3 computation on random relations.
+func TestMineMatchesDirectG3(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		s := relation.MustSchema(
+			relation.Attribute{Name: "a", Kind: relation.KindInt},
+			relation.Attribute{Name: "b", Kind: relation.KindInt},
+			relation.Attribute{Name: "c", Kind: relation.KindInt},
+		)
+		r := relation.New("rand", s)
+		for i := 0; i < 120; i++ {
+			mk := func(dom int) relation.Value {
+				if rng.Intn(10) == 0 {
+					return relation.Null()
+				}
+				return relation.Int(int64(rng.Intn(dom)))
+			}
+			r.MustInsert(relation.Tuple{mk(3), mk(4), mk(2)})
+		}
+		res := Mine(r, Config{MinConfidence: 0.01, MinSupport: 2, PruneDelta: 1e-12, AKeyMinConfidence: 2})
+		all := append(append([]AFD{}, res.AFDs...), res.Pruned...)
+		for _, a := range all {
+			g3, n := G3(r, a.Determining, a.Dependent)
+			if n != a.Support {
+				t.Fatalf("trial %d: support mismatch for %v: mine %d direct %d", trial, a, a.Support, n)
+			}
+			if math.Abs((1-g3)-a.Confidence) > 1e-12 {
+				t.Fatalf("trial %d: confidence mismatch for %v: mine %v direct %v", trial, a, a.Confidence, 1-g3)
+			}
+		}
+	}
+}
+
+// TestG3Antimonotone checks conf(X→A) <= conf(XZ→A): adding determining
+// attributes can only reduce g3.
+func TestG3Antimonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := relation.MustSchema(
+		relation.Attribute{Name: "a", Kind: relation.KindInt},
+		relation.Attribute{Name: "b", Kind: relation.KindInt},
+		relation.Attribute{Name: "c", Kind: relation.KindInt},
+	)
+	r := relation.New("rand", s)
+	for i := 0; i < 300; i++ {
+		r.MustInsert(relation.Tuple{
+			relation.Int(int64(rng.Intn(4))),
+			relation.Int(int64(rng.Intn(4))),
+			relation.Int(int64(rng.Intn(3))),
+		})
+	}
+	g1, _ := G3(r, []string{"a"}, "c")
+	g2, _ := G3(r, []string{"a", "b"}, "c")
+	if g2 > g1+1e-12 {
+		t.Errorf("g3 not anti-monotone: g3(a->c)=%v < g3(ab->c)=%v", g1, g2)
+	}
+}
+
+func TestG3Bounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := relation.MustSchema(
+		relation.Attribute{Name: "a", Kind: relation.KindInt},
+		relation.Attribute{Name: "b", Kind: relation.KindInt},
+	)
+	for trial := 0; trial < 10; trial++ {
+		r := relation.New("rand", s)
+		for i := 0; i < 50; i++ {
+			r.MustInsert(relation.Tuple{
+				relation.Int(int64(rng.Intn(5))),
+				relation.Int(int64(rng.Intn(5))),
+			})
+		}
+		g, n := G3(r, []string{"a"}, "b")
+		if g < 0 || g > 1 || n != 50 {
+			t.Fatalf("g3 out of bounds: %v (n=%d)", g, n)
+		}
+		// g3 < 1 always: keeping the majority keeps at least one per class.
+		if g >= 1 {
+			t.Fatalf("g3 must be < 1, got %v", g)
+		}
+	}
+}
+
+func TestAFDString(t *testing.T) {
+	a := AFD{Determining: []string{"model"}, Dependent: "make", Confidence: 0.93}
+	if a.String() != "{model} ~> make (conf=0.930)" {
+		t.Errorf("String() = %q", a.String())
+	}
+	k := AKey{Attrs: []string{"vin"}, Confidence: 1}
+	if k.String() != "AKey{vin} (conf=1.000)" {
+		t.Errorf("AKey String() = %q", k.String())
+	}
+}
+
+func TestLargeMineSmoke(t *testing.T) {
+	// Larger randomized smoke test to exercise interning and lattice paths.
+	rng := rand.New(rand.NewSource(42))
+	attrs := make([]relation.Attribute, 6)
+	for i := range attrs {
+		attrs[i] = relation.Attribute{Name: fmt.Sprintf("a%d", i), Kind: relation.KindInt}
+	}
+	r := relation.New("big", relation.MustSchema(attrs...))
+	for i := 0; i < 3000; i++ {
+		t := make(relation.Tuple, 6)
+		base := rng.Intn(50)
+		t[0] = relation.Int(int64(base))
+		t[1] = relation.Int(int64(base % 7)) // a0 -> a1 exactly
+		for j := 2; j < 6; j++ {
+			t[j] = relation.Int(int64(rng.Intn(5)))
+		}
+		r.MustInsert(t)
+	}
+	res := Mine(r, Config{})
+	best, ok := res.Best("a1")
+	if !ok || best.Confidence < 0.99 {
+		t.Errorf("a0 -> a1 should be mined with conf 1: %v %v", best, ok)
+	}
+}

@@ -1,0 +1,206 @@
+package afd
+
+import (
+	"sort"
+
+	"qpiad/internal/relation"
+)
+
+// Partition is an equivalence-class partition of tuple positions under an
+// attribute set, in TANE's "stripped" form: singleton classes are omitted
+// because they can never violate a dependency. Tuples with a null on any
+// partitioning attribute are excluded entirely.
+type Partition struct {
+	// Classes holds the equivalence classes (each sorted ascending), only
+	// those with at least two members.
+	Classes [][]int
+	// N is the number of tuples the partition was computed over (tuples
+	// non-null on the partitioning attributes).
+	N int
+}
+
+// NewPartition computes the stripped partition of rel under the named
+// attributes.
+func NewPartition(rel *relation.Relation, attrs []string) Partition {
+	cols := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		if c, ok := rel.Schema.Index(a); ok {
+			cols = append(cols, c)
+		}
+	}
+	groups := make(map[string][]int)
+	n := 0
+	for i, t := range rel.Tuples() {
+		null := false
+		for _, c := range cols {
+			if t[c].IsNull() {
+				null = true
+				break
+			}
+		}
+		if null {
+			continue
+		}
+		n++
+		k := t.KeyOn(cols)
+		groups[k] = append(groups[k], i)
+	}
+	p := Partition{N: n}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			sort.Ints(g)
+			p.Classes = append(p.Classes, g)
+		}
+	}
+	sort.Slice(p.Classes, func(i, j int) bool { return p.Classes[i][0] < p.Classes[j][0] })
+	return p
+}
+
+// Rank returns ||Π||: the total number of tuples appearing in non-singleton
+// classes.
+func (p Partition) Rank() int {
+	n := 0
+	for _, c := range p.Classes {
+		n += len(c)
+	}
+	return n
+}
+
+// NumClasses returns the total number of equivalence classes including the
+// implicit singletons: (#stripped classes) + (N − rank).
+func (p Partition) NumClasses() int {
+	return len(p.Classes) + (p.N - p.Rank())
+}
+
+// Product computes the stripped partition Π_X · Π_Y = Π_{X∪Y} (TANE's
+// partition product). Both partitions must have been computed over the same
+// relation. Tuples absent from either operand (nulls) are absent from the
+// product; the product's N is therefore a lower bound of the exact
+// Π_{X∪Y} N, matching stripped-partition semantics where only co-occurring
+// tuples matter.
+func (p Partition) Product(q Partition) Partition {
+	// classOf[t] = index of t's class in p, or -1.
+	maxT := -1
+	for _, c := range p.Classes {
+		if len(c) > 0 && c[len(c)-1] > maxT {
+			maxT = c[len(c)-1]
+		}
+	}
+	for _, c := range q.Classes {
+		if len(c) > 0 && c[len(c)-1] > maxT {
+			maxT = c[len(c)-1]
+		}
+	}
+	classOf := make([]int, maxT+1)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	for i, c := range p.Classes {
+		for _, t := range c {
+			classOf[t] = i
+		}
+	}
+	type pair struct{ a, b int }
+	groups := make(map[pair][]int)
+	for j, c := range q.Classes {
+		for _, t := range c {
+			if t < len(classOf) && classOf[t] >= 0 {
+				groups[pair{classOf[t], j}] = append(groups[pair{classOf[t], j}], t)
+			}
+		}
+	}
+	out := Partition{N: min(p.N, q.N)}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			sort.Ints(g)
+			out.Classes = append(out.Classes, g)
+		}
+	}
+	sort.Slice(out.Classes, func(i, j int) bool { return out.Classes[i][0] < out.Classes[j][0] })
+	return out
+}
+
+// Refines reports whether every class of p is contained in some class of q
+// (p is a refinement of q). Refinement is checked over the stripped classes
+// of p: singleton classes refine trivially.
+func (p Partition) Refines(q Partition) bool {
+	classOf := make(map[int]int)
+	for i, c := range q.Classes {
+		for _, t := range c {
+			classOf[t] = i
+		}
+	}
+	for _, c := range p.Classes {
+		want, ok := classOf[c[0]]
+		for _, t := range c[1:] {
+			got, ok2 := classOf[t]
+			if !ok || !ok2 || got != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// G3 computes the g3 error of the dependency X → A directly from the
+// relation: the minimum fraction of tuples to remove so the dependency
+// holds exactly. Tuples null on X ∪ {A} are excluded. The second result is
+// the number of tuples scored.
+func G3(rel *relation.Relation, determining []string, dependent string) (float64, int) {
+	depCol, ok := rel.Schema.Index(dependent)
+	if !ok {
+		return 0, 0
+	}
+	cols := make([]int, 0, len(determining))
+	for _, a := range determining {
+		c, ok := rel.Schema.Index(a)
+		if !ok {
+			return 0, 0
+		}
+		cols = append(cols, c)
+	}
+	type group struct {
+		total int
+		count map[string]int
+	}
+	groups := make(map[string]*group)
+	n := 0
+	for _, t := range rel.Tuples() {
+		if t[depCol].IsNull() {
+			continue
+		}
+		null := false
+		for _, c := range cols {
+			if t[c].IsNull() {
+				null = true
+				break
+			}
+		}
+		if null {
+			continue
+		}
+		n++
+		k := t.KeyOn(cols)
+		g := groups[k]
+		if g == nil {
+			g = &group{count: make(map[string]int)}
+			groups[k] = g
+		}
+		g.total++
+		g.count[t[depCol].Key()]++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	keep := 0
+	for _, g := range groups {
+		best := 0
+		for _, c := range g.count {
+			if c > best {
+				best = c
+			}
+		}
+		keep += best
+	}
+	return float64(n-keep) / float64(n), n
+}

@@ -1,0 +1,246 @@
+// Package assocrule implements association-rule based missing-value
+// prediction in the style of Wu, Wun & Chou (HIS 2004), the baseline QPIAD's
+// experiments compare AFD-enhanced classifiers against (Section 6.5).
+//
+// Rules have the form {Ai=vi, ...} ⇒ (A=v) and are mined with minimum
+// support and confidence over a sample. Prediction for a tuple with a null
+// on A collects all rules whose antecedents the tuple satisfies and
+// combines them by confidence-weighted voting. Because rules exist only at
+// the attribute-VALUE level, small samples yield sparse rule sets — the
+// failure mode the paper reports ("association rules ... fail to learn
+// from small samples").
+package assocrule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qpiad/internal/nbc"
+	"qpiad/internal/relation"
+)
+
+// Item is one attribute=value antecedent element.
+type Item struct {
+	Attr  string
+	Value relation.Value
+}
+
+// String renders "attr=value".
+func (i Item) String() string { return i.Attr + "=" + i.Value.String() }
+
+// Rule is an association rule antecedent ⇒ (TargetAttr = Consequent).
+type Rule struct {
+	Antecedent []Item
+	TargetAttr string
+	Consequent relation.Value
+	Support    int     // tuples matching antecedent ∧ consequent
+	Confidence float64 // Support / tuples matching antecedent
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	parts := make([]string, len(r.Antecedent))
+	for i, it := range r.Antecedent {
+		parts[i] = it.String()
+	}
+	return fmt.Sprintf("{%s} => %s=%s (sup=%d conf=%.3f)",
+		strings.Join(parts, ","), r.TargetAttr, r.Consequent, r.Support, r.Confidence)
+}
+
+// Config controls mining.
+type Config struct {
+	// MinSupport is the minimum absolute antecedent∧consequent count.
+	// Default 3.
+	MinSupport int
+	// MinConfidence is the minimum rule confidence. Default 0.5.
+	MinConfidence float64
+	// MaxAntecedent bounds antecedent size. Default 2.
+	MaxAntecedent int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSupport == 0 {
+		c.MinSupport = 3
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = 0.5
+	}
+	if c.MaxAntecedent == 0 {
+		c.MaxAntecedent = 2
+	}
+	return c
+}
+
+// Predictor predicts missing values of one target attribute from mined
+// rules.
+type Predictor struct {
+	Target string
+	Rules  []Rule
+
+	classes []relation.Value
+	prior   []float64
+}
+
+// Train mines rules predicting target from every other attribute of the
+// sample.
+func Train(sample *relation.Relation, target string, cfg Config) (*Predictor, error) {
+	cfg = cfg.withDefaults()
+	s := sample.Schema
+	tcol, ok := s.Index(target)
+	if !ok {
+		return nil, fmt.Errorf("assocrule: no target attribute %q", target)
+	}
+	p := &Predictor{Target: target}
+
+	// Class domain and priors.
+	classIdx := make(map[string]int)
+	var classCount []int
+	total := 0
+	for _, t := range sample.Tuples() {
+		v := t[tcol]
+		if v.IsNull() {
+			continue
+		}
+		total++
+		if _, ok := classIdx[v.Key()]; !ok {
+			classIdx[v.Key()] = len(p.classes)
+			p.classes = append(p.classes, v)
+			classCount = append(classCount, 0)
+		}
+		classCount[classIdx[v.Key()]]++
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("assocrule: no non-null %q values in sample", target)
+	}
+	p.prior = make([]float64, len(p.classes))
+	for i, c := range classCount {
+		p.prior[i] = float64(c) / float64(total)
+	}
+
+	// Candidate antecedents: single items and (optionally) pairs over the
+	// non-target attributes.
+	type key = string
+	count := make(map[key]int)          // antecedent occurrences
+	hit := make(map[key]map[string]int) // antecedent -> class key -> count
+	repr := make(map[key][]Item)        // antecedent key -> items
+	consVal := make(map[string]relation.Value)
+
+	cols := make([]int, 0, s.Len()-1)
+	for i := 0; i < s.Len(); i++ {
+		if i != tcol {
+			cols = append(cols, i)
+		}
+	}
+	for _, t := range sample.Tuples() {
+		cv := t[tcol]
+		var cKey string
+		if !cv.IsNull() {
+			cKey = cv.Key()
+			consVal[cKey] = cv
+		}
+		record := func(items []Item) {
+			k := itemsKey(items)
+			count[k]++
+			if _, ok := repr[k]; !ok {
+				cp := make([]Item, len(items))
+				copy(cp, items)
+				repr[k] = cp
+			}
+			if cKey != "" {
+				m := hit[k]
+				if m == nil {
+					m = make(map[string]int)
+					hit[k] = m
+				}
+				m[cKey]++
+			}
+		}
+		for ai, a := range cols {
+			va := t[a]
+			if va.IsNull() {
+				continue
+			}
+			itemA := Item{s.Attr(a).Name, va}
+			record([]Item{itemA})
+			if cfg.MaxAntecedent >= 2 {
+				for _, b := range cols[ai+1:] {
+					vb := t[b]
+					if vb.IsNull() {
+						continue
+					}
+					record([]Item{itemA, {s.Attr(b).Name, vb}})
+				}
+			}
+		}
+	}
+	for k, classHits := range hit {
+		for cKey, sup := range classHits {
+			if sup < cfg.MinSupport {
+				continue
+			}
+			conf := float64(sup) / float64(count[k])
+			if conf < cfg.MinConfidence {
+				continue
+			}
+			p.Rules = append(p.Rules, Rule{
+				Antecedent: repr[k],
+				TargetAttr: target,
+				Consequent: consVal[cKey],
+				Support:    sup,
+				Confidence: conf,
+			})
+		}
+	}
+	sort.Slice(p.Rules, func(i, j int) bool {
+		if p.Rules[i].Confidence != p.Rules[j].Confidence {
+			return p.Rules[i].Confidence > p.Rules[j].Confidence
+		}
+		return p.Rules[i].Support > p.Rules[j].Support
+	})
+	return p, nil
+}
+
+func itemsKey(items []Item) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = it.Attr + "\x1e" + it.Value.Key()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x1f")
+}
+
+// Predict returns a distribution over the target's values for tuple t:
+// confidence-weighted votes of the matching rules, falling back to the
+// training prior when no rule fires (the sparse-sample failure mode).
+func (p *Predictor) Predict(s *relation.Schema, t relation.Tuple) nbc.Distribution {
+	weights := make([]float64, len(p.classes))
+	idx := make(map[string]int, len(p.classes))
+	for i, c := range p.classes {
+		idx[c.Key()] = i
+	}
+	fired := false
+	for _, r := range p.Rules {
+		if !p.antecedentMatches(r, s, t) {
+			continue
+		}
+		if i, ok := idx[r.Consequent.Key()]; ok {
+			weights[i] += r.Confidence
+			fired = true
+		}
+	}
+	if !fired {
+		copy(weights, p.prior)
+	}
+	return nbc.NewDistribution(p.classes, weights)
+}
+
+func (p *Predictor) antecedentMatches(r Rule, s *relation.Schema, t relation.Tuple) bool {
+	for _, it := range r.Antecedent {
+		i, ok := s.Index(it.Attr)
+		if !ok || !t[i].Equal(it.Value) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+package assocrule
+
+import (
+	"math"
+	"testing"
+
+	"qpiad/internal/relation"
+)
+
+func carsRel() *relation.Relation {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "make", Kind: relation.KindString},
+		relation.Attribute{Name: "model", Kind: relation.KindString},
+		relation.Attribute{Name: "body_style", Kind: relation.KindString},
+	)
+	r := relation.New("cars", s)
+	add := func(n int, make, model, style string) {
+		for i := 0; i < n; i++ {
+			r.MustInsert(relation.Tuple{relation.String(make), relation.String(model), relation.String(style)})
+		}
+	}
+	add(18, "BMW", "Z4", "Convt")
+	add(2, "BMW", "Z4", "Coupe")
+	add(10, "Honda", "Civic", "Sedan")
+	return r
+}
+
+func TestTrainMinesExpectedRules(t *testing.T) {
+	p, err := Train(carsRel(), "body_style", Config{MinSupport: 3, MinConfidence: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range p.Rules {
+		if len(r.Antecedent) == 1 &&
+			r.Antecedent[0].Attr == "model" &&
+			r.Antecedent[0].Value.Str() == "Z4" &&
+			r.Consequent.Str() == "Convt" {
+			found = true
+			if math.Abs(r.Confidence-0.9) > 1e-9 {
+				t.Errorf("conf(Z4=>Convt) = %v, want 0.9", r.Confidence)
+			}
+			if r.Support != 18 {
+				t.Errorf("support = %d, want 18", r.Support)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("Z4=>Convt rule not mined; rules: %v", p.Rules)
+	}
+	// Low-confidence Z4=>Coupe (0.1) must be filtered.
+	for _, r := range p.Rules {
+		if r.Consequent.Str() == "Coupe" {
+			t.Errorf("low-confidence rule should be filtered: %v", r)
+		}
+	}
+}
+
+func TestPredictVotes(t *testing.T) {
+	r := carsRel()
+	p, err := Train(r, "body_style", Config{MinSupport: 3, MinConfidence: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.Tuple{relation.String("BMW"), relation.String("Z4"), relation.Null()}
+	d := p.Predict(r.Schema, tu)
+	top, _, ok := d.Top()
+	if !ok || top.Str() != "Convt" {
+		t.Errorf("predicted %v", top)
+	}
+}
+
+func TestPredictFallsBackToPrior(t *testing.T) {
+	r := carsRel()
+	p, err := Train(r, "body_style", Config{MinSupport: 3, MinConfidence: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tuple matching no rule antecedent: unseen make & model.
+	tu := relation.Tuple{relation.String("Tesla"), relation.String("ModelS"), relation.Null()}
+	d := p.Predict(r.Schema, tu)
+	// Prior: Convt 18/30, Sedan 10/30, Coupe 2/30.
+	if got := d.Prob(relation.String("Convt")); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("prior fallback P(Convt) = %v, want 0.6", got)
+	}
+}
+
+func TestPairAntecedents(t *testing.T) {
+	p, err := Train(carsRel(), "body_style", Config{MinSupport: 3, MinConfidence: 0.6, MaxAntecedent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPair := false
+	for _, r := range p.Rules {
+		if len(r.Antecedent) == 2 {
+			foundPair = true
+		}
+	}
+	if !foundPair {
+		t.Error("pair antecedent rules expected")
+	}
+	// MaxAntecedent=1 must produce no pairs.
+	p1, _ := Train(carsRel(), "body_style", Config{MinSupport: 3, MinConfidence: 0.6, MaxAntecedent: 1})
+	for _, r := range p1.Rules {
+		if len(r.Antecedent) > 1 {
+			t.Errorf("pair rule with MaxAntecedent=1: %v", r)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(carsRel(), "nope", Config{}); err == nil {
+		t.Error("unknown target should error")
+	}
+	s := relation.MustSchema(relation.Attribute{Name: "a", Kind: relation.KindString})
+	empty := relation.New("e", s)
+	if _, err := Train(empty, "a", Config{}); err == nil {
+		t.Error("empty sample should error")
+	}
+}
+
+func TestNullAntecedentsSkipped(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "x", Kind: relation.KindString},
+		relation.Attribute{Name: "y", Kind: relation.KindString},
+	)
+	r := relation.New("r", s)
+	for i := 0; i < 5; i++ {
+		r.MustInsert(relation.Tuple{relation.Null(), relation.String("v")})
+	}
+	for i := 0; i < 5; i++ {
+		r.MustInsert(relation.Tuple{relation.String("a"), relation.String("v")})
+	}
+	p, err := Train(r, "y", Config{MinSupport: 2, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rule := range p.Rules {
+		for _, it := range rule.Antecedent {
+			if it.Value.IsNull() {
+				t.Errorf("null antecedent mined: %v", rule)
+			}
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Antecedent: []Item{{"model", relation.String("Z4")}},
+		TargetAttr: "body_style",
+		Consequent: relation.String("Convt"),
+		Support:    18,
+		Confidence: 0.9,
+	}
+	want := "{model=Z4} => body_style=Convt (sup=18 conf=0.900)"
+	if r.String() != want {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+func TestRulesSortedByConfidence(t *testing.T) {
+	p, err := Train(carsRel(), "body_style", Config{MinSupport: 2, MinConfidence: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p.Rules); i++ {
+		if p.Rules[i-1].Confidence < p.Rules[i].Confidence {
+			t.Fatal("rules not sorted by confidence desc")
+		}
+	}
+}

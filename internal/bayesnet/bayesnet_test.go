@@ -1,0 +1,190 @@
+package bayesnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qpiad/internal/relation"
+)
+
+// tanRel builds a relation where (a) model determines make, (b) model
+// strongly predicts body_style — so the Chow-Liu tree should link
+// model and make.
+func tanRel(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	s := relation.MustSchema(
+		relation.Attribute{Name: "make", Kind: relation.KindString},
+		relation.Attribute{Name: "model", Kind: relation.KindString},
+		relation.Attribute{Name: "year", Kind: relation.KindInt},
+		relation.Attribute{Name: "body_style", Kind: relation.KindString},
+	)
+	models := []struct{ model, make, style string }{
+		{"Z4", "BMW", "Convt"},
+		{"Civic", "Honda", "Sedan"},
+		{"Camry", "Toyota", "Sedan"},
+		{"Boxster", "Porsche", "Convt"},
+	}
+	styles := []string{"Convt", "Sedan", "Coupe"}
+	r := relation.New("cars", s)
+	for i := 0; i < n; i++ {
+		m := models[rng.Intn(len(models))]
+		style := m.style
+		if rng.Float64() < 0.1 {
+			style = styles[rng.Intn(len(styles))]
+		}
+		r.MustInsert(relation.Tuple{
+			relation.String(m.make),
+			relation.String(m.model),
+			relation.Int(int64(1998 + rng.Intn(8))),
+			relation.String(style),
+		})
+	}
+	return r
+}
+
+func TestTrainAndPredict(t *testing.T) {
+	r := tanRel(800, 3)
+	c, err := Train(r, "body_style", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Predict(r.Schema, relation.Tuple{
+		relation.String("BMW"), relation.String("Z4"), relation.Int(2001), relation.Null(),
+	})
+	top, p, ok := d.Top()
+	if !ok || top.Str() != "Convt" {
+		t.Fatalf("predict Z4 = %v (ok=%v)", top, ok)
+	}
+	if p < 0.5 {
+		t.Errorf("P(Convt|Z4 evidence) = %v, want > 0.5", p)
+	}
+}
+
+func TestTreeLinksCorrelatedFeatures(t *testing.T) {
+	r := tanRel(800, 5)
+	c, err := Train(r, "body_style", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// model and make are deterministic copies; the MI tree must connect
+	// them directly (in either direction).
+	linked := false
+	for _, e := range c.TreeEdges() {
+		if e == "model -> make" || e == "make -> model" {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Errorf("tree should link make and model: %v", c.TreeEdges())
+	}
+}
+
+func TestTreeIsSpanning(t *testing.T) {
+	r := tanRel(400, 7)
+	c, err := Train(r, "body_style", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := 0
+	for _, p := range c.Parent {
+		if p == -1 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("spanning tree must have exactly one root, got %d", roots)
+	}
+	if len(c.TreeEdges()) != len(c.Features)-1 {
+		t.Errorf("tree has %d edges, want %d", len(c.TreeEdges()), len(c.Features)-1)
+	}
+}
+
+func TestPredictIsDistribution(t *testing.T) {
+	r := tanRel(400, 9)
+	c, err := Train(r, "body_style", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []relation.Tuple{
+		{relation.String("BMW"), relation.String("Z4"), relation.Int(2001), relation.Null()},
+		{relation.Null(), relation.String("Z4"), relation.Null(), relation.Null()},
+		{relation.Null(), relation.Null(), relation.Null(), relation.Null()},
+		{relation.String("Unseen"), relation.String("Unseen"), relation.Int(1900), relation.Null()},
+	}
+	for _, tu := range cases {
+		d := c.Predict(r.Schema, tu)
+		sum := 0.0
+		for i := 0; i < d.Len(); i++ {
+			p := d.ProbAt(i)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("bad probability %v for %v", p, tu)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("sum %v for %v", sum, tu)
+		}
+	}
+}
+
+func TestNullParentFallsBack(t *testing.T) {
+	r := tanRel(400, 11)
+	c, err := Train(r, "body_style", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evidence on model only; make (possibly model's tree child/parent)
+	// null. Prediction must still work and favor Convt for Z4.
+	d := c.Predict(r.Schema, relation.Tuple{
+		relation.Null(), relation.String("Z4"), relation.Null(), relation.Null(),
+	})
+	if top, _, _ := d.Top(); top.Str() != "Convt" {
+		t.Errorf("null-parent prediction top = %v", top)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	r := tanRel(50, 13)
+	if _, err := Train(r, "nope", Config{}); err == nil {
+		t.Error("unknown target should error")
+	}
+	s := relation.MustSchema(
+		relation.Attribute{Name: "a", Kind: relation.KindString},
+		relation.Attribute{Name: "b", Kind: relation.KindString},
+	)
+	empty := relation.New("e", s)
+	if _, err := Train(empty, "a", Config{}); err == nil {
+		t.Error("empty sample should error")
+	}
+}
+
+func TestClassesAccessor(t *testing.T) {
+	r := tanRel(200, 15)
+	c, err := Train(r, "make", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Classes()) != 4 {
+		t.Errorf("classes = %v", c.Classes())
+	}
+}
+
+func TestMaxSpanningTreeShape(t *testing.T) {
+	w := [][]float64{
+		{0, 5, 1},
+		{5, 0, 2},
+		{1, 2, 0},
+	}
+	p := maxSpanningTree(3, w)
+	if p[0] != -1 {
+		t.Errorf("root parent = %d", p[0])
+	}
+	// Edges chosen: 0-1 (5) and 1-2 (2).
+	if p[1] != 0 || p[2] != 1 {
+		t.Errorf("parents = %v, want [-1 0 1]", p)
+	}
+	if got := maxSpanningTree(0, nil); len(got) != 0 {
+		t.Errorf("empty tree = %v", got)
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"qpiad/internal/relation"
+)
+
+// InclusionRule selects how a rewritten query's aggregate contribution is
+// combined with the certain aggregate (Section 4.4).
+type InclusionRule uint8
+
+const (
+	// RuleArgmax includes a rewritten query's entire aggregate iff the most
+	// likely predicted value of the constrained attribute equals (satisfies)
+	// the original predicate — the paper's choice.
+	RuleArgmax InclusionRule = iota
+	// RuleFractional includes precision × aggregate for every rewritten
+	// query — the footnote-4 alternative the paper reports as less
+	// accurate; kept as an ablation.
+	RuleFractional
+)
+
+// String names the rule.
+func (r InclusionRule) String() string {
+	switch r {
+	case RuleArgmax:
+		return "argmax"
+	case RuleFractional:
+		return "fractional"
+	default:
+		return fmt.Sprintf("rule(%d)", uint8(r))
+	}
+}
+
+// AggOptions tunes aggregate processing.
+type AggOptions struct {
+	// IncludePossible adds contributions from rewritten queries (incomplete
+	// tuples). False reproduces the "no prediction" baseline that ignores
+	// incomplete tuples.
+	IncludePossible bool
+	// PredictMissing substitutes predicted values when the aggregated
+	// attribute itself is null in a contributing tuple (both in the certain
+	// and the possible sets). Without it such tuples are skipped, as in
+	// plain SQL.
+	PredictMissing bool
+	// Rule selects the combination rule for possible contributions.
+	Rule InclusionRule
+}
+
+// AggAnswer is the outcome of an aggregate query over an incomplete source.
+type AggAnswer struct {
+	// Certain is the aggregate over the certain answers only.
+	Certain float64
+	// Possible is the contribution from incomplete tuples retrieved by
+	// rewritten queries.
+	Possible float64
+	// Total is the combined aggregate reported to the user.
+	Total float64
+	// CertainRows / PossibleRows count the contributing tuples.
+	CertainRows  int
+	PossibleRows int
+	// Included are the rewritten queries whose results were combined.
+	Included []RewrittenQuery
+}
+
+// QueryAggregate processes an aggregate query (q.Agg != nil) per Section
+// 4.4: compute the aggregate over the certain answers, then — when
+// IncludePossible — generate rewritten queries and fold in the aggregate of
+// each rewrite whose predicted most-likely value satisfies the original
+// predicate (RuleArgmax) or a precision-weighted fraction (RuleFractional).
+func (m *Mediator) QueryAggregate(srcName string, q relation.Query, opts AggOptions) (*AggAnswer, error) {
+	if q.Agg == nil {
+		return nil, fmt.Errorf("core: QueryAggregate needs an aggregate query")
+	}
+	src, ok := m.sources[srcName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %q", srcName)
+	}
+	k := m.knowledge[srcName]
+	if k == nil {
+		return nil, fmt.Errorf("core: no knowledge mined for source %q", srcName)
+	}
+	agg := *q.Agg
+	if agg.Attr != "" && !src.Schema().Has(agg.Attr) {
+		return nil, fmt.Errorf("core: aggregate attribute %q not in source %q", agg.Attr, srcName)
+	}
+
+	base, err := src.Query(q)
+	if err != nil {
+		return nil, fmt.Errorf("core: base query: %w", err)
+	}
+	out := &AggAnswer{}
+	certain, rows, err := m.aggregateOver(src.Schema(), k, agg, base, opts.PredictMissing)
+	if err != nil {
+		return nil, err
+	}
+	out.Certain = certain
+	out.CertainRows = rows
+
+	if opts.IncludePossible {
+		cands := m.generateRewrites(k, q, base, src.Schema())
+		chosen := m.scoreAndSelect(cands)
+		seen := make(map[string]bool, len(base))
+		for _, t := range base {
+			seen[t.Key()] = true
+		}
+		for _, rq := range chosen {
+			include, weight := m.shouldInclude(rq, opts.Rule)
+			if !include {
+				continue
+			}
+			rows, err := src.Query(rq.Query)
+			if err != nil {
+				continue
+			}
+			tcol, ok := src.Schema().Index(rq.TargetAttr)
+			if !ok {
+				continue
+			}
+			var contrib []relation.Tuple
+			for _, t := range rows {
+				if !t[tcol].IsNull() {
+					continue
+				}
+				key := t.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				contrib = append(contrib, t)
+			}
+			if len(contrib) == 0 {
+				continue
+			}
+			val, n, err := m.aggregateOver(src.Schema(), k, agg, contrib, opts.PredictMissing)
+			if err != nil {
+				continue
+			}
+			out.Possible += weight * val
+			out.PossibleRows += n
+			out.Included = append(out.Included, rq)
+		}
+	}
+	out.Total = out.Certain + out.Possible
+	return out, nil
+}
+
+// shouldInclude applies the inclusion rule to one rewritten query.
+func (m *Mediator) shouldInclude(rq RewrittenQuery, rule InclusionRule) (bool, float64) {
+	switch rule {
+	case RuleFractional:
+		return rq.Precision > 0, rq.Precision
+	default: // RuleArgmax
+		return rq.ModeSatisfiesPred, 1
+	}
+}
+
+// aggregateOver evaluates agg over tuples, optionally predicting values
+// null on the aggregated attribute (argmax completion) instead of skipping
+// them.
+func (m *Mediator) aggregateOver(s *relation.Schema, k *Knowledge, agg relation.Aggregate, tuples []relation.Tuple, predictMissing bool) (float64, int, error) {
+	if !predictMissing || agg.Attr == "" {
+		res, err := agg.Apply(s, tuples)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Value, res.Rows, nil
+	}
+	col, ok := s.Index(agg.Attr)
+	if !ok {
+		return 0, 0, fmt.Errorf("core: aggregate attribute %q missing", agg.Attr)
+	}
+	p := k.Predictors[agg.Attr]
+	completed := make([]relation.Tuple, 0, len(tuples))
+	for _, t := range tuples {
+		if !t[col].IsNull() || p == nil {
+			completed = append(completed, t)
+			continue
+		}
+		guess, _, ok := p.Predict(s, t).Top()
+		if !ok {
+			completed = append(completed, t)
+			continue
+		}
+		ct := t.Clone()
+		ct[col] = guess
+		completed = append(completed, ct)
+	}
+	res, err := agg.Apply(s, completed)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Value, res.Rows, nil
+}

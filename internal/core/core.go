@@ -1,0 +1,234 @@
+// Package core implements QPIAD's primary contribution: retrieving relevant
+// possible answers from incomplete autonomous databases by query rewriting
+// and ranking (Section 4 of the paper).
+//
+// Given a user query, the mediator first retrieves the certain answers
+// (the base result set), then generates rewritten queries from the distinct
+// determining-set value combinations in the base set — one rewrite family
+// per constrained attribute, driven by that attribute's highest-confidence
+// mined AFD. Rewrites are scored with
+//
+//	precision  = P(constrained attribute satisfies the original predicate |
+//	             determining-set values)        — from the NBC predictor
+//	selectivity = SmplSel × SmplRatio × PerInc  — from the sample
+//	recall     = normalized expected throughput (precision × selectivity)
+//	F(α)       = (1+α)·P·R / (α·P + R)
+//
+// The top-K rewrites by F-measure are issued in order of descending
+// precision, so each retrieved tuple inherits its query's precision as its
+// rank — no per-tuple re-ranking is needed (Section 4.2, step 2c).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"qpiad/internal/afd"
+	"qpiad/internal/nbc"
+	"qpiad/internal/relation"
+	"qpiad/internal/selectivity"
+	"qpiad/internal/source"
+)
+
+// Ordering selects how candidate rewrites are ranked before the top-K cut.
+type Ordering uint8
+
+const (
+	// OrderFMeasure is QPIAD's F-measure ordering (the default).
+	OrderFMeasure Ordering = iota
+	// OrderSelectivity ranks purely by estimated selectivity — an ablation
+	// showing why precision must participate.
+	OrderSelectivity
+	// OrderArbitrary ranks by query key — a deterministic stand-in for "no
+	// intelligent ordering", the other ablation endpoint.
+	OrderArbitrary
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case OrderFMeasure:
+		return "f-measure"
+	case OrderSelectivity:
+		return "selectivity"
+	case OrderArbitrary:
+		return "arbitrary"
+	default:
+		return fmt.Sprintf("ordering(%d)", uint8(o))
+	}
+}
+
+// Config tunes the mediator's rewriting and ranking.
+type Config struct {
+	// Alpha is the F-measure weight α: 0 ranks purely by precision, 1
+	// weighs precision and recall equally, >1 favors recall (Section 4.1).
+	Alpha float64
+	// K is the number of rewritten queries issued per user query
+	// (per constrained attribute family combined). K <= 0 means unlimited.
+	K int
+	// Ordering overrides the rewrite-ordering policy (ablation hook;
+	// the zero value is QPIAD's F-measure ordering).
+	Ordering Ordering
+	// Parallel bounds how many rewritten queries are issued to a source
+	// concurrently. Web-source latency dominates mediator cost, so issuing
+	// the chosen top-K in parallel cuts wall-clock time without changing
+	// results: answers are still assembled in precision order. 0 or 1 is
+	// sequential.
+	Parallel int
+}
+
+// DefaultConfig matches the paper's experimental defaults (α = 0, K = 10).
+func DefaultConfig() Config { return Config{Alpha: 0, K: 10} }
+
+// Knowledge bundles everything QPIAD mines offline about one source
+// (Section 5): AFDs, per-attribute value-distribution predictors, and the
+// selectivity estimator over the probed sample.
+type Knowledge struct {
+	// Source is the name of the source the sample was probed from.
+	Source string
+	// Sample is the probed sample relation.
+	Sample *relation.Relation
+	// AFDs is the mined dependency set.
+	AFDs *afd.Result
+	// Predictors maps each attribute to its trained value-distribution
+	// predictor. Attributes whose training failed (e.g. all-null in the
+	// sample) are absent.
+	Predictors map[string]*nbc.Predictor
+	// Sel estimates rewritten-query selectivity.
+	Sel *selectivity.Estimator
+}
+
+// KnowledgeConfig tunes offline mining.
+type KnowledgeConfig struct {
+	// AFD configures dependency mining.
+	AFD afd.Config
+	// Predictor configures classifier construction (mode, thresholds,
+	// m-estimate).
+	Predictor nbc.PredictorConfig
+}
+
+// MineKnowledge mines AFDs, trains one predictor per attribute, and builds
+// the selectivity estimator from a probed sample. ratio is SmplRatio(R) and
+// perInc is PerInc(R), both produced by the sampling step.
+func MineKnowledge(sourceName string, smpl *relation.Relation, ratio, perInc float64, cfg KnowledgeConfig) (*Knowledge, error) {
+	if smpl == nil || smpl.Len() == 0 {
+		return nil, fmt.Errorf("core: empty sample for source %s", sourceName)
+	}
+	sel, err := selectivity.New(smpl, ratio, perInc)
+	if err != nil {
+		return nil, err
+	}
+	k := &Knowledge{
+		Source:     sourceName,
+		Sample:     smpl,
+		AFDs:       afd.Mine(smpl, cfg.AFD),
+		Predictors: make(map[string]*nbc.Predictor, smpl.Schema.Len()),
+		Sel:        sel,
+	}
+	for _, attr := range smpl.Schema.Names() {
+		p, err := nbc.TrainPredictor(smpl, attr, k.AFDs, cfg.Predictor)
+		if err != nil {
+			// An attribute that cannot be learned (e.g. always null in the
+			// sample) simply has no predictor; queries constraining it fall
+			// back to certain answers only.
+			continue
+		}
+		k.Predictors[attr] = p
+	}
+	return k, nil
+}
+
+// Answer is one tuple returned to the user with its relevance assessment.
+type Answer struct {
+	// Tuple is the answer tuple, in the source's local schema.
+	Tuple relation.Tuple
+	// Source names the source the tuple came from (set on global-schema
+	// queries, empty on single-source paths where the ResultSet carries it).
+	Source string
+	// Certain reports whether the tuple exactly satisfies the user query.
+	Certain bool
+	// Confidence is the assessed degree of relevance: 1 for certain
+	// answers, the retrieving query's precision for possible answers.
+	Confidence float64
+	// FromQuery is the (possibly rewritten) query that retrieved the tuple.
+	FromQuery relation.Query
+	// Explanation justifies the relevance assessment, citing the AFD used
+	// (the QPIAD UI's "snippets of its reasoning").
+	Explanation string
+}
+
+// ResultSet is the full outcome of a selection query.
+type ResultSet struct {
+	// Query is the original user query.
+	Query relation.Query
+	// Source is the queried source's name.
+	Source string
+	// Certain holds the base result set RS(Q).
+	Certain []Answer
+	// Possible holds the ranked relevant possible answers, in retrieval
+	// order (descending retrieving-query precision).
+	Possible []Answer
+	// Unranked holds tuples with more than one null over the query
+	// constrained attributes, output after the ranked answers (see the
+	// paper's Assumptions paragraph).
+	Unranked []Answer
+	// Issued are the rewritten queries actually sent, in issue order.
+	Issued []RewrittenQuery
+	// Generated is the number of candidate rewrites before top-K selection.
+	Generated int
+}
+
+// Mediator coordinates sources and their mined knowledge.
+type Mediator struct {
+	cfg       Config
+	sources   map[string]*source.Source
+	knowledge map[string]*Knowledge
+}
+
+// New creates a mediator.
+func New(cfg Config) *Mediator {
+	return &Mediator{
+		cfg:       cfg,
+		sources:   make(map[string]*source.Source),
+		knowledge: make(map[string]*Knowledge),
+	}
+}
+
+// Config returns the mediator's configuration.
+func (m *Mediator) Config() Config { return m.cfg }
+
+// SetConfig replaces the rewriting/ranking configuration (α and K are
+// user- and source-dependent knobs; see Section 4.1).
+func (m *Mediator) SetConfig(cfg Config) { m.cfg = cfg }
+
+// Register adds a source with its mined knowledge. Knowledge may be nil for
+// sources that are only ever queried through correlated knowledge
+// (Section 4.3).
+func (m *Mediator) Register(src *source.Source, k *Knowledge) {
+	m.sources[src.Name()] = src
+	if k != nil {
+		m.knowledge[src.Name()] = k
+	}
+}
+
+// Source returns a registered source.
+func (m *Mediator) Source(name string) (*source.Source, bool) {
+	s, ok := m.sources[name]
+	return s, ok
+}
+
+// Knowledge returns a source's mined knowledge.
+func (m *Mediator) Knowledge(name string) (*Knowledge, bool) {
+	k, ok := m.knowledge[name]
+	return k, ok
+}
+
+// SourceNames lists registered sources in sorted order.
+func (m *Mediator) SourceNames() []string {
+	out := make([]string, 0, len(m.sources))
+	for n := range m.sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

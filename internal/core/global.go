@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"qpiad/internal/relation"
+)
+
+// GlobalResult is the outcome of a global-schema query fanned out across
+// every registered source.
+type GlobalResult struct {
+	// Query is the original user query.
+	Query relation.Query
+	// Certain are the certain answers from all sources, tagged with their
+	// origin, in source order.
+	Certain []Answer
+	// Possible are the possible answers from all sources, merged and
+	// sorted by descending confidence.
+	Possible []Answer
+	// Unranked is the multi-null tail across sources.
+	Unranked []Answer
+	// PerSource records each source's individual result (including
+	// failures, as nil entries alongside Errors).
+	PerSource map[string]*ResultSet
+	// Errors records sources that could not serve the query at all
+	// (e.g. no knowledge and no correlated plan).
+	Errors map[string]error
+}
+
+// QuerySelectGlobal runs a selection query on the mediator's global schema
+// against every registered source: sources that support all constrained
+// attributes and have mined knowledge are queried directly (Section 4.2);
+// sources lacking a constrained attribute are queried through correlated
+// knowledge (Section 4.3). Possible answers are merged across sources by
+// descending confidence. At least one source must succeed, otherwise an
+// error summarizing the per-source failures is returned.
+func (m *Mediator) QuerySelectGlobal(q relation.Query) (*GlobalResult, error) {
+	out := &GlobalResult{
+		Query:     q,
+		PerSource: make(map[string]*ResultSet),
+		Errors:    make(map[string]error),
+	}
+	names := m.SourceNames()
+	for _, name := range names {
+		src := m.sources[name]
+		supportsAll := true
+		for _, attr := range q.ConstrainedAttrs() {
+			if !src.Supports(attr) {
+				supportsAll = false
+				break
+			}
+		}
+		var (
+			rs  *ResultSet
+			err error
+		)
+		if supportsAll && m.knowledge[name] != nil {
+			rs, err = m.QuerySelect(name, q)
+		} else if !supportsAll {
+			rs, err = m.QuerySelectCorrelated(name, q)
+		} else {
+			err = fmt.Errorf("core: source %q has no mined knowledge", name)
+		}
+		if err != nil {
+			out.Errors[name] = err
+			continue
+		}
+		out.PerSource[name] = rs
+		tag := func(answers []Answer) []Answer {
+			tagged := make([]Answer, len(answers))
+			for i, a := range answers {
+				a.Source = name
+				tagged[i] = a
+			}
+			return tagged
+		}
+		out.Certain = append(out.Certain, tag(rs.Certain)...)
+		out.Possible = append(out.Possible, tag(rs.Possible)...)
+		out.Unranked = append(out.Unranked, tag(rs.Unranked)...)
+	}
+	if len(out.PerSource) == 0 {
+		return nil, fmt.Errorf("core: no source could answer %s (%d failures)", q, len(out.Errors))
+	}
+	sort.SliceStable(out.Possible, func(i, j int) bool {
+		return out.Possible[i].Confidence > out.Possible[j].Confidence
+	})
+	return out, nil
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"qpiad/internal/nbc"
+	"qpiad/internal/relation"
+)
+
+// JoinSpec describes a two-way join query over the mediator's global schema
+// (Section 4.5): one selection per relation plus an equi-join condition.
+type JoinSpec struct {
+	// LeftSource / RightSource are registered source names.
+	LeftSource, RightSource string
+	// LeftQuery / RightQuery are the per-relation selections derived from
+	// the user's join query (Q1 and Q2 in the paper).
+	LeftQuery, RightQuery relation.Query
+	// LeftJoinAttr / RightJoinAttr are the equi-join attributes.
+	LeftJoinAttr, RightJoinAttr string
+	// Alpha overrides the mediator α for pair ordering (joins typically
+	// want more recall weight; the paper evaluates α ∈ {0, 0.5, 2}).
+	Alpha float64
+	// K is the number of query pairs to issue (10 in the paper's
+	// experiments). K <= 0 means unlimited.
+	K int
+}
+
+// queryUnit is one member of Q1∪Q1′ or Q2∪Q2′ with its ranking statistics.
+type queryUnit struct {
+	rq       RewrittenQuery // zero-valued Query for the complete query
+	complete bool
+	query    relation.Query
+	prec     float64
+	estSel   float64
+	// jd is the join-attribute value distribution JD (empirical for the
+	// complete query, predicted for rewrites).
+	jd nbc.Distribution
+}
+
+// QueryPair is a scored pair of queries, one per relation.
+type QueryPair struct {
+	Left, Right   relation.Query
+	LeftComplete  bool
+	RightComplete bool
+	Precision     float64
+	EstSel        float64
+	Recall        float64
+	F             float64
+}
+
+// JoinAnswer is one joined tuple returned to the user.
+type JoinAnswer struct {
+	Left, Right relation.Tuple
+	// JoinValue is the value the pair joined on (predicted when a side was
+	// null on its join attribute).
+	JoinValue relation.Value
+	// Certain reports that both sides were certain answers with non-null
+	// join values.
+	Certain bool
+	// Confidence multiplies the component confidences and, when a missing
+	// join value was predicted, the prediction probability.
+	Confidence float64
+}
+
+// JoinResult is the outcome of a join query.
+type JoinResult struct {
+	Spec JoinSpec
+	// Pairs are the issued query pairs in issue order.
+	Pairs []QueryPair
+	// Answers are the joined tuples, certain first, then by descending
+	// confidence.
+	Answers []JoinAnswer
+}
+
+// QueryJoin processes a join query per Section 4.5: retrieve both base
+// sets, generate rewrites on each side, score all query pairs by combined
+// precision and join-aware estimated selectivity, issue the top-K pairs,
+// and join their results — predicting missing join values with the NBC
+// predictors.
+func (m *Mediator) QueryJoin(spec JoinSpec) (*JoinResult, error) {
+	ls, ok := m.sources[spec.LeftSource]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %q", spec.LeftSource)
+	}
+	rsrc, ok := m.sources[spec.RightSource]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %q", spec.RightSource)
+	}
+	lk := m.knowledge[spec.LeftSource]
+	rk := m.knowledge[spec.RightSource]
+	if lk == nil || rk == nil {
+		return nil, fmt.Errorf("core: join requires knowledge for both sources")
+	}
+	if !ls.Schema().Has(spec.LeftJoinAttr) || !rsrc.Schema().Has(spec.RightJoinAttr) {
+		return nil, fmt.Errorf("core: join attributes %q/%q not present", spec.LeftJoinAttr, spec.RightJoinAttr)
+	}
+
+	// Step 1: base sets.
+	lbase, err := ls.Query(spec.LeftQuery)
+	if err != nil {
+		return nil, fmt.Errorf("core: left base query: %w", err)
+	}
+	rbase, err := rsrc.Query(spec.RightQuery)
+	if err != nil {
+		return nil, fmt.Errorf("core: right base query: %w", err)
+	}
+
+	// Step 2: rewrites per side.
+	lunits := m.buildUnits(lk, spec.LeftQuery, lbase, ls.Schema(), spec.LeftJoinAttr)
+	runits := m.buildUnits(rk, spec.RightQuery, rbase, rsrc.Schema(), spec.RightJoinAttr)
+
+	// Step 3+4: score all pairs, keep top-K.
+	pairs := scorePairs(lunits, runits, spec.Alpha, spec.K)
+
+	res := &JoinResult{Spec: spec}
+
+	// Step 5: issue component queries once each.
+	type sideResult struct {
+		answers []Answer
+	}
+	leftResults := make(map[string]*sideResult)
+	rightResults := make(map[string]*sideResult)
+	fetch := func(u queryUnit, src interface {
+		Query(relation.Query) ([]relation.Tuple, error)
+		Schema() *relation.Schema
+	}, cache map[string]*sideResult, base []relation.Tuple) *sideResult {
+		key := u.query.Key()
+		if sr, ok := cache[key]; ok {
+			return sr
+		}
+		sr := &sideResult{}
+		if u.complete {
+			for _, t := range base {
+				sr.answers = append(sr.answers, Answer{Tuple: t, Certain: true, Confidence: 1, FromQuery: u.query})
+			}
+		} else {
+			rows, err := src.Query(u.query)
+			if err == nil {
+				tcol, ok := src.Schema().Index(u.rq.TargetAttr)
+				if ok {
+					for _, t := range rows {
+						if !t[tcol].IsNull() {
+							continue
+						}
+						sr.answers = append(sr.answers, Answer{
+							Tuple:       t,
+							Confidence:  u.rq.Precision,
+							FromQuery:   u.query,
+							Explanation: u.rq.Explanation,
+						})
+					}
+				}
+			}
+		}
+		cache[key] = sr
+		return sr
+	}
+
+	lcol := ls.Schema().MustIndex(spec.LeftJoinAttr)
+	rcol := rsrc.Schema().MustIndex(spec.RightJoinAttr)
+	lpred := lk.Predictors[spec.LeftJoinAttr]
+	rpred := rk.Predictors[spec.RightJoinAttr]
+	seenJoin := make(map[string]bool)
+
+	for _, sp := range pairs {
+		lu, ru := sp.left, sp.right
+		res.Pairs = append(res.Pairs, sp.pair)
+		lres := fetch(lu, ls, leftResults, lbase)
+		rres := fetch(ru, rsrc, rightResults, rbase)
+
+		// Step 6: hash join with missing-value prediction.
+		index := make(map[string][]joinSide, len(rres.answers))
+		for _, ra := range rres.answers {
+			v := ra.Tuple[rcol]
+			conf := ra.Confidence
+			if v.IsNull() {
+				if rpred == nil {
+					continue
+				}
+				guess, p, ok := rpred.Predict(rsrc.Schema(), ra.Tuple).Top()
+				if !ok {
+					continue
+				}
+				v = guess
+				conf *= p
+			}
+			index[v.Key()] = append(index[v.Key()], joinSide{ans: ra, val: v, conf: conf})
+		}
+		for _, la := range lres.answers {
+			v := la.Tuple[lcol]
+			conf := la.Confidence
+			if v.IsNull() {
+				if lpred == nil {
+					continue
+				}
+				guess, p, ok := lpred.Predict(ls.Schema(), la.Tuple).Top()
+				if !ok {
+					continue
+				}
+				v = guess
+				conf *= p
+			}
+			for _, rsd := range index[v.Key()] {
+				key := la.Tuple.Key() + "\x1f" + rsd.ans.Tuple.Key()
+				if seenJoin[key] {
+					continue
+				}
+				seenJoin[key] = true
+				res.Answers = append(res.Answers, JoinAnswer{
+					Left:       la.Tuple,
+					Right:      rsd.ans.Tuple,
+					JoinValue:  v,
+					Certain:    la.Certain && rsd.ans.Certain && !la.Tuple[lcol].IsNull() && !rsd.ans.Tuple[rcol].IsNull(),
+					Confidence: conf * rsd.conf,
+				})
+			}
+		}
+	}
+	sort.SliceStable(res.Answers, func(i, j int) bool {
+		if res.Answers[i].Certain != res.Answers[j].Certain {
+			return res.Answers[i].Certain
+		}
+		return res.Answers[i].Confidence > res.Answers[j].Confidence
+	})
+	return res, nil
+}
+
+type joinSide struct {
+	ans  Answer
+	val  relation.Value
+	conf float64
+}
+
+// buildUnits assembles Q∪Q′ for one side of the join: the complete query
+// (precision 1, true selectivity, empirical join distribution) plus every
+// rewritten query with its predicted join-attribute distribution (step 3a).
+func (m *Mediator) buildUnits(k *Knowledge, q relation.Query, base []relation.Tuple, s *relation.Schema, joinAttr string) []queryUnit {
+	units := []queryUnit{{
+		complete: true,
+		query:    q,
+		prec:     1,
+		estSel:   float64(len(base)),
+		jd:       empiricalDistribution(s, base, joinAttr),
+	}}
+	pred := k.Predictors[joinAttr]
+	for _, rq := range m.generateRewrites(k, q, base, s) {
+		u := queryUnit{rq: rq, query: rq.Query, prec: rq.Precision, estSel: rq.EstSel}
+		switch {
+		case rq.TargetAttr == joinAttr:
+			// The rewrite retrieves tuples missing the join attribute; its
+			// join distribution is the predictor's posterior given the
+			// rewrite evidence.
+			if p := k.Predictors[joinAttr]; p != nil {
+				u.jd = p.PredictEvidence(rq.Evidence)
+			}
+		case pred != nil:
+			// Join attribute is bound or free in the rewrite: use evidence
+			// from the rewrite's equality predicates.
+			ev := make(map[string]relation.Value)
+			for _, pr := range rq.Query.Preds {
+				if pr.Op == relation.OpEq {
+					ev[pr.Attr] = pr.Value
+				}
+			}
+			u.jd = pred.PredictEvidence(ev)
+		}
+		units = append(units, u)
+	}
+	return units
+}
+
+// empiricalDistribution is the normalized join-value histogram of a base
+// set (nulls excluded).
+func empiricalDistribution(s *relation.Schema, tuples []relation.Tuple, attr string) nbc.Distribution {
+	col, ok := s.Index(attr)
+	if !ok {
+		return nbc.NewDistribution(nil, nil)
+	}
+	counts := make(map[string]float64)
+	var order []relation.Value
+	for _, t := range tuples {
+		v := t[col]
+		if v.IsNull() {
+			continue
+		}
+		if _, seen := counts[v.Key()]; !seen {
+			order = append(order, v)
+		}
+		counts[v.Key()]++
+	}
+	weights := make([]float64, len(order))
+	for i, v := range order {
+		weights[i] = counts[v.Key()]
+	}
+	return nbc.NewDistribution(order, weights)
+}
+
+// scoredPair couples a QueryPair with its source units.
+type scoredPair struct {
+	pair  QueryPair
+	left  queryUnit
+	right queryUnit
+}
+
+// scorePairs implements steps 3(b), 3(c) and 4: per-value estimated
+// selectivities, pair selectivity as the sum of matching-value products,
+// pair precision as the product of component precisions, recall normalized
+// over all pairs, and F-measure top-K selection.
+func scorePairs(lunits, runits []queryUnit, alpha float64, k int) []scoredPair {
+	var pairs []scoredPair
+	for _, lu := range lunits {
+		for _, ru := range runits {
+			estSel := 0.0
+			for i := 0; i < lu.jd.Len(); i++ {
+				v := lu.jd.Value(i)
+				pr := ru.jd.Prob(v)
+				if pr == 0 {
+					continue
+				}
+				// EstSel(qp, vj) = precision × selectivity × P(vj), per side.
+				estSel += (lu.prec * lu.estSel * lu.jd.ProbAt(i)) * (ru.prec * ru.estSel * pr)
+			}
+			pairs = append(pairs, scoredPair{
+				pair: QueryPair{
+					Left:          lu.query,
+					Right:         ru.query,
+					LeftComplete:  lu.complete,
+					RightComplete: ru.complete,
+					Precision:     lu.prec * ru.prec,
+					EstSel:        estSel,
+				},
+				left:  lu,
+				right: ru,
+			})
+		}
+	}
+	total := 0.0
+	for _, p := range pairs {
+		total += p.pair.Precision * p.pair.EstSel
+	}
+	for i := range pairs {
+		if total > 0 {
+			pairs[i].pair.Recall = pairs[i].pair.Precision * pairs[i].pair.EstSel / total
+		}
+		pairs[i].pair.F = fMeasure(pairs[i].pair.Precision, pairs[i].pair.Recall, alpha)
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].pair.F != pairs[j].pair.F {
+			return pairs[i].pair.F > pairs[j].pair.F
+		}
+		if pairs[i].pair.Precision != pairs[j].pair.Precision {
+			return pairs[i].pair.Precision > pairs[j].pair.Precision
+		}
+		return pairs[i].pair.Left.Key()+pairs[i].pair.Right.Key() <
+			pairs[j].pair.Left.Key()+pairs[j].pair.Right.Key()
+	})
+	if k > 0 && len(pairs) > k {
+		pairs = pairs[:k]
+	}
+	return pairs
+}

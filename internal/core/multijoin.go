@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"qpiad/internal/relation"
+)
+
+// ChainSpec describes an n-way chain join R1 ⋈ R2 ⋈ … ⋈ Rn over
+// incomplete autonomous sources — the multi-way generalization the paper's
+// footnote 5 claims for its two-way technique. Adjacent relations join on
+// one attribute pair each.
+type ChainSpec struct {
+	// Sources are the n registered source names, in chain order.
+	Sources []string
+	// Queries are the per-relation selections (may be empty selections).
+	Queries []relation.Query
+	// JoinAttrs[i] joins Sources[i] (left attr) with Sources[i+1] (right
+	// attr); len(JoinAttrs) == n−1.
+	JoinAttrs [][2]string
+	// Alpha weighs the F-measure for pair ordering at every adjacency.
+	Alpha float64
+	// K is the query-pair budget per adjacency (as in the two-way case).
+	K int
+}
+
+// ChainAnswer is one joined chain: a tuple from each source.
+type ChainAnswer struct {
+	// Tuples holds one tuple per source, in chain order.
+	Tuples []relation.Tuple
+	// Certain reports that every member is a certain answer joined on
+	// non-null values.
+	Certain bool
+	// Confidence multiplies the member confidences and any join-value
+	// prediction probabilities.
+	Confidence float64
+}
+
+// ChainResult is the outcome of a chain join.
+type ChainResult struct {
+	Spec ChainSpec
+	// Answers are ranked certain-first, then by descending confidence.
+	Answers []ChainAnswer
+	// PairsPerAdjacency records how many query pairs each adjacency issued.
+	PairsPerAdjacency []int
+}
+
+// QueryJoinChain processes an n-way chain join. Each adjacency is planned
+// exactly like a two-way join (Section 4.5): complete queries plus
+// rewrites on both sides, pair scoring over join-attribute distributions,
+// top-K pair selection. The union of selected component queries per source
+// determines what is retrieved; the retrieved answer sets are then chained
+// with a hash join per adjacency, predicting missing join values with the
+// NBC predictors.
+func (m *Mediator) QueryJoinChain(spec ChainSpec) (*ChainResult, error) {
+	n := len(spec.Sources)
+	if n < 2 {
+		return nil, fmt.Errorf("core: chain join needs at least 2 sources, got %d", n)
+	}
+	if len(spec.Queries) != n || len(spec.JoinAttrs) != n-1 {
+		return nil, fmt.Errorf("core: chain join needs %d queries and %d join attribute pairs", n, n-1)
+	}
+	type side struct {
+		src  sourceIface
+		k    *Knowledge
+		base []relation.Tuple
+	}
+	sides := make([]side, n)
+	for i, name := range spec.Sources {
+		src, ok := m.sources[name]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown source %q", name)
+		}
+		k := m.knowledge[name]
+		if k == nil {
+			return nil, fmt.Errorf("core: no knowledge for source %q", name)
+		}
+		base, err := src.Query(spec.Queries[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: base query on %q: %w", name, err)
+		}
+		sides[i] = side{src: src, k: k, base: base}
+	}
+
+	// Plan each adjacency as a two-way join and collect, per source, the
+	// union of selected component queries.
+	selected := make([]map[string]RewrittenQuery, n) // query key -> rewrite (complete queries keyed too)
+	useComplete := make([]bool, n)
+	for i := range selected {
+		selected[i] = map[string]RewrittenQuery{}
+	}
+	res := &ChainResult{Spec: spec}
+	for a := 0; a < n-1; a++ {
+		lAttr, rAttr := spec.JoinAttrs[a][0], spec.JoinAttrs[a][1]
+		if !sides[a].src.Schema().Has(lAttr) || !sides[a+1].src.Schema().Has(rAttr) {
+			return nil, fmt.Errorf("core: adjacency %d: join attributes %q/%q not present", a, lAttr, rAttr)
+		}
+		lu := m.buildUnits(sides[a].k, spec.Queries[a], sides[a].base, sides[a].src.Schema(), lAttr)
+		ru := m.buildUnits(sides[a+1].k, spec.Queries[a+1], sides[a+1].base, sides[a+1].src.Schema(), rAttr)
+		pairs := scorePairs(lu, ru, spec.Alpha, spec.K)
+		res.PairsPerAdjacency = append(res.PairsPerAdjacency, len(pairs))
+		for _, p := range pairs {
+			if p.left.complete {
+				useComplete[a] = true
+			} else {
+				selected[a][p.left.query.Key()] = p.left.rq
+			}
+			if p.right.complete {
+				useComplete[a+1] = true
+			} else {
+				selected[a+1][p.right.query.Key()] = p.right.rq
+			}
+		}
+	}
+
+	// Retrieve per-source answer sets: certain answers when any adjacency
+	// selected the complete query, plus post-filtered rewrite results.
+	answers := make([][]Answer, n)
+	for i := 0; i < n; i++ {
+		seen := map[string]bool{}
+		if useComplete[i] {
+			for _, t := range sides[i].base {
+				if !seen[t.Key()] {
+					seen[t.Key()] = true
+					answers[i] = append(answers[i], Answer{Tuple: t, Certain: true, Confidence: 1})
+				}
+			}
+		}
+		keys := make([]string, 0, len(selected[i]))
+		for key := range selected[i] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			rq := selected[i][key]
+			rows, err := sides[i].src.Query(rq.Query)
+			if err != nil {
+				continue
+			}
+			tcol, ok := sides[i].src.Schema().Index(rq.TargetAttr)
+			if !ok {
+				continue
+			}
+			for _, t := range rows {
+				if !t[tcol].IsNull() || seen[t.Key()] {
+					continue
+				}
+				seen[t.Key()] = true
+				answers[i] = append(answers[i], Answer{
+					Tuple:       t,
+					Confidence:  rq.Precision,
+					Explanation: rq.Explanation,
+				})
+			}
+		}
+	}
+
+	// Chain hash-join left to right.
+	type partial struct {
+		tuples  []relation.Tuple
+		certain bool
+		conf    float64
+	}
+	chains := make([]partial, 0, len(answers[0]))
+	for _, a := range answers[0] {
+		chains = append(chains, partial{
+			tuples:  []relation.Tuple{a.Tuple},
+			certain: a.Certain,
+			conf:    a.Confidence,
+		})
+	}
+	for a := 0; a < n-1 && len(chains) > 0; a++ {
+		lAttr, rAttr := spec.JoinAttrs[a][0], spec.JoinAttrs[a][1]
+		lcol := sides[a].src.Schema().MustIndex(lAttr)
+		rcol := sides[a+1].src.Schema().MustIndex(rAttr)
+		lpred := sides[a].k.Predictors[lAttr]
+		rpred := sides[a+1].k.Predictors[rAttr]
+
+		// Index the right side by (possibly predicted) join value.
+		type rightEntry struct {
+			ans      Answer
+			conf     float64
+			resolved relation.Value
+			predded  bool
+		}
+		index := map[string][]rightEntry{}
+		for _, ra := range answers[a+1] {
+			v := ra.Tuple[rcol]
+			conf := ra.Confidence
+			predded := false
+			if v.IsNull() {
+				if rpred == nil {
+					continue
+				}
+				guess, p, ok := rpred.Predict(sides[a+1].src.Schema(), ra.Tuple).Top()
+				if !ok {
+					continue
+				}
+				v, conf, predded = guess, conf*p, true
+			}
+			index[v.Key()] = append(index[v.Key()], rightEntry{ra, conf, v, predded})
+		}
+
+		var next []partial
+		for _, ch := range chains {
+			last := ch.tuples[len(ch.tuples)-1]
+			v := last[lcol]
+			conf := ch.conf
+			certain := ch.certain
+			if v.IsNull() {
+				if lpred == nil {
+					continue
+				}
+				guess, p, ok := lpred.Predict(sides[a].src.Schema(), last).Top()
+				if !ok {
+					continue
+				}
+				v, conf, certain = guess, conf*p, false
+			}
+			for _, re := range index[v.Key()] {
+				tuples := make([]relation.Tuple, len(ch.tuples)+1)
+				copy(tuples, ch.tuples)
+				tuples[len(ch.tuples)] = re.ans.Tuple
+				next = append(next, partial{
+					tuples:  tuples,
+					certain: certain && re.ans.Certain && !re.predded,
+					conf:    conf * re.conf,
+				})
+			}
+		}
+		chains = next
+	}
+
+	for _, ch := range chains {
+		res.Answers = append(res.Answers, ChainAnswer{
+			Tuples:     ch.tuples,
+			Certain:    ch.certain,
+			Confidence: ch.conf,
+		})
+	}
+	sort.SliceStable(res.Answers, func(i, j int) bool {
+		if res.Answers[i].Certain != res.Answers[j].Certain {
+			return res.Answers[i].Certain
+		}
+		return res.Answers[i].Confidence > res.Answers[j].Confidence
+	})
+	return res, nil
+}
+
+// sourceIface is the slice of the source API the chain join uses.
+type sourceIface interface {
+	Query(relation.Query) ([]relation.Tuple, error)
+	Schema() *relation.Schema
+	Name() string
+}

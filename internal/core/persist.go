@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"qpiad/internal/relation"
+)
+
+// knowledgeFile is the on-disk representation of mined knowledge. The
+// expensive part of offline mining is acquiring the sample through the
+// autonomous source's restricted interface, not the computation: TANE and
+// classifier training over a mediator-scale sample run in well under a
+// second and are deterministic given the sample. The file therefore
+// persists the probed sample (as typed-header CSV), the scaling statistics
+// and the mining configuration; Load re-mines and reconstructs knowledge
+// identical to what Save saw.
+type knowledgeFile struct {
+	Version   int             `json:"version"`
+	Source    string          `json:"source"`
+	Ratio     float64         `json:"ratio"`
+	PerInc    float64         `json:"per_inc"`
+	Config    KnowledgeConfig `json:"config"`
+	SampleCSV string          `json:"sample_csv"`
+}
+
+// knowledgeFileVersion guards against future format changes.
+const knowledgeFileVersion = 1
+
+// Save writes the knowledge (sample, statistics, and mining configuration)
+// to w. cfg must be the configuration the knowledge was mined with.
+func (k *Knowledge) Save(w io.Writer, cfg KnowledgeConfig) error {
+	var csv strings.Builder
+	if err := k.Sample.WriteCSV(&csv); err != nil {
+		return fmt.Errorf("core: save knowledge: %w", err)
+	}
+	doc := knowledgeFile{
+		Version:   knowledgeFileVersion,
+		Source:    k.Source,
+		Ratio:     k.Sel.Ratio(),
+		PerInc:    k.Sel.PerInc(),
+		Config:    cfg,
+		SampleCSV: csv.String(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("core: save knowledge: %w", err)
+	}
+	return nil
+}
+
+// SaveFile is Save to a named file.
+func (k *Knowledge) SaveFile(path string, cfg KnowledgeConfig) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save knowledge: %w", err)
+	}
+	if err := k.Save(f, cfg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadKnowledge reads a knowledge file and reconstructs the mined
+// knowledge by re-mining the persisted sample under the persisted
+// configuration.
+func LoadKnowledge(r io.Reader) (*Knowledge, error) {
+	var doc knowledgeFile
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: load knowledge: %w", err)
+	}
+	if doc.Version != knowledgeFileVersion {
+		return nil, fmt.Errorf("core: load knowledge: unsupported version %d (want %d)", doc.Version, knowledgeFileVersion)
+	}
+	smpl, err := relation.ReadCSV(doc.Source+"_sample", strings.NewReader(doc.SampleCSV))
+	if err != nil {
+		return nil, fmt.Errorf("core: load knowledge: %w", err)
+	}
+	return MineKnowledge(doc.Source, smpl, doc.Ratio, doc.PerInc, doc.Config)
+}
+
+// LoadKnowledgeFile is LoadKnowledge from a named file.
+func LoadKnowledgeFile(path string) (*Knowledge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load knowledge: %w", err)
+	}
+	defer f.Close()
+	return LoadKnowledge(f)
+}

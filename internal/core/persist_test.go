@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qpiad/internal/afd"
+	"qpiad/internal/nbc"
+	"qpiad/internal/relation"
+)
+
+func TestKnowledgeSaveLoadRoundTrip(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	cfg := KnowledgeConfig{AFD: afd.Config{MinSupport: 5}, Predictor: nbc.PredictorConfig{}}
+
+	var buf bytes.Buffer
+	if err := f.k.Save(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadKnowledge(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mined structures are identical: same AFDs in the same order.
+	if len(loaded.AFDs.AFDs) != len(f.k.AFDs.AFDs) {
+		t.Fatalf("AFD count %d vs %d", len(loaded.AFDs.AFDs), len(f.k.AFDs.AFDs))
+	}
+	for i := range loaded.AFDs.AFDs {
+		a, b := loaded.AFDs.AFDs[i], f.k.AFDs.AFDs[i]
+		if a.String() != b.String() || a.Support != b.Support {
+			t.Fatalf("AFD %d: %v vs %v", i, a, b)
+		}
+	}
+	// Selectivity statistics survive.
+	if loaded.Sel.Ratio() != f.k.Sel.Ratio() || loaded.Sel.PerInc() != f.k.Sel.PerInc() {
+		t.Error("selectivity statistics differ")
+	}
+	// Predictions are identical.
+	p1 := f.k.Predictors["body_style"]
+	p2 := loaded.Predictors["body_style"]
+	ev := map[string]relation.Value{"model": relation.String("Z4")}
+	d1, d2 := p1.PredictEvidence(ev), p2.PredictEvidence(ev)
+	if d1.Len() != d2.Len() {
+		t.Fatal("distribution sizes differ")
+	}
+	for i := 0; i < d1.Len(); i++ {
+		if d1.ProbAt(i) != d2.Prob(d1.Value(i)) {
+			t.Fatal("predictions differ after round trip")
+		}
+	}
+}
+
+func TestKnowledgeSaveLoadFile(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	cfg := KnowledgeConfig{AFD: afd.Config{MinSupport: 5}}
+	path := filepath.Join(t.TempDir(), "cars.knowledge.json")
+	if err := f.k.SaveFile(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadKnowledgeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Source != "cars" || loaded.Sample.Len() != f.k.Sample.Len() {
+		t.Errorf("loaded source=%q sample=%d", loaded.Source, loaded.Sample.Len())
+	}
+	// The loaded knowledge drives queries end-to-end.
+	m := New(DefaultConfig())
+	m.Register(f.src, loaded)
+	rs, err := m.QuerySelect("cars", convtQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Possible) == 0 {
+		t.Error("loaded knowledge produced no possible answers")
+	}
+}
+
+func TestLoadKnowledgeErrors(t *testing.T) {
+	if _, err := LoadKnowledge(strings.NewReader("not json")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	if _, err := LoadKnowledge(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("wrong version should error")
+	}
+	if _, err := LoadKnowledge(strings.NewReader(`{"version": 1, "source": "x", "sample_csv": ""}`)); err == nil {
+		t.Error("empty sample should error")
+	}
+	if _, err := LoadKnowledgeFile("/nonexistent"); err == nil {
+		t.Error("missing file should error")
+	}
+}

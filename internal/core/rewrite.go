@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sort"
+
+	"qpiad/internal/nbc"
+	"qpiad/internal/relation"
+)
+
+// RewrittenQuery is one candidate rewrite with its ranking statistics.
+type RewrittenQuery struct {
+	// Query is the rewritten query (no predicate on TargetAttr).
+	Query relation.Query
+	// TargetAttr is the constrained attribute whose nulls the rewrite
+	// retrieves (Am in the paper).
+	TargetAttr string
+	// TargetPred is the original predicate on TargetAttr that retrieved
+	// tuples should probably satisfy.
+	TargetPred relation.Predicate
+	// Evidence is the determining-set value combination (from the base
+	// set) the rewrite was generated from.
+	Evidence map[string]relation.Value
+	// Precision is P(TargetAttr satisfies TargetPred | Evidence).
+	Precision float64
+	// ModeSatisfiesPred reports whether the single most likely predicted
+	// value satisfies TargetPred — the aggregate inclusion test of
+	// Section 4.4 ("only for those queries in which the most likely value
+	// is equal to the value of the constrained query attribute").
+	ModeSatisfiesPred bool
+	// EstSel is the estimated number of relevant incomplete tuples.
+	EstSel float64
+	// Recall is the expected throughput normalized over all candidates.
+	Recall float64
+	// F is the F-measure score used for top-K selection.
+	F float64
+	// Explanation cites the AFD behind the rewrite.
+	Explanation string
+	// Transferred and Kept are filled in after issuing: tuples returned by
+	// the source, and tuples surviving post-filtering and deduplication.
+	// The efficiency evaluation (Figure 8) reads Transferred.
+	Transferred int
+	Kept        int
+}
+
+// fMeasure computes the weighted harmonic mean (1+α)PR/(αP+R).
+func fMeasure(p, r, alpha float64) float64 {
+	den := alpha*p + r
+	if den <= 0 {
+		return 0
+	}
+	return (1 + alpha) * p * r / den
+}
+
+// PredicateMass returns the probability mass a distribution assigns to
+// values satisfying pred — for equality predicates this is P(Am = vm); for
+// range predicates the mass over the range. Baselines reuse it to rank
+// tuples retrieved by null binding.
+func PredicateMass(d nbc.Distribution, pred relation.Predicate) float64 {
+	return predProb(d, pred)
+}
+
+// predProb returns the probability mass the distribution assigns to values
+// satisfying pred — for equality predicates this is P(Am = vm); for range
+// predicates the mass over the range.
+func predProb(d nbc.Distribution, pred relation.Predicate) float64 {
+	total := 0.0
+	for i := 0; i < d.Len(); i++ {
+		v := d.Value(i)
+		if predicateHolds(pred, v) {
+			total += d.ProbAt(i)
+		}
+	}
+	return total
+}
+
+// predicateHolds evaluates pred against a candidate value directly.
+func predicateHolds(pred relation.Predicate, v relation.Value) bool {
+	switch pred.Op {
+	case relation.OpIsNull:
+		return v.IsNull()
+	case relation.OpNotNull:
+		return !v.IsNull()
+	}
+	if v.IsNull() {
+		return false
+	}
+	switch pred.Op {
+	case relation.OpEq:
+		return v.Equal(pred.Value)
+	case relation.OpNe:
+		return !v.Equal(pred.Value)
+	case relation.OpLt:
+		c, ok := v.Compare(pred.Value)
+		return ok && c < 0
+	case relation.OpLe:
+		c, ok := v.Compare(pred.Value)
+		return ok && c <= 0
+	case relation.OpGt:
+		c, ok := v.Compare(pred.Value)
+		return ok && c > 0
+	case relation.OpGe:
+		c, ok := v.Compare(pred.Value)
+		return ok && c >= 0
+	case relation.OpBetween:
+		lo, ok1 := v.Compare(pred.Value)
+		hi, ok2 := v.Compare(pred.High)
+		return ok1 && ok2 && lo >= 0 && hi <= 0
+	}
+	return false
+}
+
+// GenerateRewrites is the exported form of QPIAD's Step 2(a), used by
+// ablation experiments and introspection tooling: produce the candidate
+// rewrites for q given mined knowledge and a base result set. No ordering
+// or selection is applied.
+func GenerateRewrites(k *Knowledge, q relation.Query, base []relation.Tuple, baseSchema *relation.Schema) []RewrittenQuery {
+	var m Mediator
+	return m.generateRewrites(k, q, base, baseSchema)
+}
+
+// generateRewrites implements Step 2(a) of the QPIAD algorithm for every
+// constrained attribute of q (the multi-attribute extension of Section
+// 4.2): for each distinct determining-set combination in the base set,
+// emit a rewrite that drops the predicate on the target attribute and adds
+// equality predicates on the unconstrained determining attributes.
+//
+// k supplies the AFDs, predictors and selectivity estimates; baseSchema is
+// the schema the base tuples are in (usually the source's local schema).
+func (m *Mediator) generateRewrites(k *Knowledge, q relation.Query, base []relation.Tuple, baseSchema *relation.Schema) []RewrittenQuery {
+	seen := make(map[string]bool)
+	seen[q.Key()] = true
+	var out []RewrittenQuery
+
+	for _, target := range q.ConstrainedAttrs() {
+		pred, ok := q.PredOn(target)
+		if !ok {
+			continue
+		}
+		p := k.Predictors[target]
+		if p == nil || p.UsedFallback {
+			// No confident AFD for this attribute: its dtrSet would be the
+			// whole schema and rewrites would be over-specific. Skip.
+			continue
+		}
+		dtr := p.AFD.Determining
+		combos := relation.DistinctOn(baseSchema, base, dtr)
+		for _, combo := range combos {
+			rq := q.WithoutAttr(target)
+			rq.Agg = nil
+			evidence := make(map[string]relation.Value, len(dtr))
+			for i, ax := range dtr {
+				evidence[ax] = combo[i]
+				if _, constrained := q.PredOn(ax); constrained {
+					// Keep the original constraint on Ax (Section 4.2,
+					// multi-attribute case).
+					continue
+				}
+				rq = rq.With(relation.Eq(ax, combo[i]))
+			}
+			if len(rq.Preds) == 0 {
+				continue
+			}
+			key := rq.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			dist := p.PredictEvidence(evidence)
+			mode, _, modeOK := dist.Top()
+			out = append(out, RewrittenQuery{
+				Query:             rq,
+				TargetAttr:        target,
+				TargetPred:        pred,
+				Evidence:          evidence,
+				Precision:         predProb(dist, pred),
+				ModeSatisfiesPred: modeOK && predicateHolds(pred, mode),
+				EstSel:            k.Sel.EstSel(rq),
+				Explanation:       p.Explain(),
+			})
+		}
+	}
+	return out
+}
+
+// scoreAndSelect implements Steps 2(b) and 2(c): compute normalized recall
+// and F-measure over the candidate set, keep the top-K by the configured
+// ordering, then reorder the survivors by descending precision (so
+// retrieved tuples inherit their query's precision as their final rank).
+func (m *Mediator) scoreAndSelect(cands []RewrittenQuery) []RewrittenQuery {
+	return ScoreAndSelect(cands, m.cfg.Alpha, m.cfg.K, m.cfg.Ordering)
+}
+
+// ScoreAndSelect is the exported form of QPIAD's Steps 2(b) and 2(c), used
+// directly by ablation experiments: score the candidates (normalized recall
+// and F-measure), select the top-k under the given ordering policy, then
+// reorder the selection by descending precision. k <= 0 keeps everything.
+func ScoreAndSelect(cands []RewrittenQuery, alpha float64, k int, ord Ordering) []RewrittenQuery {
+	totalThroughput := 0.0
+	for _, c := range cands {
+		totalThroughput += c.Precision * c.EstSel
+	}
+	for i := range cands {
+		if totalThroughput > 0 {
+			cands[i].Recall = cands[i].Precision * cands[i].EstSel / totalThroughput
+		}
+		cands[i].F = fMeasure(cands[i].Precision, cands[i].Recall, alpha)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		switch ord {
+		case OrderSelectivity:
+			if cands[i].EstSel != cands[j].EstSel {
+				return cands[i].EstSel > cands[j].EstSel
+			}
+		case OrderArbitrary:
+			return cands[i].Query.Key() < cands[j].Query.Key()
+		default:
+			if cands[i].F != cands[j].F {
+				return cands[i].F > cands[j].F
+			}
+		}
+		if cands[i].Precision != cands[j].Precision {
+			return cands[i].Precision > cands[j].Precision
+		}
+		return cands[i].Query.Key() < cands[j].Query.Key()
+	})
+	if k > 0 && len(cands) > k {
+		cands = cands[:k]
+	}
+	// Step 2(c): reorder the chosen top-K by precision. Under the
+	// arbitrary-ordering ablation the issue order is left as selected, so
+	// the ablation measures what ordering is worth.
+	if ord != OrderArbitrary {
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].Precision != cands[j].Precision {
+				return cands[i].Precision > cands[j].Precision
+			}
+			return cands[i].Query.Key() < cands[j].Query.Key()
+		})
+	}
+	return cands
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"qpiad/internal/relation"
+	"qpiad/internal/source"
+)
+
+// QuerySelect runs the full QPIAD selection algorithm (Section 4.2) against
+// the named source:
+//
+//  1. issue Q, return the base result set as certain answers;
+//  2. generate rewritten queries from the base set's determining-set value
+//     combinations, order them by F-measure, keep the top-K, reorder those
+//     by precision, issue them, post-filter, and return the relevant
+//     possible answers ranked by their retrieving query's precision.
+//
+// Tuples with more than one null over the constrained attributes are
+// reported in ResultSet.Unranked, after the ranked answers.
+func (m *Mediator) QuerySelect(srcName string, q relation.Query) (*ResultSet, error) {
+	src, ok := m.sources[srcName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %q", srcName)
+	}
+	k := m.knowledge[srcName]
+	if k == nil {
+		return nil, fmt.Errorf("core: no knowledge mined for source %q", srcName)
+	}
+
+	// Step 1: certain answers.
+	base, err := src.Query(q)
+	if err != nil {
+		return nil, fmt.Errorf("core: base query: %w", err)
+	}
+	rs := &ResultSet{Query: q, Source: srcName}
+	for _, t := range base {
+		rs.Certain = append(rs.Certain, Answer{
+			Tuple:      t,
+			Certain:    true,
+			Confidence: 1,
+			FromQuery:  q,
+		})
+	}
+
+	// Step 2(a): generate; 2(b)+(c): order and select.
+	cands := m.generateRewrites(k, q, base, src.Schema())
+	rs.Generated = len(cands)
+	chosen := m.scoreAndSelect(cands)
+
+	// Step 2(d)+(e): retrieve the extended result set and post-filter.
+	seen := make(map[string]bool, len(base))
+	for _, t := range base {
+		seen[t.Key()] = true
+	}
+	constrained := q.ConstrainedAttrs()
+	// Step 2(e) is conditional: when the source refuses null bindings (the
+	// web-form norm), rewrites are issued as-is and the mediator filters
+	// client-side; when null bindings ARE allowed, the rewrite binds
+	// TargetAttr IS NULL so only candidate incomplete tuples are
+	// transferred — this is what lets QPIAD beat AllRanked on transfer
+	// cost even on sources where AllRanked is feasible (Figure 8).
+	bindNulls := src.Capabilities().AllowNullBinding
+	issueQs := make([]relation.Query, len(chosen))
+	for i, rq := range chosen {
+		issueQs[i] = rq.Query
+		if bindNulls {
+			issueQs[i] = issueQs[i].With(relation.IsNull(rq.TargetAttr))
+		}
+	}
+	fetched, fetchErrs := fetchAll(src, issueQs, m.cfg.Parallel)
+	for i, rq := range chosen {
+		if fetchErrs[i] != nil {
+			// A rewrite the source refuses (capability change mid-flight)
+			// is skipped rather than failing the whole result.
+			continue
+		}
+		rows := fetched[i]
+		rq.Transferred = len(rows)
+		tcol, ok := src.Schema().Index(rq.TargetAttr)
+		if !ok {
+			rs.Issued = append(rs.Issued, rq)
+			continue
+		}
+		for _, t := range rows {
+			// Post-filtering: keep only tuples whose target attribute is
+			// null — others are either already certain answers or certain
+			// non-answers (Step 2e).
+			if !t[tcol].IsNull() {
+				continue
+			}
+			key := t.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			rq.Kept++
+			ans := Answer{
+				Tuple:       t,
+				Confidence:  rq.Precision,
+				FromQuery:   rq.Query,
+				Explanation: rq.Explanation,
+			}
+			if t.NullCountOn(src.Schema(), constrained) > 1 {
+				rs.Unranked = append(rs.Unranked, ans)
+			} else {
+				rs.Possible = append(rs.Possible, ans)
+			}
+		}
+		rs.Issued = append(rs.Issued, rq)
+	}
+	return rs, nil
+}
+
+// fetchAll issues the queries against the source, at most parallel at a
+// time (sequential when parallel <= 1), returning per-query rows and
+// errors positionally so callers can process results in the original
+// precision order regardless of completion order.
+func fetchAll(src *source.Source, queries []relation.Query, parallel int) ([][]relation.Tuple, []error) {
+	rows := make([][]relation.Tuple, len(queries))
+	errs := make([]error, len(queries))
+	if parallel <= 1 || len(queries) <= 1 {
+		for i, q := range queries {
+			rows[i], errs[i] = src.Query(q)
+		}
+		return rows, errs
+	}
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q relation.Query) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = src.Query(q)
+		}(i, q)
+	}
+	wg.Wait()
+	return rows, errs
+}
+
+// AllAnswers returns certain answers followed by ranked possible answers
+// and then the unranked tail — the order a user sees.
+func (rs *ResultSet) AllAnswers() []Answer {
+	out := make([]Answer, 0, len(rs.Certain)+len(rs.Possible)+len(rs.Unranked))
+	out = append(out, rs.Certain...)
+	out = append(out, rs.Possible...)
+	out = append(out, rs.Unranked...)
+	return out
+}
+
+// Project trims every answer in the result set to the named attributes
+// (Section 4's projection footnote: QPIAD projects the full attribute set
+// internally and returns the user's subset at the end). The answers'
+// metadata (confidence, explanation, retrieving query) is preserved; the
+// projected schema is returned for display.
+func (rs *ResultSet) Project(s *relation.Schema, attrs []string) (*ResultSet, *relation.Schema, error) {
+	out := &ResultSet{
+		Query:     rs.Query,
+		Source:    rs.Source,
+		Issued:    rs.Issued,
+		Generated: rs.Generated,
+	}
+	var ps *relation.Schema
+	project := func(answers []Answer) ([]Answer, error) {
+		tuples := make([]relation.Tuple, len(answers))
+		for i, a := range answers {
+			tuples[i] = a.Tuple
+		}
+		projected, schema, err := relation.ProjectTuples(s, tuples, attrs)
+		if err != nil {
+			return nil, err
+		}
+		ps = schema
+		res := make([]Answer, len(answers))
+		for i, a := range answers {
+			a.Tuple = projected[i]
+			res[i] = a
+		}
+		return res, nil
+	}
+	var err error
+	if out.Certain, err = project(rs.Certain); err != nil {
+		return nil, nil, err
+	}
+	if out.Possible, err = project(rs.Possible); err != nil {
+		return nil, nil, err
+	}
+	if out.Unranked, err = project(rs.Unranked); err != nil {
+		return nil, nil, err
+	}
+	return out, ps, nil
+}

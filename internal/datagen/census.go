@@ -1,0 +1,169 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"qpiad/internal/relation"
+)
+
+// CensusSchema is the paper's 12-attribute Census (UCI adult) schema plus a
+// synthetic record id.
+func CensusSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "id", Kind: relation.KindInt},
+		relation.Attribute{Name: "age", Kind: relation.KindInt}, // bucketed to 5 years
+		relation.Attribute{Name: "workclass", Kind: relation.KindString},
+		relation.Attribute{Name: "education", Kind: relation.KindString},
+		relation.Attribute{Name: "marital_status", Kind: relation.KindString},
+		relation.Attribute{Name: "occupation", Kind: relation.KindString},
+		relation.Attribute{Name: "relationship", Kind: relation.KindString},
+		relation.Attribute{Name: "race", Kind: relation.KindString},
+		relation.Attribute{Name: "sex", Kind: relation.KindString},
+		relation.Attribute{Name: "capital_gain", Kind: relation.KindInt},
+		relation.Attribute{Name: "capital_loss", Kind: relation.KindInt},
+		relation.Attribute{Name: "hours_per_week", Kind: relation.KindInt},
+		relation.Attribute{Name: "native_country", Kind: relation.KindString},
+	)
+}
+
+// persona couples marital status with its typical relationship roles and
+// age range — the planted marital_status ⤳ relationship correlation
+// (≈0.85) that drives the paper's Census query σ(relationship=Own-child).
+type persona struct {
+	marital   string
+	relations []string
+	relProbs  []float64
+	ageLo     int
+	ageHi     int
+	weight    float64
+}
+
+var personas = []persona{
+	{"Never-married", []string{"Own-child", "Not-in-family", "Unmarried"}, []float64{0.60, 0.30, 0.10}, 15, 35, 0.33},
+	{"Married-civ-spouse", []string{"Husband", "Wife"}, []float64{0.60, 0.40}, 25, 70, 0.45},
+	{"Divorced", []string{"Not-in-family", "Unmarried", "Own-child"}, []float64{0.55, 0.40, 0.05}, 30, 70, 0.14},
+	{"Widowed", []string{"Not-in-family", "Unmarried"}, []float64{0.60, 0.40}, 55, 90, 0.05},
+	{"Separated", []string{"Unmarried", "Not-in-family"}, []float64{0.60, 0.40}, 25, 60, 0.03},
+}
+
+// eduJob plants the education ⤳ occupation correlation (≈0.6).
+type eduJob struct {
+	education string
+	jobs      []string
+	jobProbs  []float64
+	weight    float64
+}
+
+var eduJobs = []eduJob{
+	{"HS-grad", []string{"Craft-repair", "Transport-moving", "Handlers-cleaners", "Sales"}, []float64{0.45, 0.25, 0.15, 0.15}, 0.32},
+	{"Some-college", []string{"Adm-clerical", "Sales", "Craft-repair", "Tech-support"}, []float64{0.40, 0.25, 0.20, 0.15}, 0.22},
+	{"Bachelors", []string{"Prof-specialty", "Exec-managerial", "Sales", "Adm-clerical"}, []float64{0.40, 0.30, 0.15, 0.15}, 0.17},
+	{"Masters", []string{"Prof-specialty", "Exec-managerial"}, []float64{0.65, 0.35}, 0.06},
+	{"Doctorate", []string{"Prof-specialty"}, []float64{1}, 0.02},
+	{"11th", []string{"Handlers-cleaners", "Other-service", "Craft-repair"}, []float64{0.40, 0.35, 0.25}, 0.08},
+	{"Assoc-voc", []string{"Tech-support", "Craft-repair", "Adm-clerical"}, []float64{0.40, 0.35, 0.25}, 0.13},
+}
+
+var (
+	workclasses    = []string{"Private", "Self-emp-not-inc", "Local-gov", "State-gov", "Federal-gov"}
+	workclassProbs = []float64{0.70, 0.10, 0.08, 0.07, 0.05}
+	races          = []string{"White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"}
+	raceProbs      = []float64{0.85, 0.09, 0.03, 0.02, 0.01}
+	countries      = []string{"United-States", "Mexico", "Philippines", "Germany", "Canada"}
+	countryProbs   = []float64{0.90, 0.04, 0.02, 0.02, 0.02}
+)
+
+// Census generates n complete census tuples.
+//
+// Planted structure: marital_status ⤳ relationship ≈0.85 (sex refines it
+// for married personas: {marital_status, sex} → relationship is nearly
+// exact); education ⤳ occupation ≈0.6; age is drawn from the persona's
+// range and bucketed to 5 years so age ⤳ relationship is informative;
+// hours_per_week and capital gain/loss follow occupation weakly.
+func Census(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New("census", CensusSchema())
+	for i := 0; i < n; i++ {
+		p := pickPersona(rng)
+		sex := "Male"
+		if rng.Float64() < 0.48 {
+			sex = "Female"
+		}
+		rel := pick(rng, p.relations, p.relProbs)
+		if p.marital == "Married-civ-spouse" {
+			// Planted near-FD: {marital_status, sex} → relationship.
+			rel = "Husband"
+			if sex == "Female" {
+				rel = "Wife"
+			}
+			if rng.Float64() < 0.05 {
+				rel = "Not-in-family"
+			}
+		}
+		age := p.ageLo + rng.Intn(p.ageHi-p.ageLo+1)
+		if rel == "Own-child" && age > 30 {
+			age = 15 + rng.Intn(16)
+		}
+		age = (age / 5) * 5
+
+		ej := pickEduJob(rng)
+		job := pick(rng, ej.jobs, ej.jobProbs)
+
+		hours := 40
+		switch job {
+		case "Exec-managerial", "Prof-specialty":
+			hours = 40 + 5*rng.Intn(4)
+		case "Handlers-cleaners", "Other-service":
+			hours = 25 + 5*rng.Intn(5)
+		default:
+			hours = 35 + 5*rng.Intn(3)
+		}
+		gain, loss := 0, 0
+		if rng.Float64() < 0.08 {
+			gain = 1000 * (1 + rng.Intn(15))
+		} else if rng.Float64() < 0.05 {
+			loss = 500 * (1 + rng.Intn(4))
+		}
+
+		r.MustInsert(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(age)),
+			relation.String(pick(rng, workclasses, workclassProbs)),
+			relation.String(ej.education),
+			relation.String(p.marital),
+			relation.String(job),
+			relation.String(rel),
+			relation.String(pick(rng, races, raceProbs)),
+			relation.String(sex),
+			relation.Int(int64(gain)),
+			relation.Int(int64(loss)),
+			relation.Int(int64(hours)),
+			relation.String(pick(rng, countries, countryProbs)),
+		})
+	}
+	return r
+}
+
+func pickPersona(rng *rand.Rand) persona {
+	u := rng.Float64()
+	acc := 0.0
+	for _, p := range personas {
+		acc += p.weight
+		if u < acc {
+			return p
+		}
+	}
+	return personas[len(personas)-1]
+}
+
+func pickEduJob(rng *rand.Rand) eduJob {
+	u := rng.Float64()
+	acc := 0.0
+	for _, e := range eduJobs {
+		acc += e.weight
+		if u < acc {
+			return e
+		}
+	}
+	return eduJobs[len(eduJobs)-1]
+}

@@ -1,0 +1,177 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"qpiad/internal/relation"
+)
+
+// ComplaintsSchema is the paper's Consumer Complaints schema (NHTSA ODI)
+// plus a synthetic complaint id. The model attribute shares its domain with
+// the Cars dataset, enabling Cars ⋈(model) Complaints joins.
+func ComplaintsSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "cid", Kind: relation.KindInt},
+		relation.Attribute{Name: "model", Kind: relation.KindString},
+		relation.Attribute{Name: "year", Kind: relation.KindInt},
+		relation.Attribute{Name: "crash", Kind: relation.KindString},
+		relation.Attribute{Name: "fail_date", Kind: relation.KindString},
+		relation.Attribute{Name: "fire", Kind: relation.KindString},
+		relation.Attribute{Name: "general_component", Kind: relation.KindString},
+		relation.Attribute{Name: "detailed_component", Kind: relation.KindString},
+		relation.Attribute{Name: "country", Kind: relation.KindString},
+		relation.Attribute{Name: "ownership", Kind: relation.KindString},
+		relation.Attribute{Name: "car_type", Kind: relation.KindString},
+		relation.Attribute{Name: "market", Kind: relation.KindString},
+	)
+}
+
+// detailedComponents plants the near-FD general_component →
+// detailed_component (each general component has a dominant detail at 0.8).
+var detailedComponents = map[string][]string{
+	"Electrical System":         {"Wiring", "Ignition", "Battery"},
+	"Engine and Engine Cooling": {"Cooling System", "Engine Block", "Belts"},
+	"Brakes":                    {"Hydraulic", "ABS", "Pads"},
+	"Suspension":                {"Front Control Arm", "Shock Absorber", "Springs"},
+	"Air Bags":                  {"Frontal", "Side", "Sensor"},
+}
+
+// Complaints generates n complaint tuples over the shared car-model domain.
+//
+// Planted structure: model ⤳ general_component ≈0.8 (each model's dominant
+// failure mode); general_component ⤳ detailed_component ≈0.8; crash/fire
+// correlate with the component (brake complaints crash more, electrical
+// complaints catch fire more); model → car_type is exact (derived from the
+// model's body styles); fail_date follows year.
+func Complaints(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New("complaints", ComplaintsSchema())
+	for i := 0; i < n; i++ {
+		m := pickModel(rng) // complaint volume follows fleet size
+		comp := m.Components[0]
+		if rng.Float64() >= 0.80 {
+			comp = m.Components[1]
+		}
+		details := detailedComponents[comp]
+		detail := details[0]
+		if u := rng.Float64(); u >= 0.80 {
+			detail = details[1+rng.Intn(len(details)-1)]
+		}
+
+		crash := "no"
+		crashP := 0.05
+		if comp == "Brakes" {
+			crashP = 0.30
+		}
+		if rng.Float64() < crashP {
+			crash = "yes"
+		}
+		fire := "no"
+		fireP := 0.02
+		if comp == "Electrical System" {
+			fireP = 0.15
+		}
+		if rng.Float64() < fireP {
+			fire = "yes"
+		}
+
+		year := 1996 + rng.Intn(10)
+		failYear := year + 1 + rng.Intn(3)
+		failDate := fmt.Sprintf("%04d-%02d", failYear, 1+rng.Intn(12))
+
+		ownership := "consumer"
+		if rng.Float64() < 0.1 {
+			ownership = "fleet"
+		}
+
+		r.MustInsert(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(m.Model),
+			relation.Int(int64(year)),
+			relation.String(crash),
+			relation.String(failDate),
+			relation.String(fire),
+			relation.String(comp),
+			relation.String(detail),
+			relation.String("United States"),
+			relation.String(ownership),
+			relation.String(carType(m)),
+			relation.String("domestic"),
+		})
+	}
+	return r
+}
+
+// RecallsSchema describes the safety-recall campaigns dataset used by the
+// multi-way join extension: recalls chain to complaints on the component
+// attribute (cars ⋈model complaints ⋈component recalls).
+func RecallsSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "rid", Kind: relation.KindInt},
+		relation.Attribute{Name: "component", Kind: relation.KindString},
+		relation.Attribute{Name: "year", Kind: relation.KindInt},
+		relation.Attribute{Name: "severity", Kind: relation.KindString},
+		relation.Attribute{Name: "units_affected", Kind: relation.KindInt},
+		relation.Attribute{Name: "remedy", Kind: relation.KindString},
+	)
+}
+
+// recallProfiles plants component ⤳ severity (≈0.8) and component ⤳
+// remedy (≈0.85).
+var recallProfiles = map[string]struct {
+	severity [2]string
+	remedy   [2]string
+}{
+	"Electrical System":         {[2]string{"moderate", "severe"}, [2]string{"rewire", "replace"}},
+	"Engine and Engine Cooling": {[2]string{"severe", "moderate"}, [2]string{"replace", "inspect"}},
+	"Brakes":                    {[2]string{"severe", "critical"}, [2]string{"replace", "inspect"}},
+	"Suspension":                {[2]string{"moderate", "minor"}, [2]string{"inspect", "replace"}},
+	"Air Bags":                  {[2]string{"critical", "severe"}, [2]string{"replace", "rewire"}},
+}
+
+// Recalls generates n recall campaigns over the shared component domain.
+func Recalls(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	components := make([]string, 0, len(recallProfiles))
+	for c := range recallProfiles {
+		components = append(components, c)
+	}
+	sort.Strings(components)
+	r := relation.New("recalls", RecallsSchema())
+	for i := 0; i < n; i++ {
+		comp := components[rng.Intn(len(components))]
+		prof := recallProfiles[comp]
+		severity := prof.severity[0]
+		if rng.Float64() >= 0.8 {
+			severity = prof.severity[1]
+		}
+		remedy := prof.remedy[0]
+		if rng.Float64() >= 0.85 {
+			remedy = prof.remedy[1]
+		}
+		r.MustInsert(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(comp),
+			relation.Int(int64(1996 + rng.Intn(10))),
+			relation.String(severity),
+			relation.Int(int64(1000 * (1 + rng.Intn(500)))),
+			relation.String(remedy),
+		})
+	}
+	return r
+}
+
+// carType derives the vehicle class from a model's dominant body style
+// (an exact model → car_type FD).
+func carType(m CarModel) string {
+	switch m.Styles[0] {
+	case "Truck":
+		return "truck"
+	case "SUV":
+		return "suv"
+	default:
+		return "passenger"
+	}
+}

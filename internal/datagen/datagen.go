@@ -1,0 +1,330 @@
+// Package datagen generates the synthetic stand-ins for the paper's three
+// evaluation datasets (Section 6.2):
+//
+//   - Cars: ~55k tuples extracted from Cars.com with schema (year, make,
+//     model, price, mileage, body_style, certified);
+//   - Census: ~45k tuples of the UCI "adult" census data;
+//   - Complaints: ~200k tuples from the NHTSA defect-investigation
+//     repository, joinable with Cars on model.
+//
+// The generators plant the attribute correlations the paper's techniques
+// depend on — Model → Make is exact, Model ⤳ Body Style holds at ≈0.9
+// confidence, {Model, Year} ⤳ Price at ≈0.8, Year ⤳ Mileage at ≈0.8,
+// Census MaritalStatus/Age ⤳ Relationship, Complaints Model ⤳
+// GeneralComponent — with strengths in the ranges the paper reports, so
+// AFD mining, NBC learning and query rewriting exercise the same regimes.
+//
+// Every generator is deterministic given its seed. Each relation carries a
+// synthetic id attribute (listing id / ODI number); its AFDs are removed by
+// QPIAD's AKey pruning, and evaluation code uses it to match answers to
+// ground truth.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qpiad/internal/relation"
+)
+
+// CarModel describes one model's planted correlations.
+type CarModel struct {
+	Model      string
+	Make       string
+	Styles     []string  // body styles, dominant first
+	StyleProbs []float64 // matching probabilities, sum 1
+	BasePrice  int64     // price of a new car, dollars
+	Components []string  // complaint general components, dominant first
+	// Popularity weights how often the model appears in listings and
+	// complaints. Real inventories are heavily skewed (Civics everywhere,
+	// 911s rare); the skew is what gives rewritten queries the wide
+	// selectivity spread the paper's F-measure ordering exploits.
+	Popularity float64
+}
+
+// CarModels is the shared model catalog. Make ↔ model is many-models-per-
+// make (so Model → Make is a true FD while Make ⤳ Model is weak), and each
+// model's dominant body style covers 0.80–1.00 of its listings.
+var CarModels = []CarModel{
+	{"A4", "Audi", []string{"Sedan", "Convt"}, []float64{0.80, 0.20}, 27000, []string{"Electrical System", "Engine and Engine Cooling"}, 4},
+	{"TT", "Audi", []string{"Convt", "Coupe"}, []float64{0.85, 0.15}, 34000, []string{"Electrical System", "Suspension"}, 1.5},
+	{"Z4", "BMW", []string{"Convt", "Coupe"}, []float64{0.92, 0.08}, 36000, []string{"Electrical System", "Engine and Engine Cooling"}, 2},
+	{"328i", "BMW", []string{"Sedan", "Coupe"}, []float64{0.82, 0.18}, 33000, []string{"Engine and Engine Cooling", "Electrical System"}, 5},
+	{"Boxster", "Porsche", []string{"Convt"}, []float64{1}, 43000, []string{"Engine and Engine Cooling", "Suspension"}, 1.5},
+	{"911", "Porsche", []string{"Coupe", "Convt"}, []float64{0.75, 0.25}, 70000, []string{"Engine and Engine Cooling", "Brakes"}, 1},
+	{"Civic", "Honda", []string{"Sedan", "Coupe"}, []float64{0.85, 0.15}, 15000, []string{"Brakes", "Electrical System"}, 10},
+	{"Accord", "Honda", []string{"Sedan", "Coupe"}, []float64{0.90, 0.10}, 20000, []string{"Brakes", "Air Bags"}, 10},
+	{"S2000", "Honda", []string{"Convt"}, []float64{1}, 32000, []string{"Suspension", "Brakes"}, 1},
+	{"Camry", "Toyota", []string{"Sedan"}, []float64{1}, 19000, []string{"Engine and Engine Cooling", "Air Bags"}, 10},
+	{"Corolla", "Toyota", []string{"Sedan"}, []float64{1}, 14000, []string{"Brakes", "Electrical System"}, 9},
+	{"Solara", "Toyota", []string{"Convt", "Coupe"}, []float64{0.80, 0.20}, 24000, []string{"Electrical System", "Brakes"}, 2.5},
+	{"Miata", "Mazda", []string{"Convt"}, []float64{1}, 22000, []string{"Suspension", "Electrical System"}, 2},
+	{"6", "Mazda", []string{"Sedan", "Wagon"}, []float64{0.85, 0.15}, 19000, []string{"Brakes", "Suspension"}, 4},
+	{"Mustang", "Ford", []string{"Coupe", "Convt"}, []float64{0.70, 0.30}, 23000, []string{"Engine and Engine Cooling", "Electrical System"}, 5},
+	{"F150", "Ford", []string{"Truck"}, []float64{1}, 25000, []string{"Electrical System", "Engine and Engine Cooling"}, 9},
+	{"Focus", "Ford", []string{"Sedan", "Wagon"}, []float64{0.80, 0.20}, 14000, []string{"Electrical System", "Brakes"}, 7},
+	{"Grand Cherokee", "Jeep", []string{"SUV"}, []float64{1}, 28000, []string{"Engine and Engine Cooling", "Electrical System"}, 5},
+	{"Wrangler", "Jeep", []string{"SUV", "Convt"}, []float64{0.85, 0.15}, 22000, []string{"Suspension", "Engine and Engine Cooling"}, 3},
+	{"Impala", "Chevrolet", []string{"Sedan"}, []float64{1}, 21000, []string{"Air Bags", "Electrical System"}, 6},
+	{"Corvette", "Chevrolet", []string{"Convt", "Coupe"}, []float64{0.60, 0.40}, 45000, []string{"Engine and Engine Cooling", "Brakes"}, 1.5},
+	{"Tahoe", "Chevrolet", []string{"SUV"}, []float64{1}, 33000, []string{"Brakes", "Engine and Engine Cooling"}, 5},
+	{"Jetta", "Volkswagen", []string{"Sedan", "Wagon"}, []float64{0.85, 0.15}, 17000, []string{"Electrical System", "Engine and Engine Cooling"}, 6},
+	{"Beetle", "Volkswagen", []string{"Coupe", "Convt"}, []float64{0.75, 0.25}, 17000, []string{"Electrical System", "Suspension"}, 3},
+	{"9-3", "Saab", []string{"Convt", "Sedan"}, []float64{0.55, 0.45}, 26000, []string{"Electrical System", "Engine and Engine Cooling"}, 1.5},
+	{"XK8", "Jaguar", []string{"Convt", "Coupe"}, []float64{0.65, 0.35}, 55000, []string{"Electrical System", "Engine and Engine Cooling"}, 1},
+	{"SL500", "Mercedes-Benz", []string{"Convt"}, []float64{1}, 60000, []string{"Suspension", "Electrical System"}, 1},
+	{"C240", "Mercedes-Benz", []string{"Sedan", "Wagon"}, []float64{0.88, 0.12}, 30000, []string{"Electrical System", "Brakes"}, 3},
+	{"Outback", "Subaru", []string{"Wagon", "Sedan"}, []float64{0.85, 0.15}, 22000, []string{"Engine and Engine Cooling", "Suspension"}, 4},
+	{"Altima", "Nissan", []string{"Sedan"}, []float64{1}, 18000, []string{"Engine and Engine Cooling", "Electrical System"}, 7},
+}
+
+// trimSpec expands each catalog model into trim-level variants, matching
+// how real listing sites distinguish "Civic", "Civic LX" and "Civic EX".
+// Trims inherit the base model's make, body-style distribution and
+// complaint profile; they differ in popularity share and price. The
+// expansion triples the model domain (90 models), giving rewritten queries
+// the wide determining-set-value spread the paper's 416-model crawl had.
+type trimSpec struct {
+	suffix   string
+	popShare float64
+	priceAdd int64
+}
+
+var trims = []trimSpec{
+	{"", 0.50, 0},
+	{" LX", 0.30, 1500},
+	{" EX", 0.20, 3000},
+}
+
+// ExpandedModels is the trim-level catalog actually used by the
+// generators. CarModels remains the base catalog (its names all appear in
+// ExpandedModels, so probe seeds built from it stay valid).
+var ExpandedModels = func() []CarModel {
+	out := make([]CarModel, 0, len(CarModels)*len(trims))
+	for _, m := range CarModels {
+		for _, tr := range trims {
+			v := m
+			v.Model = m.Model + tr.suffix
+			v.BasePrice = m.BasePrice + tr.priceAdd
+			v.Popularity = m.Popularity * tr.popShare
+			out = append(out, v)
+		}
+	}
+	return out
+}()
+
+// modelCDF is the cumulative popularity distribution over ExpandedModels.
+var modelCDF = func() []float64 {
+	cdf := make([]float64, len(ExpandedModels))
+	sum := 0.0
+	for i, m := range ExpandedModels {
+		sum += m.Popularity
+		cdf[i] = sum
+	}
+	return cdf
+}()
+
+// pickModel draws a model by popularity.
+func pickModel(rng *rand.Rand) CarModel {
+	u := rng.Float64() * modelCDF[len(modelCDF)-1]
+	for i, c := range modelCDF {
+		if u < c {
+			return ExpandedModels[i]
+		}
+	}
+	return ExpandedModels[len(ExpandedModels)-1]
+}
+
+// CarsSchema is the paper's Cars schema plus a synthetic listing id.
+func CarsSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "id", Kind: relation.KindInt},
+		relation.Attribute{Name: "year", Kind: relation.KindInt},
+		relation.Attribute{Name: "make", Kind: relation.KindString},
+		relation.Attribute{Name: "model", Kind: relation.KindString},
+		relation.Attribute{Name: "price", Kind: relation.KindInt},
+		relation.Attribute{Name: "mileage", Kind: relation.KindInt},
+		relation.Attribute{Name: "body_style", Kind: relation.KindString},
+		relation.Attribute{Name: "certified", Kind: relation.KindString},
+	)
+}
+
+// Cars generates n complete car tuples.
+//
+// Planted structure: model → make exactly; model ⤳ body_style at each
+// model's dominant-style probability; {model, year} ⤳ price at ≈0.8 (price
+// is the depreciated base price rounded to $500, with noise 20% of the
+// time); year ⤳ mileage at ≈0.8 (12k miles per year rounded to 5k, with
+// noise); year ⤳ certified at ≈0.85 (cars under 3 years are certified).
+func Cars(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New("cars", CarsSchema())
+	for i := 0; i < n; i++ {
+		m := pickModel(rng)
+		year := 1996 + rng.Intn(10) // 1996–2005
+		age := 2006 - year
+
+		style := pick(rng, m.Styles, m.StyleProbs)
+
+		price := float64(m.BasePrice)
+		for a := 0; a < age; a++ {
+			price *= 0.88
+		}
+		if rng.Float64() < 0.20 {
+			price *= 1 - 0.05*float64(1+rng.Intn(3))
+		}
+		priceI := (int64(price) / 500) * 500
+
+		mileage := int64(age) * 12000
+		if rng.Float64() < 0.20 {
+			mileage += int64(rng.Intn(5)-2) * 5000
+			if mileage < 0 {
+				mileage = 0
+			}
+		}
+		mileage = (mileage / 5000) * 5000
+
+		certified := "no"
+		if age <= 3 {
+			certified = "yes"
+		}
+		if rng.Float64() < 0.15 {
+			if certified == "yes" {
+				certified = "no"
+			} else {
+				certified = "yes"
+			}
+		}
+
+		r.MustInsert(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(year)),
+			relation.String(m.Make),
+			relation.String(m.Model),
+			relation.Int(priceI),
+			relation.Int(mileage),
+			relation.String(style),
+			relation.String(certified),
+		})
+	}
+	return r
+}
+
+// pick draws a value from a discrete distribution.
+func pick(rng *rand.Rand, vals []string, probs []float64) string {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if u < acc {
+			return vals[i]
+		}
+	}
+	return vals[len(vals)-1]
+}
+
+// Hidden records one nulled cell and its ground-truth value.
+type Hidden struct {
+	// ID is the tuple's id attribute value (not its position).
+	ID int64
+	// Attr is the nulled attribute.
+	Attr string
+	// Value is the ground-truth value.
+	Value relation.Value
+}
+
+// MakeIncomplete implements the paper's experimental-dataset protocol:
+// each tuple independently becomes incomplete with probability frac by
+// nulling one uniformly random attribute (never the id). It returns the
+// incomplete copy and the hidden cells.
+func MakeIncomplete(gd *relation.Relation, frac float64, seed int64) (*relation.Relation, []Hidden) {
+	rng := rand.New(rand.NewSource(seed))
+	var attrs []string
+	for _, a := range gd.Schema.Names() {
+		if a != "id" && a != "cid" {
+			attrs = append(attrs, a)
+		}
+	}
+	return makeIncompleteOver(gd, attrs, frac, rng)
+}
+
+// MakeIncompleteAttr nulls only the named attribute in frac of the tuples.
+func MakeIncompleteAttr(gd *relation.Relation, attr string, frac float64, seed int64) (*relation.Relation, []Hidden) {
+	rng := rand.New(rand.NewSource(seed))
+	return makeIncompleteOver(gd, []string{attr}, frac, rng)
+}
+
+func makeIncompleteOver(gd *relation.Relation, attrs []string, frac float64, rng *rand.Rand) (*relation.Relation, []Hidden) {
+	ed := gd.Clone()
+	idCol := idColumn(gd.Schema)
+	var hidden []Hidden
+	for i := 0; i < ed.Len(); i++ {
+		if rng.Float64() >= frac {
+			continue
+		}
+		attr := attrs[rng.Intn(len(attrs))]
+		col := ed.Schema.MustIndex(attr)
+		t := ed.Tuple(i)
+		if t[col].IsNull() {
+			continue
+		}
+		var id int64 = int64(i)
+		if idCol >= 0 {
+			id = t[idCol].IntVal()
+		}
+		hidden = append(hidden, Hidden{ID: id, Attr: attr, Value: t[col]})
+		t[col] = relation.Null()
+	}
+	return ed, hidden
+}
+
+// idColumn returns the position of the id-like column, or -1.
+func idColumn(s *relation.Schema) int {
+	for _, name := range []string{"id", "cid"} {
+		if i, ok := s.Index(name); ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// HiddenIndex arranges hidden cells for O(1) relevance lookup:
+// id -> attr -> ground-truth value.
+func HiddenIndex(hidden []Hidden) map[int64]map[string]relation.Value {
+	out := make(map[int64]map[string]relation.Value, len(hidden))
+	for _, h := range hidden {
+		m := out[h.ID]
+		if m == nil {
+			m = make(map[string]relation.Value, 1)
+			out[h.ID] = m
+		}
+		m[h.Attr] = h.Value
+	}
+	return out
+}
+
+// Split partitions a relation into a training sample (the mediator's probed
+// sample) of trainFrac and the test remainder (the "autonomous database"),
+// per Section 6.2.
+func Split(ed *relation.Relation, trainFrac float64, seed int64) (train, test *relation.Relation, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("datagen: trainFrac %v outside (0,1)", trainFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(ed.Len())
+	nTrain := int(float64(ed.Len()) * trainFrac)
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	train = relation.New(ed.Name+"_train", ed.Schema)
+	test = relation.New(ed.Name+"_test", ed.Schema)
+	for i, p := range perm {
+		t := ed.Tuple(p).Clone()
+		if i < nTrain {
+			train.MustInsert(t)
+		} else {
+			test.MustInsert(t)
+		}
+	}
+	return train, test, nil
+}

@@ -1,0 +1,318 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qpiad/internal/afd"
+)
+
+func TestCarsShape(t *testing.T) {
+	r := Cars(5000, 1)
+	if r.Len() != 5000 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for _, tu := range r.Tuples() {
+		if !tu.IsComplete() {
+			t.Fatal("ground truth must be complete")
+		}
+	}
+	// Domains look sane: the trim-expanded catalog appears (rarest trims
+	// may be absent at this size, but at least the base catalog's worth of
+	// distinct models must show up, and no model outside the catalog).
+	models := r.Domain("model")
+	if len(models) < len(CarModels) || len(models) > len(ExpandedModels) {
+		t.Errorf("models in data = %d, want within [%d, %d]", len(models), len(CarModels), len(ExpandedModels))
+	}
+	known := map[string]bool{}
+	for _, m := range ExpandedModels {
+		known[m.Model] = true
+	}
+	for _, v := range models {
+		if !known[v.Str()] {
+			t.Errorf("unknown model %q generated", v.Str())
+		}
+	}
+	if got := len(r.Domain("body_style")); got < 5 {
+		t.Errorf("body styles = %d", got)
+	}
+	years := r.Domain("year")
+	for _, y := range years {
+		if y.IntVal() < 1996 || y.IntVal() > 2005 {
+			t.Errorf("year out of range: %v", y)
+		}
+	}
+}
+
+func TestCarsDeterministic(t *testing.T) {
+	a, b := Cars(500, 7), Cars(500, 7)
+	for i := 0; i < a.Len(); i++ {
+		if !a.Tuple(i).Equal(b.Tuple(i)) {
+			t.Fatal("same seed must generate identical data")
+		}
+	}
+	c := Cars(500, 8)
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if !a.Tuple(i).Equal(c.Tuple(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+// TestPlantedCarCorrelations verifies that mining recovers the dependencies
+// the generator plants, at roughly the planted strengths.
+func TestPlantedCarCorrelations(t *testing.T) {
+	r := Cars(8000, 2)
+	// model -> make is exact.
+	if g3, n := afd.G3(r, []string{"model"}, "make"); g3 != 0 || n != r.Len() {
+		t.Errorf("g3(model->make) = %v over %d", g3, n)
+	}
+	// model ~> body_style around 0.85 (catalog average of dominant probs).
+	g3bs, _ := afd.G3(r, []string{"model"}, "body_style")
+	if conf := 1 - g3bs; conf < 0.78 || conf > 0.95 {
+		t.Errorf("conf(model~>body_style) = %v, want ≈0.85", conf)
+	}
+	// {model, year} ~> price around 0.8.
+	g3p, _ := afd.G3(r, []string{"model", "year"}, "price")
+	if conf := 1 - g3p; conf < 0.7 || conf > 0.92 {
+		t.Errorf("conf(model,year~>price) = %v, want ≈0.8", conf)
+	}
+	// year ~> mileage around 0.8.
+	g3m, _ := afd.G3(r, []string{"year"}, "mileage")
+	if conf := 1 - g3m; conf < 0.7 || conf > 0.92 {
+		t.Errorf("conf(year~>mileage) = %v, want ≈0.8", conf)
+	}
+	// Full mining finds a usable AFD for body_style.
+	res := afd.Mine(r.Sample(1000, rng(3)), afd.Config{MinSupport: 5})
+	if best, ok := res.Best("body_style"); !ok || best.Confidence < 0.7 {
+		t.Errorf("mined best body_style AFD = %v, ok=%v", best, ok)
+	}
+}
+
+func TestCensusShape(t *testing.T) {
+	r := Census(5000, 1)
+	if r.Len() != 5000 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	rel := r.Domain("relationship")
+	found := false
+	for _, v := range rel {
+		if v.Str() == "Own-child" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Own-child missing from relationship domain (needed for Figure 4)")
+	}
+	// marital_status ~> relationship planted at >= 0.55.
+	g3r, _ := afd.G3(r, []string{"marital_status"}, "relationship")
+	if conf := 1 - g3r; conf < 0.55 {
+		t.Errorf("conf(marital~>relationship) = %v", conf)
+	}
+	// {marital_status, sex} is distinctly better (near-FD for married).
+	g3rs, _ := afd.G3(r, []string{"marital_status", "sex"}, "relationship")
+	if (1 - g3rs) <= (1 - g3r) {
+		t.Error("adding sex should strengthen the relationship dependency")
+	}
+	// education ~> occupation moderately informative.
+	g3o, _ := afd.G3(r, []string{"education"}, "occupation")
+	if conf := 1 - g3o; conf < 0.35 || conf > 0.8 {
+		t.Errorf("conf(education~>occupation) = %v, want moderate", conf)
+	}
+}
+
+func TestComplaintsShape(t *testing.T) {
+	r := Complaints(5000, 1)
+	if r.Len() != 5000 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// model ~> general_component ≈ 0.8.
+	g3c, _ := afd.G3(r, []string{"model"}, "general_component")
+	if conf := 1 - g3c; conf < 0.7 || conf > 0.9 {
+		t.Errorf("conf(model~>component) = %v", conf)
+	}
+	// Shared model domain with Cars.
+	cars := Cars(2000, 2)
+	carModels := map[string]bool{}
+	for _, v := range cars.Domain("model") {
+		carModels[v.Str()] = true
+	}
+	for _, v := range r.Domain("model") {
+		if !carModels[v.Str()] {
+			t.Errorf("complaint model %q not in Cars domain", v.Str())
+		}
+	}
+	// model -> car_type exact.
+	if g3, _ := afd.G3(r, []string{"model"}, "car_type"); g3 != 0 {
+		t.Errorf("g3(model->car_type) = %v", g3)
+	}
+}
+
+func TestRecallsShape(t *testing.T) {
+	r := Recalls(3000, 1)
+	if r.Len() != 3000 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	// component ~> severity ≈ 0.8 planted.
+	g3s, _ := afd.G3(r, []string{"component"}, "severity")
+	if conf := 1 - g3s; conf < 0.7 || conf > 0.9 {
+		t.Errorf("conf(component~>severity) = %v", conf)
+	}
+	// Component domain matches the complaints domain (join compatibility).
+	comp := Complaints(3000, 2)
+	compDomain := map[string]bool{}
+	for _, v := range comp.Domain("general_component") {
+		compDomain[v.Str()] = true
+	}
+	for _, v := range r.Domain("component") {
+		if !compDomain[v.Str()] {
+			t.Errorf("recall component %q not in complaints domain", v.Str())
+		}
+	}
+	// Deterministic.
+	r2 := Recalls(100, 7)
+	r3 := Recalls(100, 7)
+	for i := 0; i < r2.Len(); i++ {
+		if !r2.Tuple(i).Equal(r3.Tuple(i)) {
+			t.Fatal("Recalls not deterministic")
+		}
+	}
+}
+
+func TestMakeIncomplete(t *testing.T) {
+	gd := Cars(4000, 3)
+	ed, hidden := MakeIncomplete(gd, 0.10, 4)
+	if ed.Len() != gd.Len() {
+		t.Fatal("MakeIncomplete must preserve cardinality")
+	}
+	frac := ed.IncompleteFraction()
+	if math.Abs(frac-0.10) > 0.02 {
+		t.Errorf("incomplete fraction = %v, want ≈0.10", frac)
+	}
+	if len(hidden) == 0 {
+		t.Fatal("no hidden cells")
+	}
+	idx := HiddenIndex(hidden)
+	idCol := gd.Schema.MustIndex("id")
+	for i := 0; i < ed.Len(); i++ {
+		tu := ed.Tuple(i)
+		nulls := tu.NullAttrs(ed.Schema)
+		if len(nulls) > 1 {
+			t.Fatalf("tuple %d has %d nulls, protocol nulls exactly one", i, len(nulls))
+		}
+		if len(nulls) == 1 {
+			id := tu[idCol].IntVal()
+			truth, ok := idx[id][nulls[0]]
+			if !ok {
+				t.Fatalf("hidden cell not recorded for id %d", id)
+			}
+			// The truth value matches GD.
+			gdCol := gd.Schema.MustIndex(nulls[0])
+			if !gd.Tuple(int(id))[gdCol].Identical(truth) {
+				t.Fatal("hidden value does not match ground truth")
+			}
+		}
+	}
+	// id is never nulled.
+	for _, h := range hidden {
+		if h.Attr == "id" {
+			t.Fatal("id must never be hidden")
+		}
+	}
+	// GD untouched.
+	for _, tu := range gd.Tuples() {
+		if !tu.IsComplete() {
+			t.Fatal("MakeIncomplete mutated the ground truth")
+		}
+	}
+}
+
+func TestMakeIncompleteAttr(t *testing.T) {
+	gd := Cars(2000, 5)
+	ed, hidden := MakeIncompleteAttr(gd, "body_style", 0.10, 6)
+	for _, h := range hidden {
+		if h.Attr != "body_style" {
+			t.Fatalf("hidden attr = %q", h.Attr)
+		}
+	}
+	if f := ed.NullFraction("body_style"); math.Abs(f-0.10) > 0.02 {
+		t.Errorf("body_style null fraction = %v", f)
+	}
+	if ed.NullFraction("make") != 0 {
+		t.Error("other attributes must stay complete")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	gd := Cars(1000, 7)
+	train, test, err := Split(gd, 0.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 100 || test.Len() != 900 {
+		t.Errorf("split sizes = %d/%d", train.Len(), test.Len())
+	}
+	// Disjoint by id.
+	ids := map[int64]bool{}
+	idCol := gd.Schema.MustIndex("id")
+	for _, tu := range train.Tuples() {
+		ids[tu[idCol].IntVal()] = true
+	}
+	for _, tu := range test.Tuples() {
+		if ids[tu[idCol].IntVal()] {
+			t.Fatal("train/test overlap")
+		}
+	}
+	if _, _, err := Split(gd, 0, 1); err == nil {
+		t.Error("trainFrac 0 should error")
+	}
+	if _, _, err := Split(gd, 1, 1); err == nil {
+		t.Error("trainFrac 1 should error")
+	}
+}
+
+func TestWebProfiles(t *testing.T) {
+	gd := WebCars(8000, 9)
+	cases := []struct {
+		p          WebProfile
+		wantIncmp  float64
+		wantBody   float64
+		wantEngine float64
+		tol        float64
+	}{
+		{AutoTraderProfile, 0.3367, 0.036, 0.081, 0.05},
+		{CarsDirectProfile, 0.9874, 0.557, 0.558, 0.05},
+		{GoogleBaseProfile, 1.0, 0.8336, 0.9198, 0.05},
+	}
+	for _, c := range cases {
+		ed := ApplyProfile(gd, c.p, 10)
+		if got := ed.IncompleteFraction(); math.Abs(got-c.wantIncmp) > c.tol {
+			t.Errorf("%s incomplete = %v, want ≈%v", c.p.Name, got, c.wantIncmp)
+		}
+		if got := ed.NullFraction("body_style"); math.Abs(got-c.wantBody) > c.tol {
+			t.Errorf("%s body_style nulls = %v, want ≈%v", c.p.Name, got, c.wantBody)
+		}
+		if got := ed.NullFraction("engine"); math.Abs(got-c.wantEngine) > c.tol {
+			t.Errorf("%s engine nulls = %v, want ≈%v", c.p.Name, got, c.wantEngine)
+		}
+	}
+}
+
+func TestGoogleBaseFullyIncomplete(t *testing.T) {
+	gd := WebCars(3000, 11)
+	ed := ApplyProfile(gd, GoogleBaseProfile, 12)
+	for _, tu := range ed.Tuples() {
+		if tu.IsComplete() {
+			t.Fatal("GoogleBase profile must leave no complete tuples")
+		}
+	}
+}
+
+// rng returns a fresh seeded generator for tests.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

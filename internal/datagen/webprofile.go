@@ -1,0 +1,134 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"qpiad/internal/relation"
+)
+
+// WebProfile configures per-attribute incompleteness matching one of the
+// autonomous web databases surveyed in the paper's Table 1.
+type WebProfile struct {
+	// Name is the simulated site.
+	Name string
+	// AttrNullRate gives each attribute's independent null probability.
+	// Attributes absent from the map stay complete.
+	AttrNullRate map[string]float64
+	// DefaultNullRate applies to attributes not listed in AttrNullRate
+	// (never the id column).
+	DefaultNullRate float64
+	// ForceIncomplete nulls one extra random attribute in any tuple that
+	// came out complete, modelling sources (Google Base) where every tuple
+	// misses something.
+	ForceIncomplete bool
+}
+
+// The three profiles of Table 1. Default rates are solved so that the
+// overall incomplete-tuple fraction lands near the paper's survey numbers
+// (33.67%, 98.74%, 100%) given the listed body_style and engine rates.
+var (
+	// AutoTraderProfile ≈ 33.67% incomplete, 3.6% body style, 8.1% engine.
+	AutoTraderProfile = WebProfile{
+		Name: "autotrader",
+		AttrNullRate: map[string]float64{
+			"body_style": 0.036,
+			"engine":     0.081,
+		},
+		DefaultNullRate: 0.056,
+	}
+	// CarsDirectProfile ≈ 98.74% incomplete, 55.7% body style, 55.8% engine.
+	CarsDirectProfile = WebProfile{
+		Name: "carsdirect",
+		AttrNullRate: map[string]float64{
+			"body_style": 0.557,
+			"engine":     0.558,
+		},
+		DefaultNullRate: 0.42,
+	}
+	// GoogleBaseProfile = 100% incomplete, 83.36% body style, 91.98% engine.
+	GoogleBaseProfile = WebProfile{
+		Name: "googlebase",
+		AttrNullRate: map[string]float64{
+			"body_style": 0.8336,
+			"engine":     0.9198,
+		},
+		DefaultNullRate: 0.30,
+		ForceIncomplete: true,
+	}
+)
+
+// WebCarsSchema extends the Cars schema with the engine attribute Table 1
+// reports on.
+func WebCarsSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "id", Kind: relation.KindInt},
+		relation.Attribute{Name: "year", Kind: relation.KindInt},
+		relation.Attribute{Name: "make", Kind: relation.KindString},
+		relation.Attribute{Name: "model", Kind: relation.KindString},
+		relation.Attribute{Name: "price", Kind: relation.KindInt},
+		relation.Attribute{Name: "mileage", Kind: relation.KindInt},
+		relation.Attribute{Name: "body_style", Kind: relation.KindString},
+		relation.Attribute{Name: "engine", Kind: relation.KindString},
+	)
+}
+
+var engines = []string{"I4", "V6", "V8", "I6", "H4"}
+
+// WebCars generates complete web-car tuples (Cars plus an engine attribute
+// loosely determined by the model's price tier).
+func WebCars(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	cars := Cars(n, seed)
+	r := relation.New("webcars", WebCarsSchema())
+	for i := 0; i < cars.Len(); i++ {
+		t := cars.Tuple(i)
+		price := t[cars.Schema.MustIndex("price")].IntVal()
+		var engine string
+		switch {
+		case price >= 40000:
+			engine = engines[2] // V8
+		case price >= 22000:
+			engine = engines[1] // V6
+		default:
+			engine = engines[0] // I4
+		}
+		if rng.Float64() < 0.15 {
+			engine = engines[rng.Intn(len(engines))]
+		}
+		r.MustInsert(relation.Tuple{
+			t[0], t[1], t[2], t[3], t[4], t[5], t[6],
+			relation.String(engine),
+		})
+	}
+	return r
+}
+
+// ApplyProfile produces an incomplete copy of gd following the profile.
+func ApplyProfile(gd *relation.Relation, p WebProfile, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	out := relation.New(p.Name, gd.Schema)
+	idCol := idColumn(gd.Schema)
+	var nullable []int
+	for i := 0; i < gd.Schema.Len(); i++ {
+		if i != idCol {
+			nullable = append(nullable, i)
+		}
+	}
+	for i := 0; i < gd.Len(); i++ {
+		t := gd.Tuple(i).Clone()
+		for _, c := range nullable {
+			rate, ok := p.AttrNullRate[gd.Schema.Attr(c).Name]
+			if !ok {
+				rate = p.DefaultNullRate
+			}
+			if rng.Float64() < rate {
+				t[c] = relation.Null()
+			}
+		}
+		if p.ForceIncomplete && t.IsComplete() {
+			t[nullable[rng.Intn(len(nullable))]] = relation.Null()
+		}
+		out.MustInsert(t)
+	}
+	return out
+}

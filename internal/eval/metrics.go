@@ -1,0 +1,156 @@
+// Package eval provides the paper's evaluation protocol (Section 6.2) and
+// metrics: the ground-truth / experimental-dataset construction, train/test
+// splitting, relevance judgments against hidden values, precision-recall
+// curves, and accumulated precision at K.
+package eval
+
+import "math"
+
+// PRPoint is one point of a precision-recall curve.
+type PRPoint struct {
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve walks a ranked relevance list and emits the cumulative
+// precision/recall point after each retrieved item. totalRelevant is the
+// recall denominator (the number of relevant items in the database); when
+// zero, recall is reported as 0 throughout.
+func PRCurve(relevant []bool, totalRelevant int) []PRPoint {
+	out := make([]PRPoint, len(relevant))
+	hits := 0
+	for i, r := range relevant {
+		if r {
+			hits++
+		}
+		p := float64(hits) / float64(i+1)
+		rec := 0.0
+		if totalRelevant > 0 {
+			rec = float64(hits) / float64(totalRelevant)
+		}
+		out[i] = PRPoint{Precision: p, Recall: rec}
+	}
+	return out
+}
+
+// AccumulatedPrecision returns the precision after the Kth retrieved tuple
+// for K = 1..upto. When fewer than upto items exist, the final precision is
+// carried forward (the curve flattens, as in the paper's Figures 6-7).
+func AccumulatedPrecision(relevant []bool, upto int) []float64 {
+	out := make([]float64, upto)
+	hits := 0
+	last := 0.0
+	for k := 0; k < upto; k++ {
+		if k < len(relevant) {
+			if relevant[k] {
+				hits++
+			}
+			last = float64(hits) / float64(k+1)
+		}
+		out[k] = last
+	}
+	return out
+}
+
+// MeanCurves averages several equal-length curves pointwise (the paper's
+// "Avg. of 10 Queries" plots).
+func MeanCurves(curves [][]float64) []float64 {
+	if len(curves) == 0 {
+		return nil
+	}
+	n := len(curves[0])
+	out := make([]float64, n)
+	for _, c := range curves {
+		for i := 0; i < n && i < len(c); i++ {
+			out[i] += c[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(curves))
+	}
+	return out
+}
+
+// PrecisionRecall summarizes a full ranked list.
+func PrecisionRecall(relevant []bool, totalRelevant int) (precision, recall float64) {
+	hits := 0
+	for _, r := range relevant {
+		if r {
+			hits++
+		}
+	}
+	if len(relevant) > 0 {
+		precision = float64(hits) / float64(len(relevant))
+	}
+	if totalRelevant > 0 {
+		recall = float64(hits) / float64(totalRelevant)
+	}
+	return precision, recall
+}
+
+// TuplesToReachRecall returns, for each recall target, how many items of
+// the ranked list must be consumed to reach it, scaled by tuplesPerItem
+// (Figure 8 counts transferred tuples, not answers). A target that is never
+// reached reports -1.
+func TuplesToReachRecall(relevant []bool, totalRelevant int, targets []float64, transferred []int) []int {
+	out := make([]int, len(targets))
+	for i := range out {
+		out[i] = -1
+	}
+	if totalRelevant == 0 {
+		return out
+	}
+	hits := 0
+	for i, r := range relevant {
+		if r {
+			hits++
+		}
+		rec := float64(hits) / float64(totalRelevant)
+		cost := i + 1
+		if transferred != nil {
+			cost = transferred[i]
+		}
+		for j, tgt := range targets {
+			if out[j] < 0 && rec >= tgt-1e-12 {
+				out[j] = cost
+			}
+		}
+	}
+	return out
+}
+
+// AggAccuracy scores an estimated aggregate against the true value as
+// 1 − |est − truth| / |truth| clamped to [0, 1]; a zero truth scores 1 only
+// for an exactly-zero estimate.
+func AggAccuracy(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 1
+		}
+		return 0
+	}
+	acc := 1 - math.Abs(est-truth)/math.Abs(truth)
+	if acc < 0 {
+		return 0
+	}
+	return acc
+}
+
+// FractionAtOrAbove computes, for each threshold, the fraction of values
+// ≥ that threshold (the paper's Figure 12 CDF-style presentation).
+func FractionAtOrAbove(values []float64, thresholds []float64) []float64 {
+	out := make([]float64, len(thresholds))
+	if len(values) == 0 {
+		return out
+	}
+	for j, th := range thresholds {
+		n := 0
+		for _, v := range values {
+			if v >= th-1e-12 {
+				n++
+			}
+		}
+		out[j] = float64(n) / float64(len(values))
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRCurve(t *testing.T) {
+	rel := []bool{true, false, true, true}
+	pts := PRCurve(rel, 4)
+	wantP := []float64{1, 0.5, 2.0 / 3, 0.75}
+	wantR := []float64{0.25, 0.25, 0.5, 0.75}
+	for i := range pts {
+		if math.Abs(pts[i].Precision-wantP[i]) > 1e-12 || math.Abs(pts[i].Recall-wantR[i]) > 1e-12 {
+			t.Errorf("point %d = %+v, want P=%v R=%v", i, pts[i], wantP[i], wantR[i])
+		}
+	}
+	// Zero relevant denominator.
+	pts = PRCurve(rel, 0)
+	for _, p := range pts {
+		if p.Recall != 0 {
+			t.Error("recall must be 0 with no relevant items")
+		}
+	}
+	if len(PRCurve(nil, 5)) != 0 {
+		t.Error("empty list yields empty curve")
+	}
+}
+
+// Property: recall is nondecreasing, precision stays in [0,1].
+func TestPRCurveMonotoneRecall(t *testing.T) {
+	f := func(bits []bool) bool {
+		total := 0
+		for _, b := range bits {
+			if b {
+				total++
+			}
+		}
+		pts := PRCurve(bits, total)
+		lastR := 0.0
+		for _, p := range pts {
+			if p.Recall < lastR-1e-12 || p.Precision < 0 || p.Precision > 1 {
+				return false
+			}
+			lastR = p.Recall
+		}
+		// Final recall is 1 when any relevant items exist.
+		if total > 0 && math.Abs(lastR-1) > 1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatedPrecision(t *testing.T) {
+	rel := []bool{true, true, false}
+	ap := AccumulatedPrecision(rel, 5)
+	want := []float64{1, 1, 2.0 / 3, 2.0 / 3, 2.0 / 3} // carried forward
+	for i := range want {
+		if math.Abs(ap[i]-want[i]) > 1e-12 {
+			t.Errorf("ap[%d] = %v, want %v", i, ap[i], want[i])
+		}
+	}
+	if got := AccumulatedPrecision(nil, 3); got[0] != 0 || got[2] != 0 {
+		t.Error("empty list carries zero")
+	}
+}
+
+func TestMeanCurves(t *testing.T) {
+	m := MeanCurves([][]float64{{1, 0}, {0, 1}})
+	if m[0] != 0.5 || m[1] != 0.5 {
+		t.Errorf("MeanCurves = %v", m)
+	}
+	if MeanCurves(nil) != nil {
+		t.Error("no curves yields nil")
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	p, r := PrecisionRecall([]bool{true, false, true}, 4)
+	if math.Abs(p-2.0/3) > 1e-12 || math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("P=%v R=%v", p, r)
+	}
+	p, r = PrecisionRecall(nil, 0)
+	if p != 0 || r != 0 {
+		t.Error("empty should be 0,0")
+	}
+}
+
+func TestTuplesToReachRecall(t *testing.T) {
+	rel := []bool{true, false, true, true}
+	targets := []float64{0.25, 0.5, 0.75, 1.0}
+	got := TuplesToReachRecall(rel, 4, targets, nil)
+	want := []int{1, 3, 4, -1} // 4 relevant total, only 3 found
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("target %v: %d, want %d", targets[i], got[i], want[i])
+		}
+	}
+	// With transferred-tuple costs.
+	transferred := []int{10, 25, 40, 60}
+	got = TuplesToReachRecall(rel, 4, targets, transferred)
+	want = []int{10, 40, 60, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cost target %v: %d, want %d", targets[i], got[i], want[i])
+		}
+	}
+	if got := TuplesToReachRecall(rel, 0, targets, nil); got[0] != -1 {
+		t.Error("zero relevant: all targets unreachable")
+	}
+}
+
+func TestAggAccuracy(t *testing.T) {
+	cases := []struct{ est, truth, want float64 }{
+		{100, 100, 1},
+		{90, 100, 0.9},
+		{110, 100, 0.9},
+		{0, 100, 0},
+		{300, 100, 0}, // clamped
+		{0, 0, 1},
+		{5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := AggAccuracy(c.est, c.truth); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("AggAccuracy(%v,%v) = %v, want %v", c.est, c.truth, got, c.want)
+		}
+	}
+}
+
+func TestFractionAtOrAbove(t *testing.T) {
+	vals := []float64{0.9, 0.95, 1.0, 1.0}
+	ths := []float64{0.9, 0.95, 1.0}
+	got := FractionAtOrAbove(vals, ths)
+	want := []float64{1, 0.75, 0.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("threshold %v: %v, want %v", ths[i], got[i], want[i])
+		}
+	}
+	if got := FractionAtOrAbove(nil, ths); got[0] != 0 {
+		t.Error("no values: fractions are 0")
+	}
+}

@@ -1,0 +1,498 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// small returns the test scale; trimmed further to keep `go test` snappy
+// while preserving enough data for the result shapes to emerge.
+func small() Scale {
+	s := Small
+	s.CarsN = 5000
+	s.CensusN = 5000
+	s.ComplaintsN = 6000
+	s.WebN = 3000
+	return s
+}
+
+func findSeries(t *testing.T, rep *Report, name string) Series {
+	t.Helper()
+	for _, s := range rep.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q missing from %s; have %v", name, rep.ID, seriesNames(rep))
+	return Series{}
+}
+
+func seriesNames(rep *Report) []string {
+	var out []string
+	for _, s := range rep.Series {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+func meanY(s Series) float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, y := range s.Y {
+		sum += y
+	}
+	return sum / float64(len(s.Y))
+}
+
+func maxX(s Series) float64 {
+	m := 0.0
+	for _, x := range s.X {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablation-agg-rule", "ablation-akey-pruning", "ablation-base-vs-sample",
+		"ablation-ordering", "classifiers", "ext-multijoin", "ext-parallel",
+		"fig10", "fig11", "fig12", "fig13",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"table1", "table3",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(all), len(want), all)
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("fig3"); !ok {
+		t.Error("ByID(fig3) failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) should fail")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rep, err := Table1(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) != 3 {
+		t.Fatalf("table1 rows: %+v", rep.Tables)
+	}
+	// Incompleteness ordering: autotrader < carsdirect <= googlebase.
+	parse := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	at, cd, gb := parse(rep.Tables[0].Rows[0]), parse(rep.Tables[0].Rows[1]), parse(rep.Tables[0].Rows[2])
+	if !(at < cd && cd <= gb+1e-9) {
+		t.Errorf("incompleteness ordering violated: %v %v %v", at, cd, gb)
+	}
+	if gb < 99.9 {
+		t.Errorf("googlebase should be ~100%% incomplete, got %v", gb)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rep, err := Table3(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := rep.Tables[0]
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		best, _ := strconv.ParseFloat(row[1], 64)
+		all, _ := strconv.ParseFloat(row[2], 64)
+		hybrid, _ := strconv.ParseFloat(row[3], 64)
+		if best <= 0 || all <= 0 || hybrid <= 0 {
+			t.Fatalf("zero accuracy in %v", row)
+		}
+		// Paper's shape: Hybrid >= Best; both tend to beat All-Attributes.
+		if hybrid < best-2.0 {
+			t.Errorf("%s: hybrid (%v) should be >= best AFD (%v)", row[0], hybrid, best)
+		}
+		if hybrid < all-5.0 {
+			t.Errorf("%s: hybrid (%v) should not trail all-attributes (%v) badly", row[0], hybrid, all)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	rep, err := Figure3(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := findSeries(t, rep, "QPIAD")
+	ar := findSeries(t, rep, "AllReturned")
+	if meanY(qp) <= meanY(ar) {
+		t.Errorf("QPIAD mean precision (%v) must beat AllReturned (%v)", meanY(qp), meanY(ar))
+	}
+	if maxX(qp) < 0.5 {
+		t.Errorf("QPIAD recall reach = %v, want substantial", maxX(qp))
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	rep, err := Figure4(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := findSeries(t, rep, "QPIAD")
+	ar := findSeries(t, rep, "AllReturned")
+	if meanY(qp) <= meanY(ar) {
+		t.Errorf("Census: QPIAD (%v) must beat AllReturned (%v)", meanY(qp), meanY(ar))
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	rep, err := Figure5(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 3 {
+		t.Fatalf("series = %v", seriesNames(rep))
+	}
+	// Higher α should extend recall at least as far.
+	a0 := findSeries(t, rep, "alpha = 0.0000")
+	a1 := findSeries(t, rep, "alpha = 1.0000")
+	if maxX(a1) < maxX(a0)-1e-9 {
+		t.Errorf("α=1 recall reach (%v) should be >= α=0 (%v)", maxX(a1), maxX(a0))
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	rep, err := Figure6(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := findSeries(t, rep, "QPIAD")
+	ar := findSeries(t, rep, "AllReturned")
+	// Early-K precision gap is the headline claim.
+	if qp.Y[0] <= ar.Y[0] {
+		t.Errorf("first-tuple precision: QPIAD %v vs AllReturned %v", qp.Y[0], ar.Y[0])
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	// Price rewriting needs the {model, year} ⤳ price AFD to survive AKey
+	// pruning, which requires several sample rows per (model, year) combo:
+	// 10% of 30000 rows ≈ 3 rows per combo over the 90×10 domain.
+	s := small()
+	s.CarsN = 30000
+	rep, err := Figure7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := findSeries(t, rep, "QPIAD")
+	ar := findSeries(t, rep, "AllReturned")
+	if meanY(qp) <= meanY(ar) {
+		t.Errorf("price queries: QPIAD %v vs AllReturned %v", meanY(qp), meanY(ar))
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	rep, err := Figure8(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := findSeries(t, rep, "QPIAD")
+	ar := findSeries(t, rep, "AllRanked")
+	if len(qp.X) == 0 || len(ar.X) == 0 {
+		t.Fatal("empty cost series")
+	}
+	// At the lowest shared recall target QPIAD must be far cheaper.
+	if qp.Y[0] >= ar.Y[0] {
+		t.Errorf("QPIAD cost %v should be below AllRanked %v", qp.Y[0], ar.Y[0])
+	}
+	// AllRanked's cost is flat.
+	for i := 1; i < len(ar.Y); i++ {
+		if ar.Y[i] != ar.Y[0] {
+			t.Error("AllRanked cost must be constant")
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	rep, err := Figure9(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := findSeries(t, rep, "QPIAD")
+	if len(s.X) < 3 {
+		t.Fatalf("too few thresholds: %v", s.X)
+	}
+	// Broad trend: precision at the highest threshold >= at the lowest.
+	if s.Y[len(s.Y)-1] < s.Y[0]-0.05 {
+		t.Errorf("precision should rise with threshold: %v", s.Y)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	// Figure 10's 3% training sample needs enough absolute rows to cover
+	// the 90-model catalog; bump the dataset so 3% ≈ 360 rows.
+	s := small()
+	s.CarsN = 12000
+	rep, err := Figure10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 4 {
+		t.Fatalf("series = %v", seriesNames(rep))
+	}
+	// Robustness claim: every sample size achieves high early precision
+	// (the head of the curve — the paper's claim is no collapse at 3%).
+	for _, s := range rep.Series {
+		head := s
+		if len(head.Y) > 5 {
+			head.Y = head.Y[:5]
+		}
+		if meanY(head) < 0.5 {
+			t.Errorf("%s early precision = %v, want >= 0.5", s.Name, meanY(head))
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	rep, err := Figure11(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 2 {
+		t.Fatalf("series = %v", seriesNames(rep))
+	}
+	for _, s := range rep.Series {
+		if meanY(s) < 0.4 {
+			t.Errorf("%s correlated precision = %v, want >= 0.4", s.Name, meanY(s))
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	rep, err := Figure12(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 4 {
+		t.Fatalf("series = %v", seriesNames(rep))
+	}
+	// Prediction dominates no-prediction for both aggregates.
+	for _, agg := range []string{"Sum(price)", "Count(*)"} {
+		no := findSeries(t, rep, agg+" No Prediction")
+		pred := findSeries(t, rep, agg+" Prediction")
+		if meanY(pred) < meanY(no) {
+			t.Errorf("%s: prediction curve (%v) should dominate (%v)", agg, meanY(pred), meanY(no))
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	rep, err := Figure13(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 6 {
+		t.Fatalf("series = %v", seriesNames(rep))
+	}
+	// α=2 should reach at least the recall of α=0 for each query.
+	for _, model := range []string{"Grand Cherokee", "F150"} {
+		a0 := findSeries(t, rep, model+" alpha=0.0")
+		a2 := findSeries(t, rep, model+" alpha=2.0")
+		if maxX(a2) < maxX(a0)-0.02 {
+			t.Errorf("%s: α=2 recall (%v) < α=0 (%v)", model, maxX(a2), maxX(a0))
+		}
+	}
+}
+
+func TestAblationOrderingShape(t *testing.T) {
+	rep, err := AblationOrdering(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	recall := func(i int) float64 {
+		v, _ := strconv.ParseFloat(rows[i][2], 64)
+		return v
+	}
+	// F-measure (row 0) should be at least as good as arbitrary (row 2).
+	if recall(0) < recall(2)-1e-9 {
+		t.Errorf("f-measure recall %v < arbitrary %v", recall(0), recall(2))
+	}
+}
+
+func TestAblationBaseVsSampleShape(t *testing.T) {
+	rep, err := AblationBaseVsSample(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		baseN, _ := strconv.Atoi(row[1])
+		sampleN, _ := strconv.Atoi(row[2])
+		if baseN < sampleN {
+			t.Errorf("%s: base-set rewrites (%d) should be >= sample rewrites (%d)", row[0], baseN, sampleN)
+		}
+	}
+	// At the smallest sample the base set must find strictly more.
+	missingAt1, _ := strconv.Atoi(rows[0][3])
+	if missingAt1 == 0 {
+		t.Error("1% sample should miss determining-set values the base set has")
+	}
+}
+
+func TestAblationAKeyPruningShape(t *testing.T) {
+	rep, err := AblationAKeyPruning(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	recallOn, _ := strconv.ParseFloat(rows[0][3], 64)
+	recallOff, _ := strconv.ParseFloat(rows[1][3], 64)
+	if recallOn <= recallOff {
+		t.Errorf("pruning-on recall (%v) must exceed pruning-off (%v)", recallOn, recallOff)
+	}
+	if !strings.Contains(rows[1][1], "id") {
+		t.Errorf("with pruning disabled the id AFD should win: %v", rows[1][1])
+	}
+}
+
+func TestAblationAggregateRuleShape(t *testing.T) {
+	rep, err := AblationAggregateRule(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	argmax, _ := strconv.ParseFloat(rows[0][1], 64)
+	fractional, _ := strconv.ParseFloat(rows[1][1], 64)
+	if argmax < fractional-0.02 {
+		t.Errorf("argmax accuracy (%v) should not trail fractional (%v)", argmax, fractional)
+	}
+}
+
+func TestClassifierComparisonShape(t *testing.T) {
+	rep, err := ClassifierComparison(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		return v
+	}
+	for _, row := range rows {
+		nbcAcc, arAcc, tanAcc := parse(row[1]), parse(row[2]), parse(row[3])
+		if nbcAcc <= 0 || tanAcc <= 0 {
+			t.Fatalf("degenerate accuracies: %v", row)
+		}
+		// NBC should be competitive with TAN and beat association rules.
+		if nbcAcc < arAcc-5 {
+			t.Errorf("AFD-NBC (%v) should not trail association rules (%v)", nbcAcc, arAcc)
+		}
+	}
+}
+
+func TestExtMultiJoinShape(t *testing.T) {
+	rep, err := ExtMultiJoin(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		chains, _ := strconv.Atoi(row[1])
+		if chains == 0 {
+			t.Errorf("α=%s found no chains", row[0])
+		}
+	}
+	// Higher α never finds fewer possible chains.
+	p0, _ := strconv.Atoi(rows[0][3])
+	p2, _ := strconv.Atoi(rows[2][3])
+	if p2 < p0 {
+		t.Errorf("α=2 possible chains (%d) < α=0 (%d)", p2, p0)
+	}
+}
+
+func TestExtParallelShape(t *testing.T) {
+	rep, err := ExtParallel(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Same answers at every parallelism level.
+	for _, row := range rows[1:] {
+		if row[3] != rows[0][3] {
+			t.Errorf("answer counts differ across parallelism: %v vs %v", row[3], rows[0][3])
+		}
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := &Report{ID: "x", Title: "T"}
+	rep.Tables = append(rep.Tables, Table{
+		Name:   "tbl",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}},
+	})
+	rep.Series = append(rep.Series, Series{Name: "s", XLabel: "x", YLabel: "y", X: []float64{1}, Y: []float64{0.5}})
+	rep.AddNote("note %d", 7)
+	out := rep.Render()
+	for _, want := range []string{"=== x: T ===", "tbl", "a", "bb", "s  (y vs x)", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDownsampleSeries(t *testing.T) {
+	s := Series{X: make([]float64, 100), Y: make([]float64, 100)}
+	for i := range s.X {
+		s.X[i] = float64(i)
+		s.Y[i] = float64(i) * 2
+	}
+	d := DownsampleSeries(s, 10)
+	if len(d.X) != 10 {
+		t.Fatalf("len = %d", len(d.X))
+	}
+	if d.X[0] != 0 || d.X[9] != 99 {
+		t.Errorf("endpoints: %v %v", d.X[0], d.X[9])
+	}
+	// No-op cases.
+	if got := DownsampleSeries(s, 0); len(got.X) != 100 {
+		t.Error("n=0 should be a no-op")
+	}
+	if got := DownsampleSeries(s, 200); len(got.X) != 100 {
+		t.Error("n>len should be a no-op")
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"qpiad/internal/afd"
+	"qpiad/internal/core"
+	"qpiad/internal/datagen"
+	"qpiad/internal/eval"
+	"qpiad/internal/nbc"
+	"qpiad/internal/relation"
+	"qpiad/internal/source"
+)
+
+// defaultKnowledge is the mining configuration all experiments share:
+// QPIAD's published choices (Hybrid One-AFD at 0.5, δ = 0.3).
+func defaultKnowledge() core.KnowledgeConfig {
+	return core.KnowledgeConfig{
+		AFD:       afd.Config{MinSupport: 5},
+		Predictor: nbc.PredictorConfig{Mode: nbc.ModeHybridOneAFD},
+	}
+}
+
+// coreConfigDefault is the paper's experimental default (α=0, K=10).
+func coreConfigDefault() core.Config { return core.Config{Alpha: 0, K: 10} }
+
+// seededRng builds a deterministic generator for experiment sub-steps.
+func seededRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// carsWorld builds the standard Cars experimental world. nullAttr empty
+// selects the paper's random-attribute incompleteness protocol.
+func carsWorld(s Scale, nullAttr string, med core.Config, seedOffset int64) (*eval.World, error) {
+	return eval.NewWorld(eval.WorldConfig{
+		Name:           "cars",
+		Dataset:        datagen.Cars,
+		N:              s.CarsN,
+		IncompleteFrac: s.IncompleteFrac,
+		NullAttr:       nullAttr,
+		TrainFrac:      s.TrainFrac,
+		Seed:           s.Seed + seedOffset,
+		Caps:           source.Capabilities{AllowNullBinding: true}, // baselines need it; QPIAD never uses it
+		Mediator:       med,
+		Knowledge:      defaultKnowledge(),
+	})
+}
+
+// censusWorld builds the Census experimental world.
+func censusWorld(s Scale, nullAttr string, med core.Config, seedOffset int64) (*eval.World, error) {
+	return eval.NewWorld(eval.WorldConfig{
+		Name:           "census",
+		Dataset:        datagen.Census,
+		N:              s.CensusN,
+		IncompleteFrac: s.IncompleteFrac,
+		NullAttr:       nullAttr,
+		TrainFrac:      s.TrainFrac,
+		Seed:           s.Seed + seedOffset,
+		Caps:           source.Capabilities{AllowNullBinding: true},
+		Mediator:       med,
+		Knowledge:      defaultKnowledge(),
+	})
+}
+
+// complaintsWorld builds the Complaints world for join experiments.
+func complaintsWorld(s Scale, med core.Config, seedOffset int64) (*eval.World, error) {
+	return eval.NewWorld(eval.WorldConfig{
+		Name:           "complaints",
+		Dataset:        datagen.Complaints,
+		N:              s.ComplaintsN,
+		IncompleteFrac: s.IncompleteFrac,
+		NullAttr:       "",
+		TrainFrac:      s.TrainFrac,
+		Seed:           s.Seed + seedOffset,
+		Caps:           source.Capabilities{AllowNullBinding: true},
+		Mediator:       med,
+		Knowledge:      defaultKnowledge(),
+	})
+}
+
+// prSeries converts a PR curve into a figure series.
+func prSeries(name string, pts []eval.PRPoint) Series {
+	s := Series{Name: name, XLabel: "recall", YLabel: "precision"}
+	for _, p := range pts {
+		s.X = append(s.X, p.Recall)
+		s.Y = append(s.Y, p.Precision)
+	}
+	return s
+}
+
+// curveSeries converts an indexed curve (1-based x) into a series.
+func curveSeries(name, xlabel, ylabel string, ys []float64) Series {
+	s := Series{Name: name, XLabel: xlabel, YLabel: ylabel}
+	for i, y := range ys {
+		s.X = append(s.X, float64(i+1))
+		s.Y = append(s.Y, y)
+	}
+	return s
+}
+
+// frequentValues returns up to n values of attr ordered by descending
+// frequency in rel, skipping values rarer than minCount.
+func frequentValues(rel *relation.Relation, attr string, n, minCount int) []relation.Value {
+	col, ok := rel.Schema.Index(attr)
+	if !ok {
+		return nil
+	}
+	counts := make(map[string]int)
+	byKey := make(map[string]relation.Value)
+	for _, t := range rel.Tuples() {
+		v := t[col]
+		if v.IsNull() {
+			continue
+		}
+		counts[v.Key()]++
+		byKey[v.Key()] = v
+	}
+	keys := make([]string, 0, len(counts))
+	for k, c := range counts {
+		if c >= minCount {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > n {
+		keys = keys[:n]
+	}
+	out := make([]relation.Value, len(keys))
+	for i, k := range keys {
+		out[i] = byKey[k]
+	}
+	return out
+}
+
+// modalValueNear returns the most frequent value of a numeric attribute
+// within [lo, hi], used to pick paper-style query constants (e.g.
+// "Price=20000") that are guaranteed to exist in the data.
+func modalValueNear(rel *relation.Relation, attr string, lo, hi int64) (relation.Value, error) {
+	col, ok := rel.Schema.Index(attr)
+	if !ok {
+		return relation.Null(), fmt.Errorf("experiments: no attribute %q", attr)
+	}
+	counts := make(map[int64]int)
+	for _, t := range rel.Tuples() {
+		v := t[col]
+		if v.IsNull() || v.Kind() != relation.KindInt {
+			continue
+		}
+		x := v.IntVal()
+		if x >= lo && x <= hi {
+			counts[x]++
+		}
+	}
+	best, bestC := int64(0), 0
+	for x, c := range counts {
+		if c > bestC || (c == bestC && x < best) {
+			best, bestC = x, c
+		}
+	}
+	if bestC == 0 {
+		return relation.Null(), fmt.Errorf("experiments: no %s values in [%d,%d]", attr, lo, hi)
+	}
+	return relation.Int(best), nil
+}
+
+// fmtF renders a float compactly for table cells.
+func fmtF(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// fmtPct renders a fraction as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

@@ -1,0 +1,144 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6) plus the ablations called out in DESIGN.md. Each
+// experiment builds its world(s) with internal/eval, runs the relevant
+// QPIAD path and baselines, and returns a Report holding the same rows or
+// series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a paper-style table.
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Series is one line of a paper figure: paired X/Y values.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []Table
+	Series []Series
+	Notes  []string
+}
+
+// AddNote appends a free-text observation to the report.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the report as aligned text.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString("\n")
+		if t.Name != "" {
+			fmt.Fprintf(&b, "%s\n", t.Name)
+		}
+		widths := make([]int, len(t.Header))
+		for i, h := range t.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range t.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, c := range cells {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+			b.WriteString("\n")
+		}
+		writeRow(t.Header)
+		sep := make([]string, len(t.Header))
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+		for _, row := range t.Rows {
+			writeRow(row)
+		}
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "\n%s  (%s vs %s)\n", s.Name, s.YLabel, s.XLabel)
+		for i := range s.X {
+			fmt.Fprintf(&b, "  %8.4f  %8.4f\n", s.X[i], s.Y[i])
+		}
+	}
+	if len(r.Notes) > 0 {
+		b.WriteString("\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "note: %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// DownsampleSeries keeps at most n evenly spaced points of a series (long
+// per-tuple curves are unwieldy in text output).
+func DownsampleSeries(s Series, n int) Series {
+	if n <= 0 || len(s.X) <= n {
+		return s
+	}
+	out := Series{Name: s.Name, XLabel: s.XLabel, YLabel: s.YLabel}
+	step := float64(len(s.X)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		j := int(float64(i)*step + 0.5)
+		if j >= len(s.X) {
+			j = len(s.X) - 1
+		}
+		out.X = append(out.X, s.X[j])
+		out.Y = append(out.Y, s.Y[j])
+	}
+	return out
+}
+
+// Experiment couples an id with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Scale) (*Report, error)
+}
+
+// registry is populated by init functions in the per-experiment files.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment sorted by id.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,38 @@
+package experiments
+
+// Scale sets dataset sizes and protocol fractions for experiment runs.
+// Paper-scale runs use Full; tests and benchmarks use Small to stay fast
+// while preserving every code path and the qualitative result shape.
+type Scale struct {
+	// CarsN / CensusN / ComplaintsN / WebN are ground-truth cardinalities
+	// (paper: ≈55k, 45k, 200k, and the Table 1 site samples).
+	CarsN, CensusN, ComplaintsN, WebN int
+	// TrainFrac is the training-sample fraction (paper default 10%).
+	TrainFrac float64
+	// IncompleteFrac is the ED incompleteness (paper: 10%).
+	IncompleteFrac float64
+	// Seed drives all randomness; experiments derive sub-seeds from it.
+	Seed int64
+}
+
+// Full approximates the paper's dataset sizes.
+var Full = Scale{
+	CarsN:          55000,
+	CensusN:        45000,
+	ComplaintsN:    200000,
+	WebN:           25000,
+	TrainFrac:      0.10,
+	IncompleteFrac: 0.10,
+	Seed:           42,
+}
+
+// Small keeps every experiment under a second or two for tests and benches.
+var Small = Scale{
+	CarsN:          6000,
+	CensusN:        6000,
+	ComplaintsN:    8000,
+	WebN:           4000,
+	TrainFrac:      0.10,
+	IncompleteFrac: 0.10,
+	Seed:           42,
+}

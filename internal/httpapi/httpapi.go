@@ -1,0 +1,343 @@
+// Package httpapi exposes a QPIAD mediator as a JSON-over-HTTP web
+// service — the deployment shape of the paper's system, which ran as a
+// live web demo with a form-based interface. Endpoints:
+//
+//	GET  /healthz            liveness
+//	GET  /sources            registered sources, schemas, accounting
+//	GET  /knowledge?source=S mined AFDs / AKeys / pruned AFDs for S
+//	POST /query              {"sql": "SELECT ..."} → certain + ranked
+//	                         possible answers (or the aggregate result),
+//	                         with confidences and AFD explanations
+//
+// The FROM clause of the SQL names the source to query.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"qpiad/internal/core"
+	"qpiad/internal/relation"
+	"qpiad/internal/sqlish"
+)
+
+// Server wraps a mediator as an http.Handler.
+type Server struct {
+	med *core.Mediator
+	mux *http.ServeMux
+	// mu serializes query handling: per-request α/K overrides mutate the
+	// shared mediator configuration.
+	mu sync.Mutex
+}
+
+// New builds the handler around a configured mediator.
+func New(med *core.Mediator) *Server {
+	s := &Server{med: med, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /sources", s.handleSources)
+	s.mux.HandleFunc("GET /knowledge", s.handleKnowledge)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// sourceInfo describes one registered source.
+type sourceInfo struct {
+	Name             string   `json:"name"`
+	Schema           []string `json:"schema"`
+	Size             int      `json:"size"`
+	HasKnowledge     bool     `json:"has_knowledge"`
+	AllowNullBinding bool     `json:"allow_null_binding"`
+	Queries          int      `json:"queries"`
+	TuplesReturned   int      `json:"tuples_returned"`
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, _ *http.Request) {
+	var out []sourceInfo
+	for _, name := range s.med.SourceNames() {
+		src, _ := s.med.Source(name)
+		_, hasKnow := s.med.Knowledge(name)
+		schema := make([]string, src.Schema().Len())
+		for i := 0; i < src.Schema().Len(); i++ {
+			schema[i] = src.Schema().Attr(i).String()
+		}
+		st := src.Stats()
+		out = append(out, sourceInfo{
+			Name:             name,
+			Schema:           schema,
+			Size:             src.Size(),
+			HasKnowledge:     hasKnow,
+			AllowNullBinding: src.Capabilities().AllowNullBinding,
+			Queries:          st.Queries,
+			TuplesReturned:   st.TuplesReturned,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// afdInfo serializes one dependency.
+type afdInfo struct {
+	Determining []string `json:"determining"`
+	Dependent   string   `json:"dependent"`
+	Confidence  float64  `json:"confidence"`
+	Support     int      `json:"support"`
+}
+
+type knowledgeInfo struct {
+	Source     string    `json:"source"`
+	SampleSize int       `json:"sample_size"`
+	AFDs       []afdInfo `json:"afds"`
+	Pruned     []afdInfo `json:"pruned_afds"`
+	AKeys      []string  `json:"akeys"`
+}
+
+func (s *Server) handleKnowledge(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("source")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, "missing ?source= parameter")
+		return
+	}
+	k, ok := s.med.Knowledge(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no knowledge for source %q", name)
+		return
+	}
+	info := knowledgeInfo{Source: name, SampleSize: k.Sample.Len()}
+	for _, a := range k.AFDs.AFDs {
+		info.AFDs = append(info.AFDs, afdInfo{a.Determining, a.Dependent, a.Confidence, a.Support})
+	}
+	for _, a := range k.AFDs.Pruned {
+		info.Pruned = append(info.Pruned, afdInfo{a.Determining, a.Dependent, a.Confidence, a.Support})
+	}
+	for _, ak := range k.AFDs.AKeys {
+		info.AKeys = append(info.AKeys, ak.String())
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// queryRequest is the /query input.
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Alpha and K optionally override the mediator defaults for this
+	// query.
+	Alpha *float64 `json:"alpha,omitempty"`
+	K     *int     `json:"k,omitempty"`
+}
+
+// answerJSON is one returned tuple.
+type answerJSON struct {
+	Values      map[string]any `json:"values"`
+	Certain     bool           `json:"certain"`
+	Confidence  float64        `json:"confidence"`
+	Explanation string         `json:"explanation,omitempty"`
+}
+
+// queryResponse is the /query output for selections.
+type queryResponse struct {
+	Query     string       `json:"query"`
+	Source    string       `json:"source"`
+	Certain   []answerJSON `json:"certain"`
+	Possible  []answerJSON `json:"possible"`
+	Unranked  []answerJSON `json:"unranked,omitempty"`
+	Rewrites  []string     `json:"rewrites_issued"`
+	Generated int          `json:"rewrites_generated"`
+}
+
+// aggResponse is the /query output for aggregates.
+type aggResponse struct {
+	Query          string  `json:"query"`
+	Source         string  `json:"source"`
+	Certain        float64 `json:"certain"`
+	Possible       float64 `json:"possible"`
+	Total          float64 `json:"total"`
+	CertainRows    int     `json:"certain_rows"`
+	PossibleRows   int     `json:"possible_rows"`
+	RewritesFolded int     `json:"rewrites_folded"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.SQL == "" {
+		writeErr(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	st, err := sqlish.Parse(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	srcName := st.Query.Relation
+	src, ok := s.med.Source(srcName)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown source %q", srcName)
+		return
+	}
+	if err := st.CoerceTypes(src.Schema()); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Alpha != nil || req.K != nil {
+		cfg := s.med.Config()
+		if req.Alpha != nil {
+			cfg.Alpha = *req.Alpha
+		}
+		if req.K != nil {
+			cfg.K = *req.K
+		}
+		// The deferred call captures the pre-override configuration (defer
+		// arguments evaluate immediately), restoring it after the query.
+		defer s.med.SetConfig(s.med.Config())
+		s.med.SetConfig(cfg)
+	}
+
+	if st.Query.Agg != nil {
+		ans, err := s.med.QueryAggregate(srcName, st.Query, core.AggOptions{
+			IncludePossible: true,
+			PredictMissing:  true,
+			Rule:            core.RuleArgmax,
+		})
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, aggResponse{
+			Query:          st.Query.String(),
+			Source:         srcName,
+			Certain:        ans.Certain,
+			Possible:       ans.Possible,
+			Total:          ans.Total,
+			CertainRows:    ans.CertainRows,
+			PossibleRows:   ans.PossibleRows,
+			RewritesFolded: len(ans.Included),
+		})
+		return
+	}
+
+	rs, err := s.med.QuerySelect(srcName, st.Query)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	schema := src.Schema()
+	// ORDER BY applies within the certain and possible sections (possible
+	// answers keep their confidence ranking as the primary order when no
+	// ORDER BY is given); LIMIT caps each section.
+	if len(st.Order) > 0 {
+		cmp, err := st.Comparator(schema)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		sortAnswers(rs.Certain, cmp)
+		sortAnswers(rs.Possible, cmp)
+		sortAnswers(rs.Unranked, cmp)
+	}
+	if st.Limit > 0 {
+		rs.Certain = capAnswers(rs.Certain, st.Limit)
+		rs.Possible = capAnswers(rs.Possible, st.Limit)
+		rs.Unranked = capAnswers(rs.Unranked, st.Limit)
+	}
+	if len(st.Projection) > 0 {
+		projected, ps, err := rs.Project(schema, st.Projection)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		rs, schema = projected, ps
+	}
+	resp := queryResponse{
+		Query:     st.Query.String(),
+		Source:    srcName,
+		Certain:   toJSONAnswers(schema, rs.Certain),
+		Possible:  toJSONAnswers(schema, rs.Possible),
+		Unranked:  toJSONAnswers(schema, rs.Unranked),
+		Generated: rs.Generated,
+	}
+	for _, rq := range rs.Issued {
+		resp.Rewrites = append(resp.Rewrites, fmt.Sprintf("%s (precision %.3f)", rq.Query, rq.Precision))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sortAnswers stably orders answers by the tuple comparator.
+func sortAnswers(answers []core.Answer, cmp func(a, b relation.Tuple) int) {
+	sort.SliceStable(answers, func(i, j int) bool {
+		return cmp(answers[i].Tuple, answers[j].Tuple) < 0
+	})
+}
+
+// capAnswers truncates a section to the LIMIT.
+func capAnswers(answers []core.Answer, limit int) []core.Answer {
+	if len(answers) > limit {
+		return answers[:limit]
+	}
+	return answers
+}
+
+// toJSONAnswers renders tuples as attribute-keyed maps with native JSON
+// types (null for null).
+func toJSONAnswers(s *relation.Schema, answers []core.Answer) []answerJSON {
+	out := make([]answerJSON, len(answers))
+	for i, a := range answers {
+		vals := make(map[string]any, s.Len())
+		for c := 0; c < s.Len(); c++ {
+			vals[s.Attr(c).Name] = valueJSON(a.Tuple[c])
+		}
+		out[i] = answerJSON{
+			Values:      vals,
+			Certain:     a.Certain,
+			Confidence:  a.Confidence,
+			Explanation: a.Explanation,
+		}
+	}
+	return out
+}
+
+func valueJSON(v relation.Value) any {
+	switch v.Kind() {
+	case relation.KindNull:
+		return nil
+	case relation.KindInt:
+		return v.IntVal()
+	case relation.KindFloat:
+		return v.FloatVal()
+	case relation.KindBool:
+		return v.BoolVal()
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,139 @@
+package nbc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qpiad/internal/relation"
+)
+
+// xorRel builds the classic interaction case NBC cannot factor: the class
+// is x XOR y. The joint backoff must recover it; plain NBC cannot.
+func xorRel(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	s := relation.MustSchema(
+		relation.Attribute{Name: "x", Kind: relation.KindInt},
+		relation.Attribute{Name: "y", Kind: relation.KindInt},
+		relation.Attribute{Name: "z", Kind: relation.KindInt},
+	)
+	r := relation.New("xor", s)
+	for i := 0; i < n; i++ {
+		x := int64(rng.Intn(2))
+		y := int64(rng.Intn(2))
+		r.MustInsert(relation.Tuple{relation.Int(x), relation.Int(y), relation.Int(x ^ y)})
+	}
+	return r
+}
+
+func TestJointBackoffSolvesXOR(t *testing.T) {
+	r := xorRel(400, 1)
+	withJoint, err := Train(r, "z", []string{"x", "y"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Train(r, "z", []string{"x", "y"}, Config{DisableJointBackoff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := func(c *Classifier) float64 {
+		correct := 0
+		cases := [][3]int64{{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}}
+		for _, cs := range cases {
+			ev := map[string]relation.Value{
+				"x": relation.Int(cs[0]),
+				"y": relation.Int(cs[1]),
+			}
+			guess, _, _ := c.PredictEvidence(ev).Top()
+			if guess.IntVal() == cs[2] {
+				correct++
+			}
+		}
+		return float64(correct) / 4
+	}
+	if got := acc(withJoint); got != 1 {
+		t.Errorf("joint backoff should solve XOR, accuracy %v", got)
+	}
+	if got := acc(without); got == 1 {
+		t.Error("factored NBC should NOT solve XOR (sanity check of the ablation)")
+	}
+}
+
+func TestJointBackoffFallsBackWhenSparse(t *testing.T) {
+	r := trainRel()
+	cl, err := Train(r, "body_style", []string{"model", "make"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unseen combination: the joint table has no row, so the prediction
+	// must equal the pure-NBC posterior.
+	off, err := Train(r, "body_style", []string{"model", "make"}, Config{DisableJointBackoff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := map[string]relation.Value{
+		"model": relation.String("Z4"),
+		"make":  relation.String("Honda"), // never co-occurs with Z4
+	}
+	a := cl.PredictEvidence(ev)
+	b := off.PredictEvidence(ev)
+	for i := 0; i < a.Len(); i++ {
+		if math.Abs(a.ProbAt(i)-b.Prob(a.Value(i))) > 1e-12 {
+			t.Fatal("unseen joint combination must fall back to factored NBC")
+		}
+	}
+}
+
+func TestJointBackoffPartialEvidenceUnaffected(t *testing.T) {
+	r := trainRel()
+	cl, _ := Train(r, "body_style", []string{"model", "make"}, Config{})
+	off, _ := Train(r, "body_style", []string{"model", "make"}, Config{DisableJointBackoff: true})
+	// Evidence missing one feature: joint path cannot apply.
+	ev := map[string]relation.Value{"model": relation.String("Z4")}
+	a := cl.PredictEvidence(ev)
+	b := off.PredictEvidence(ev)
+	for i := 0; i < a.Len(); i++ {
+		if math.Abs(a.ProbAt(i)-b.Prob(a.Value(i))) > 1e-12 {
+			t.Fatal("partial evidence must bypass the joint backoff")
+		}
+	}
+}
+
+func TestJointBackoffStillADistribution(t *testing.T) {
+	r := xorRel(100, 2)
+	cl, _ := Train(r, "z", []string{"x", "y"}, Config{JointM0: 5})
+	for x := int64(0); x < 2; x++ {
+		for y := int64(0); y < 2; y++ {
+			d := cl.PredictEvidence(map[string]relation.Value{
+				"x": relation.Int(x), "y": relation.Int(y),
+			})
+			sum := 0.0
+			for i := 0; i < d.Len(); i++ {
+				p := d.ProbAt(i)
+				if p < 0 || p > 1 {
+					t.Fatalf("prob out of range: %v", p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("sum = %v", sum)
+			}
+		}
+	}
+}
+
+func TestJointM0Shrinkage(t *testing.T) {
+	// With enormous m0, the joint estimate is ignored even on exact
+	// matches, converging to factored NBC.
+	r := xorRel(200, 3)
+	heavy, _ := Train(r, "z", []string{"x", "y"}, Config{JointM0: 1e12})
+	plain, _ := Train(r, "z", []string{"x", "y"}, Config{DisableJointBackoff: true})
+	ev := map[string]relation.Value{"x": relation.Int(1), "y": relation.Int(0)}
+	a := heavy.PredictEvidence(ev)
+	b := plain.PredictEvidence(ev)
+	for i := 0; i < a.Len(); i++ {
+		if math.Abs(a.ProbAt(i)-b.Prob(a.Value(i))) > 1e-6 {
+			t.Fatal("huge JointM0 should converge to factored NBC")
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package nbc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qpiad/internal/relation"
+)
+
+// trainRel builds a relation where model strongly predicts body_style.
+func trainRel() *relation.Relation {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "make", Kind: relation.KindString},
+		relation.Attribute{Name: "model", Kind: relation.KindString},
+		relation.Attribute{Name: "body_style", Kind: relation.KindString},
+	)
+	r := relation.New("cars", s)
+	add := func(n int, make, model, style string) {
+		for i := 0; i < n; i++ {
+			r.MustInsert(relation.Tuple{relation.String(make), relation.String(model), relation.String(style)})
+		}
+	}
+	add(18, "BMW", "Z4", "Convt")
+	add(2, "BMW", "Z4", "Coupe")
+	add(3, "Audi", "A4", "Convt")
+	add(7, "Audi", "A4", "Sedan")
+	add(10, "Honda", "Civic", "Sedan")
+	return r
+}
+
+func TestTrainValidation(t *testing.T) {
+	r := trainRel()
+	if _, err := Train(r, "nope", []string{"model"}, Config{}); err == nil {
+		t.Error("unknown target should error")
+	}
+	if _, err := Train(r, "body_style", []string{"nope"}, Config{}); err == nil {
+		t.Error("unknown feature should error")
+	}
+	if _, err := Train(r, "body_style", []string{"body_style"}, Config{}); err == nil {
+		t.Error("target as feature should error")
+	}
+	s := relation.MustSchema(relation.Attribute{Name: "a", Kind: relation.KindString})
+	empty := relation.New("e", s)
+	if _, err := Train(empty, "a", nil, Config{}); err == nil {
+		t.Error("empty sample should error")
+	}
+	allNull := relation.New("n", s)
+	allNull.MustInsert(relation.Tuple{relation.Null()})
+	if _, err := Train(allNull, "a", nil, Config{}); err == nil {
+		t.Error("all-null target should error")
+	}
+}
+
+func TestPredictFollowsEvidence(t *testing.T) {
+	cl, err := Train(trainRel(), "body_style", []string{"model"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Z4 is 90% Convt in training.
+	d := cl.PredictEvidence(map[string]relation.Value{"model": relation.String("Z4")})
+	top, p, ok := d.Top()
+	if !ok || top.Str() != "Convt" {
+		t.Fatalf("Top for Z4 = %v (ok=%v)", top, ok)
+	}
+	if p < 0.7 {
+		t.Errorf("P(Convt|Z4) = %v, want high", p)
+	}
+	// Civic is 100% Sedan.
+	d = cl.PredictEvidence(map[string]relation.Value{"model": relation.String("Civic")})
+	if top, _, _ := d.Top(); top.Str() != "Sedan" {
+		t.Errorf("Top for Civic = %v", top)
+	}
+	// The paper's ordering claim: P(Convt|Z4) > P(Convt|A4).
+	pz := cl.PredictEvidence(map[string]relation.Value{"model": relation.String("Z4")}).Prob(relation.String("Convt"))
+	pa := cl.PredictEvidence(map[string]relation.Value{"model": relation.String("A4")}).Prob(relation.String("Convt"))
+	if pz <= pa {
+		t.Errorf("P(Convt|Z4)=%v should exceed P(Convt|A4)=%v", pz, pa)
+	}
+}
+
+func TestPredictNoEvidenceIsPrior(t *testing.T) {
+	cl, err := Train(trainRel(), "body_style", []string{"model"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cl.PredictEvidence(nil)
+	// Priors: Convt 21/40, Sedan 17/40, Coupe 2/40 (smoothed).
+	if top, _, _ := d.Top(); top.Str() != "Convt" {
+		t.Errorf("prior top = %v", top)
+	}
+	if d.Prob(relation.String("Coupe")) <= 0 {
+		t.Error("smoothing must keep unseen-ish classes positive")
+	}
+}
+
+func TestNullEvidenceIgnored(t *testing.T) {
+	cl, _ := Train(trainRel(), "body_style", []string{"model"}, Config{})
+	withNull := cl.PredictEvidence(map[string]relation.Value{"model": relation.Null()})
+	prior := cl.PredictEvidence(nil)
+	for i := 0; i < withNull.Len(); i++ {
+		if math.Abs(withNull.ProbAt(i)-prior.Prob(withNull.Value(i))) > 1e-12 {
+			t.Fatal("null evidence must behave as no evidence")
+		}
+	}
+}
+
+func TestUnseenEvidenceValue(t *testing.T) {
+	cl, _ := Train(trainRel(), "body_style", []string{"model"}, Config{})
+	d := cl.PredictEvidence(map[string]relation.Value{"model": relation.String("Unseen-Model")})
+	sum := 0.0
+	for i := 0; i < d.Len(); i++ {
+		p := d.ProbAt(i)
+		if p <= 0 || p > 1 {
+			t.Fatalf("prob out of range: %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("distribution sums to %v", sum)
+	}
+}
+
+func TestMEstimateNeverZero(t *testing.T) {
+	cl, _ := Train(trainRel(), "body_style", []string{"model"}, Config{M: 2})
+	// Coupe was never seen with Civic; probability must still be positive.
+	d := cl.PredictEvidence(map[string]relation.Value{"model": relation.String("Civic")})
+	if d.Prob(relation.String("Coupe")) <= 0 {
+		t.Error("m-estimate must avoid zero probabilities")
+	}
+	if d.Prob(relation.String("Convt")) <= 0 {
+		t.Error("m-estimate must avoid zero probabilities")
+	}
+}
+
+func TestNullTargetRowsSkipped(t *testing.T) {
+	r := trainRel()
+	r.MustInsert(relation.Tuple{relation.String("BMW"), relation.String("Z4"), relation.Null()})
+	cl, err := Train(r, "body_style", []string{"model"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cl.Classes() {
+		if c.IsNull() {
+			t.Error("null must not become a class")
+		}
+	}
+}
+
+func TestPredictTupleSchemaAware(t *testing.T) {
+	cl, _ := Train(trainRel(), "body_style", []string{"model", "make"}, Config{})
+	// A correlated source with a narrower schema (no make).
+	narrow := relation.MustSchema(
+		relation.Attribute{Name: "model", Kind: relation.KindString},
+	)
+	d := cl.Predict(narrow, relation.Tuple{relation.String("Z4")})
+	if top, _, _ := d.Top(); top.Str() != "Convt" {
+		t.Errorf("narrow-schema predict top = %v", top)
+	}
+}
+
+func TestDistributionAccessors(t *testing.T) {
+	d := newDistribution(
+		[]relation.Value{relation.String("a"), relation.String("b")},
+		[]float64{3, 1},
+	)
+	if d.Len() != 2 {
+		t.Error("Len")
+	}
+	if d.Prob(relation.String("a")) != 0.75 {
+		t.Errorf("Prob(a) = %v", d.Prob(relation.String("a")))
+	}
+	if d.Prob(relation.String("zzz")) != 0 {
+		t.Error("Prob of non-candidate should be 0")
+	}
+	es := d.Entries()
+	if es[0].Value.Str() != "a" || es[1].Value.Str() != "b" {
+		t.Errorf("Entries order: %v", es)
+	}
+	var empty Distribution
+	if _, _, ok := empty.Top(); ok {
+		t.Error("empty Top should be !ok")
+	}
+}
+
+func TestZeroWeightsUniform(t *testing.T) {
+	d := newDistribution(
+		[]relation.Value{relation.String("a"), relation.String("b")},
+		[]float64{0, 0},
+	)
+	if d.ProbAt(0) != 0.5 || d.ProbAt(1) != 0.5 {
+		t.Errorf("zero weights should normalize to uniform: %v %v", d.ProbAt(0), d.ProbAt(1))
+	}
+}
+
+// Property: posteriors always form a valid distribution, whatever the
+// evidence.
+func TestPosteriorIsDistribution(t *testing.T) {
+	cl, err := Train(trainRel(), "body_style", []string{"model", "make"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []string{"Z4", "A4", "Civic", "Nope", ""}
+	makes := []string{"BMW", "Audi", "Honda", "Tesla", ""}
+	f := func(mi, ki uint8) bool {
+		ev := map[string]relation.Value{}
+		if m := models[int(mi)%len(models)]; m != "" {
+			ev["model"] = relation.String(m)
+		}
+		if k := makes[int(ki)%len(makes)]; k != "" {
+			ev["make"] = relation.String(k)
+		}
+		d := cl.PredictEvidence(ev)
+		sum := 0.0
+		for i := 0; i < d.Len(); i++ {
+			p := d.ProbAt(i)
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a single feature, the NBC posterior equals the smoothed
+// empirical conditional distribution.
+func TestSingleFeatureMatchesEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := relation.MustSchema(
+		relation.Attribute{Name: "x", Kind: relation.KindInt},
+		relation.Attribute{Name: "y", Kind: relation.KindInt},
+	)
+	r := relation.New("r", s)
+	for i := 0; i < 500; i++ {
+		x := rng.Intn(3)
+		y := x
+		if rng.Float64() < 0.25 {
+			y = rng.Intn(3)
+		}
+		r.MustInsert(relation.Tuple{relation.Int(int64(x)), relation.Int(int64(y))})
+	}
+	cl, err := Train(r, "y", []string{"x"}, Config{M: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With m→0, posterior ≈ empirical P(y|x).
+	for x := 0; x < 3; x++ {
+		counts := map[int64]int{}
+		total := 0
+		for _, tu := range r.Tuples() {
+			if tu[0].IntVal() == int64(x) {
+				counts[tu[1].IntVal()]++
+				total++
+			}
+		}
+		d := cl.PredictEvidence(map[string]relation.Value{"x": relation.Int(int64(x))})
+		for y, c := range counts {
+			want := float64(c) / float64(total)
+			got := d.Prob(relation.Int(y))
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("P(y=%d|x=%d) = %v, empirical %v", y, x, got, want)
+			}
+		}
+	}
+}

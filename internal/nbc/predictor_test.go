@@ -1,0 +1,150 @@
+package nbc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qpiad/internal/afd"
+	"qpiad/internal/relation"
+)
+
+func minedFor(t *testing.T, r *relation.Relation) *afd.Result {
+	t.Helper()
+	return afd.Mine(r, afd.Config{MinSupport: 2, PruneDelta: 0.0001})
+}
+
+func TestHybridUsesBestAFD(t *testing.T) {
+	r := trainRel()
+	mined := minedFor(t, r)
+	p, err := TrainPredictor(r, "body_style", mined, PredictorConfig{Mode: ModeHybridOneAFD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UsedFallback {
+		t.Errorf("hybrid should use the mined AFD; Explain=%q", p.Explain())
+	}
+	d := p.PredictEvidence(map[string]relation.Value{"model": relation.String("Z4")})
+	if top, _, _ := d.Top(); top.Str() != "Convt" {
+		t.Errorf("hybrid predict top = %v", top)
+	}
+	if !strings.Contains(p.Explain(), "~>") {
+		t.Errorf("Explain should cite the AFD: %q", p.Explain())
+	}
+}
+
+func TestHybridFallsBackOnLowConfidence(t *testing.T) {
+	r := trainRel()
+	mined := minedFor(t, r)
+	// Force the threshold above every mined confidence.
+	p, err := TrainPredictor(r, "body_style", mined, PredictorConfig{
+		Mode:                ModeHybridOneAFD,
+		HybridMinConfidence: 1.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.UsedFallback {
+		t.Error("hybrid should fall back when no AFD meets the threshold")
+	}
+	feats := p.Features()
+	if len(feats) != 2 { // make, model
+		t.Errorf("fallback features = %v", feats)
+	}
+}
+
+func TestBestAFDModeWithoutAFDs(t *testing.T) {
+	r := trainRel()
+	p, err := TrainPredictor(r, "body_style", nil, PredictorConfig{Mode: ModeBestAFD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.UsedFallback {
+		t.Error("BestAFD with no mined result should fall back")
+	}
+}
+
+func TestAllAttributesMode(t *testing.T) {
+	r := trainRel()
+	mined := minedFor(t, r)
+	p, err := TrainPredictor(r, "body_style", mined, PredictorConfig{Mode: ModeAllAttributes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := p.Features()
+	if len(feats) != 2 {
+		t.Errorf("all-attributes features = %v", feats)
+	}
+	if p.UsedFallback {
+		t.Error("AllAttributes is not a fallback")
+	}
+}
+
+func TestEnsembleMode(t *testing.T) {
+	r := trainRel()
+	mined := minedFor(t, r)
+	p, err := TrainPredictor(r, "body_style", mined, PredictorConfig{Mode: ModeEnsemble})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.PredictEvidence(map[string]relation.Value{
+		"model": relation.String("Z4"),
+		"make":  relation.String("BMW"),
+	})
+	sum := 0.0
+	for i := 0; i < d.Len(); i++ {
+		sum += d.ProbAt(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ensemble distribution sums to %v", sum)
+	}
+	if top, _, _ := d.Top(); top.Str() != "Convt" {
+		t.Errorf("ensemble top = %v", top)
+	}
+}
+
+func TestEnsembleFallsBackWithNoAFDs(t *testing.T) {
+	r := trainRel()
+	p, err := TrainPredictor(r, "body_style", nil, PredictorConfig{Mode: ModeEnsemble})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.UsedFallback {
+		t.Error("ensemble with no AFDs should fall back")
+	}
+}
+
+func TestPredictorPredictTuple(t *testing.T) {
+	r := trainRel()
+	mined := minedFor(t, r)
+	p, err := TrainPredictor(r, "body_style", mined, PredictorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := relation.Tuple{relation.String("BMW"), relation.String("Z4"), relation.Null()}
+	d := p.Predict(r.Schema, tu)
+	if top, prob, _ := d.Top(); top.Str() != "Convt" || prob < 0.5 {
+		t.Errorf("Predict = %v (%v)", top, prob)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		ModeHybridOneAFD:  "Hybrid One-AFD",
+		ModeBestAFD:       "Best AFD",
+		ModeEnsemble:      "Ensemble",
+		ModeAllAttributes: "All Attributes",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Errorf("Mode %d String = %q want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestUnknownModeErrors(t *testing.T) {
+	r := trainRel()
+	if _, err := TrainPredictor(r, "body_style", nil, PredictorConfig{Mode: Mode(99)}); err == nil {
+		t.Error("unknown mode should error")
+	}
+}

@@ -1,0 +1,144 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc uint8
+
+const (
+	// AggCount is COUNT(*) when Attr is empty, COUNT(attr) otherwise.
+	AggCount AggFunc = iota
+	// AggSum is SUM(attr) over non-null numeric values.
+	AggSum
+	// AggAvg is AVG(attr) over non-null numeric values.
+	AggAvg
+	// AggMin is MIN(attr) over non-null values.
+	AggMin
+	// AggMax is MAX(attr) over non-null values.
+	AggMax
+)
+
+// String renders the function name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "Count"
+	case AggSum:
+		return "Sum"
+	case AggAvg:
+		return "Avg"
+	case AggMin:
+		return "Min"
+	case AggMax:
+		return "Max"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(f))
+	}
+}
+
+// Aggregate pairs an aggregate function with its target attribute.
+type Aggregate struct {
+	Func AggFunc
+	Attr string // empty means "*" (only valid for AggCount)
+}
+
+// String renders "Func(attr)".
+func (a Aggregate) String() string {
+	attr := a.Attr
+	if attr == "" {
+		attr = "*"
+	}
+	return a.Func.String() + "(" + attr + ")"
+}
+
+// AggResult is the outcome of evaluating an aggregate over a set of tuples.
+type AggResult struct {
+	// Value is the aggregate value. For COUNT it is the integer count; for
+	// MIN/MAX over non-numeric attributes Value is NaN and Extremum holds
+	// the answer.
+	Value float64
+	// Extremum holds the MIN/MAX value for non-numeric attributes.
+	Extremum Value
+	// Rows is the number of tuples that contributed.
+	Rows int
+}
+
+// Apply evaluates the aggregate over the given tuples under schema s.
+// SQL semantics: nulls are skipped for attribute aggregates; COUNT(*)
+// counts all tuples.
+func (a Aggregate) Apply(s *Schema, tuples []Tuple) (AggResult, error) {
+	if a.Func == AggCount && a.Attr == "" {
+		return AggResult{Value: float64(len(tuples)), Rows: len(tuples)}, nil
+	}
+	idx, ok := s.Index(a.Attr)
+	if !ok {
+		return AggResult{}, fmt.Errorf("relation: aggregate: no attribute %q", a.Attr)
+	}
+	var (
+		count int
+		sum   float64
+		ext   Value
+	)
+	numeric := true
+	for _, t := range tuples {
+		v := t[idx]
+		if v.IsNull() {
+			continue
+		}
+		count++
+		if f, ok := v.Numeric(); ok {
+			sum += f
+		} else {
+			numeric = false
+		}
+		if ext.IsNull() {
+			ext = v
+			continue
+		}
+		c, ok := v.Compare(ext)
+		if !ok {
+			continue
+		}
+		switch a.Func {
+		case AggMin:
+			if c < 0 {
+				ext = v
+			}
+		case AggMax:
+			if c > 0 {
+				ext = v
+			}
+		}
+	}
+	res := AggResult{Rows: count, Extremum: ext}
+	switch a.Func {
+	case AggCount:
+		res.Value = float64(count)
+	case AggSum:
+		if !numeric {
+			return res, fmt.Errorf("relation: Sum over non-numeric attribute %q", a.Attr)
+		}
+		res.Value = sum
+	case AggAvg:
+		if !numeric {
+			return res, fmt.Errorf("relation: Avg over non-numeric attribute %q", a.Attr)
+		}
+		if count == 0 {
+			res.Value = math.NaN()
+		} else {
+			res.Value = sum / float64(count)
+		}
+	case AggMin, AggMax:
+		if f, ok := ext.Numeric(); ok {
+			res.Value = f
+		} else {
+			res.Value = math.NaN()
+		}
+	default:
+		return res, fmt.Errorf("relation: unknown aggregate %v", a.Func)
+	}
+	return res, nil
+}

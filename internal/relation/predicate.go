@@ -1,0 +1,264 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates the comparison operators supported in selection predicates.
+type Op uint8
+
+const (
+	// OpEq matches tuples whose attribute equals the predicate value.
+	OpEq Op = iota
+	// OpNe matches tuples whose attribute differs from the predicate value.
+	OpNe
+	// OpLt matches attribute < value.
+	OpLt
+	// OpLe matches attribute <= value.
+	OpLe
+	// OpGt matches attribute > value.
+	OpGt
+	// OpGe matches attribute >= value.
+	OpGe
+	// OpBetween matches value <= attribute <= high (inclusive both ends,
+	// matching the paper's "Price between 15000 and 20000" examples).
+	OpBetween
+	// OpIsNull matches tuples whose attribute is null. Autonomous web
+	// sources generally refuse this operator; it exists for baselines and
+	// for oracular evaluation against ground truth.
+	OpIsNull
+	// OpNotNull matches tuples whose attribute is non-null.
+	OpNotNull
+)
+
+// String renders the operator symbol.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpBetween:
+		return "between"
+	case OpIsNull:
+		return "is null"
+	case OpNotNull:
+		return "is not null"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Predicate is a single selection condition on one attribute.
+// High is used only by OpBetween.
+type Predicate struct {
+	Attr  string
+	Op    Op
+	Value Value
+	High  Value
+}
+
+// Eq builds an equality predicate, the workhorse of web-form queries.
+func Eq(attr string, v Value) Predicate { return Predicate{Attr: attr, Op: OpEq, Value: v} }
+
+// Between builds an inclusive range predicate.
+func Between(attr string, lo, hi Value) Predicate {
+	return Predicate{Attr: attr, Op: OpBetween, Value: lo, High: hi}
+}
+
+// IsNull builds a null-binding predicate.
+func IsNull(attr string) Predicate { return Predicate{Attr: attr, Op: OpIsNull} }
+
+// Matches evaluates the predicate against tuple t under schema s.
+// SQL three-valued semantics collapse to boolean: a null attribute value
+// fails every operator except OpIsNull.
+func (p Predicate) Matches(s *Schema, t Tuple) bool {
+	i, ok := s.Index(p.Attr)
+	if !ok {
+		return false
+	}
+	v := t[i]
+	switch p.Op {
+	case OpIsNull:
+		return v.IsNull()
+	case OpNotNull:
+		return !v.IsNull()
+	}
+	if v.IsNull() {
+		return false
+	}
+	switch p.Op {
+	case OpEq:
+		return v.Equal(p.Value)
+	case OpNe:
+		return !v.Equal(p.Value)
+	case OpLt:
+		c, ok := v.Compare(p.Value)
+		return ok && c < 0
+	case OpLe:
+		c, ok := v.Compare(p.Value)
+		return ok && c <= 0
+	case OpGt:
+		c, ok := v.Compare(p.Value)
+		return ok && c > 0
+	case OpGe:
+		c, ok := v.Compare(p.Value)
+		return ok && c >= 0
+	case OpBetween:
+		lo, ok1 := v.Compare(p.Value)
+		hi, ok2 := v.Compare(p.High)
+		return ok1 && ok2 && lo >= 0 && hi <= 0
+	}
+	return false
+}
+
+// NullOn reports whether tuple t is null on the predicate's attribute.
+func (p Predicate) NullOn(s *Schema, t Tuple) bool {
+	i, ok := s.Index(p.Attr)
+	return ok && t[i].IsNull()
+}
+
+// String renders the predicate in the paper's sigma-subscript style.
+func (p Predicate) String() string {
+	switch p.Op {
+	case OpIsNull, OpNotNull:
+		return p.Attr + " " + p.Op.String()
+	case OpBetween:
+		return fmt.Sprintf("%s between %s and %s", p.Attr, p.Value, p.High)
+	default:
+		return fmt.Sprintf("%s%s%s", p.Attr, p.Op, p.Value)
+	}
+}
+
+// Query is a conjunctive selection over one relation, optionally carrying an
+// aggregate. The zero Query selects everything.
+type Query struct {
+	// Relation names the target relation (informational at this layer; the
+	// executor is handed a relation explicitly).
+	Relation string
+	// Preds are conjunctive selection predicates.
+	Preds []Predicate
+	// Agg, if non-nil, turns the query into an aggregate query over the
+	// selected tuples.
+	Agg *Aggregate
+}
+
+// NewQuery builds a selection query over the named relation.
+func NewQuery(rel string, preds ...Predicate) Query {
+	return Query{Relation: rel, Preds: preds}
+}
+
+// Clone deep-copies the query.
+func (q Query) Clone() Query {
+	out := q
+	out.Preds = make([]Predicate, len(q.Preds))
+	copy(out.Preds, q.Preds)
+	if q.Agg != nil {
+		agg := *q.Agg
+		out.Agg = &agg
+	}
+	return out
+}
+
+// Matches reports whether tuple t satisfies every predicate (a certain
+// answer in Definition 2 when the query is a selection).
+func (q Query) Matches(s *Schema, t Tuple) bool {
+	for _, p := range q.Preds {
+		if !p.Matches(s, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConstrainedAttrs returns the distinct attribute names constrained by the
+// query, in first-appearance order.
+func (q Query) ConstrainedAttrs() []string {
+	seen := make(map[string]bool, len(q.Preds))
+	var out []string
+	for _, p := range q.Preds {
+		if !seen[p.Attr] {
+			seen[p.Attr] = true
+			out = append(out, p.Attr)
+		}
+	}
+	return out
+}
+
+// PredOn returns the first predicate constraining the named attribute.
+func (q Query) PredOn(attr string) (Predicate, bool) {
+	for _, p := range q.Preds {
+		if p.Attr == attr {
+			return p, true
+		}
+	}
+	return Predicate{}, false
+}
+
+// WithoutAttr returns a copy of the query with every predicate on the named
+// attribute removed. This is the core rewriting primitive: rewritten queries
+// must not constrain the attribute whose nulls we want to retrieve.
+func (q Query) WithoutAttr(attr string) Query {
+	out := q.Clone()
+	preds := out.Preds[:0]
+	for _, p := range out.Preds {
+		if p.Attr != attr {
+			preds = append(preds, p)
+		}
+	}
+	out.Preds = preds
+	return out
+}
+
+// With returns a copy of the query with the extra predicate appended.
+func (q Query) With(p Predicate) Query {
+	out := q.Clone()
+	out.Preds = append(out.Preds, p)
+	return out
+}
+
+// Key returns a canonical encoding of the query, used to avoid issuing the
+// same rewritten query twice. Predicate order is normalized.
+func (q Query) Key() string {
+	parts := make([]string, 0, len(q.Preds)+2)
+	parts = append(parts, q.Relation)
+	ps := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		ps[i] = p.Attr + "\x1e" + p.Op.String() + "\x1e" + p.Value.Key() + "\x1e" + p.High.Key()
+	}
+	sort.Strings(ps)
+	parts = append(parts, ps...)
+	if q.Agg != nil {
+		parts = append(parts, q.Agg.String())
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// String renders the query in the paper's sigma notation.
+func (q Query) String() string {
+	parts := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		parts[i] = p.String()
+	}
+	sel := "σ[" + strings.Join(parts, " ∧ ") + "]"
+	if len(q.Preds) == 0 {
+		sel = "σ[true]"
+	}
+	if q.Relation != "" {
+		sel += "(" + q.Relation + ")"
+	}
+	if q.Agg != nil {
+		sel = q.Agg.String() + " " + sel
+	}
+	return sel
+}

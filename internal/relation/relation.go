@@ -1,0 +1,290 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Relation is an in-memory table: a schema plus tuples. Reads are safe for
+// concurrent use once loading is finished; mutation is not synchronized.
+type Relation struct {
+	Name   string
+	Schema *Schema
+
+	tuples []Tuple
+
+	mu      sync.Mutex
+	indexes map[string]map[string][]int // attr -> value key -> tuple positions
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema *Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Insert appends a tuple after validating arity and kinds (null is valid for
+// every attribute). The relation takes ownership of the tuple.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.Schema.Len() {
+		return fmt.Errorf("relation %s: tuple arity %d, schema arity %d", r.Name, len(t), r.Schema.Len())
+	}
+	for i, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		want := r.Schema.Attr(i).Kind
+		if v.Kind() != want {
+			// Permit int constants in float columns.
+			if want == KindFloat && v.Kind() == KindInt {
+				t[i] = Float(float64(v.IntVal()))
+				continue
+			}
+			return fmt.Errorf("relation %s: attribute %s wants %s, got %s",
+				r.Name, r.Schema.Attr(i).Name, want, v.Kind())
+		}
+	}
+	r.tuples = append(r.tuples, t)
+	r.invalidateIndexes()
+	return nil
+}
+
+// MustInsert is Insert that panics on error, for generators and tests.
+func (r *Relation) MustInsert(t Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuple returns the i-th tuple (not a copy).
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the underlying tuple slice. Callers must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Clone deep-copies the relation (schema shared, tuples copied).
+func (r *Relation) Clone() *Relation {
+	out := New(r.Name, r.Schema)
+	out.tuples = make([]Tuple, len(r.tuples))
+	for i, t := range r.tuples {
+		out.tuples[i] = t.Clone()
+	}
+	return out
+}
+
+func (r *Relation) invalidateIndexes() {
+	r.mu.Lock()
+	r.indexes = nil
+	r.mu.Unlock()
+}
+
+// index returns (building if needed) the hash index for the named attribute.
+func (r *Relation) index(attr string) map[string][]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.indexes == nil {
+		r.indexes = make(map[string]map[string][]int)
+	}
+	if idx, ok := r.indexes[attr]; ok {
+		return idx
+	}
+	col, ok := r.Schema.Index(attr)
+	if !ok {
+		return nil
+	}
+	idx := make(map[string][]int)
+	for i, t := range r.tuples {
+		k := t[col].Key()
+		idx[k] = append(idx[k], i)
+	}
+	r.indexes[attr] = idx
+	return idx
+}
+
+// Select returns the tuples satisfying the query's predicates, using a hash
+// index for the first equality predicate when available. The returned slice
+// aliases the relation's tuples.
+func (r *Relation) Select(q Query) []Tuple {
+	// Pick an equality (or is-null) predicate to drive index lookup.
+	drive := -1
+	for i, p := range q.Preds {
+		if p.Op == OpEq || p.Op == OpIsNull {
+			if r.Schema.Has(p.Attr) {
+				drive = i
+				break
+			}
+		}
+	}
+	var out []Tuple
+	if drive >= 0 {
+		p := q.Preds[drive]
+		key := p.Value.Key()
+		if p.Op == OpIsNull {
+			key = Null().Key()
+		}
+		idx := r.index(p.Attr)
+		for _, pos := range idx[key] {
+			t := r.tuples[pos]
+			if q.Matches(r.Schema, t) {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	for _, t := range r.tuples {
+		if q.Matches(r.Schema, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Count returns the number of tuples satisfying the query.
+func (r *Relation) Count(q Query) int {
+	return len(r.Select(q))
+}
+
+// Aggregate evaluates q's aggregate over the tuples selected by q's
+// predicates. It errors if q carries no aggregate.
+func (r *Relation) Aggregate(q Query) (AggResult, error) {
+	if q.Agg == nil {
+		return AggResult{}, fmt.Errorf("relation %s: query %s has no aggregate", r.Name, q)
+	}
+	return q.Agg.Apply(r.Schema, r.Select(q))
+}
+
+// DistinctOn returns the distinct value combinations over the named
+// attributes among the given tuples, in first-appearance order. Tuples with
+// a null on any of the attributes are skipped: a null determining-set value
+// cannot seed a rewritten query.
+func DistinctOn(s *Schema, tuples []Tuple, attrs []string) []Tuple {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		c, ok := s.Index(a)
+		if !ok {
+			return nil
+		}
+		cols[i] = c
+	}
+	seen := make(map[string]bool)
+	var out []Tuple
+	for _, t := range tuples {
+		null := false
+		for _, c := range cols {
+			if t[c].IsNull() {
+				null = true
+				break
+			}
+		}
+		if null {
+			continue
+		}
+		k := t.KeyOn(cols)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		proj := make(Tuple, len(cols))
+		for i, c := range cols {
+			proj[i] = t[c]
+		}
+		out = append(out, proj)
+	}
+	return out
+}
+
+// ProjectTuples projects each tuple onto the named attributes of schema s,
+// in the given order. QPIAD internally projects the full attribute set and
+// trims for the user at the end (Section 4 footnote); this is that trim.
+func ProjectTuples(s *Schema, tuples []Tuple, attrs []string) ([]Tuple, *Schema, error) {
+	ps, err := s.Project(attrs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		cols[i] = s.MustIndex(a)
+	}
+	out := make([]Tuple, len(tuples))
+	for i, t := range tuples {
+		pt := make(Tuple, len(cols))
+		for j, c := range cols {
+			pt[j] = t[c]
+		}
+		out[i] = pt
+	}
+	return out, ps, nil
+}
+
+// Sample returns a relation containing n tuples drawn uniformly without
+// replacement using rng. If n >= Len, a clone is returned.
+func (r *Relation) Sample(n int, rng *rand.Rand) *Relation {
+	out := New(r.Name+"_sample", r.Schema)
+	if n >= len(r.tuples) {
+		out.tuples = make([]Tuple, len(r.tuples))
+		copy(out.tuples, r.tuples)
+		return out
+	}
+	perm := rng.Perm(len(r.tuples))[:n]
+	out.tuples = make([]Tuple, 0, n)
+	for _, i := range perm {
+		out.tuples = append(out.tuples, r.tuples[i])
+	}
+	return out
+}
+
+// Domain returns the distinct non-null values of the named attribute in
+// first-appearance order.
+func (r *Relation) Domain(attr string) []Value {
+	col, ok := r.Schema.Index(attr)
+	if !ok {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []Value
+	for _, t := range r.tuples {
+		v := t[col]
+		if v.IsNull() {
+			continue
+		}
+		k := v.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IncompleteFraction returns the fraction of tuples containing at least one
+// null (the PerInc statistic of Section 5.4; also Table 1's first row).
+func (r *Relation) IncompleteFraction() float64 {
+	if len(r.tuples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range r.tuples {
+		if !t.IsComplete() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.tuples))
+}
+
+// NullFraction returns the fraction of tuples null on the named attribute.
+func (r *Relation) NullFraction(attr string) float64 {
+	col, ok := r.Schema.Index(attr)
+	if !ok || len(r.tuples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range r.tuples {
+		if t[col].IsNull() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.tuples))
+}

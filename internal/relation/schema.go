@@ -1,0 +1,152 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute is a named, typed column of a relation schema.
+type Attribute struct {
+	Name string
+	Kind Kind
+}
+
+// String renders the attribute as "name:kind".
+func (a Attribute) String() string { return a.Name + ":" + a.Kind.String() }
+
+// Schema is an ordered list of attributes with O(1) name lookup.
+// A Schema is immutable after construction and safe for concurrent use.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. Attribute names must
+// be non-empty and unique (case-sensitive).
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{
+		attrs: make([]Attribute, len(attrs)),
+		index: make(map[string]int, len(attrs)),
+	}
+	copy(s.attrs, attrs)
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("relation: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute %q", a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error. Intended for statically
+// known schemas in tests, examples and generators.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute {
+	out := make([]Attribute, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Names returns the attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Index returns the position of the named attribute, or ok=false if the
+// schema has no such attribute.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustIndex returns the position of the named attribute and panics if the
+// attribute does not exist. Use only when absence is a programming error.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: schema has no attribute %q", name))
+	}
+	return i
+}
+
+// Has reports whether the schema contains the named attribute.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// HasAll reports whether the schema contains every named attribute.
+func (s *Schema) HasAll(names []string) bool {
+	for _, n := range names {
+		if !s.Has(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// KindOf returns the kind of the named attribute, or ok=false if absent.
+func (s *Schema) KindOf(name string) (Kind, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return KindNull, false
+	}
+	return s.attrs[i].Kind, true
+}
+
+// Project builds a new schema keeping only the named attributes, in the
+// given order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	attrs := make([]Attribute, 0, len(names))
+	for _, n := range names {
+		i, ok := s.index[n]
+		if !ok {
+			return nil, fmt.Errorf("relation: project: no attribute %q", n)
+		}
+		attrs = append(attrs, s.attrs[i])
+	}
+	return NewSchema(attrs...)
+}
+
+// Equal reports whether two schemas have identical attribute lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "R(a:kind, b:kind, ...)".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,90 @@
+package relation
+
+import "testing"
+
+func carSchema() *Schema {
+	return MustSchema(
+		Attribute{"make", KindString},
+		Attribute{"model", KindString},
+		Attribute{"year", KindInt},
+		Attribute{"body_style", KindString},
+	)
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := carSchema()
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	i, ok := s.Index("year")
+	if !ok || i != 2 {
+		t.Errorf("Index(year) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("price"); ok {
+		t.Error("Index(price) should be absent")
+	}
+	if !s.Has("make") || s.Has("price") {
+		t.Error("Has misbehaves")
+	}
+	if !s.HasAll([]string{"make", "model"}) {
+		t.Error("HasAll(make,model) should be true")
+	}
+	if s.HasAll([]string{"make", "price"}) {
+		t.Error("HasAll(make,price) should be false")
+	}
+	k, ok := s.KindOf("year")
+	if !ok || k != KindInt {
+		t.Errorf("KindOf(year) = %v,%v", k, ok)
+	}
+}
+
+func TestSchemaDuplicate(t *testing.T) {
+	_, err := NewSchema(Attribute{"a", KindInt}, Attribute{"a", KindString})
+	if err == nil {
+		t.Fatal("duplicate attribute should error")
+	}
+	_, err = NewSchema(Attribute{"", KindInt})
+	if err == nil {
+		t.Fatal("empty attribute name should error")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := carSchema()
+	p, err := s.Project("year", "make")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Attr(0).Name != "year" || p.Attr(1).Name != "make" {
+		t.Errorf("Project result %v", p)
+	}
+	if _, err := s.Project("nope"); err == nil {
+		t.Error("projecting a missing attribute should error")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	if !carSchema().Equal(carSchema()) {
+		t.Error("identical schemas should be equal")
+	}
+	other := MustSchema(Attribute{"make", KindString})
+	if carSchema().Equal(other) {
+		t.Error("different schemas should not be equal")
+	}
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex on missing attribute should panic")
+		}
+	}()
+	carSchema().MustIndex("nope")
+}
+
+func TestSchemaString(t *testing.T) {
+	got := MustSchema(Attribute{"a", KindInt}).String()
+	if got != "(a:int)" {
+		t.Errorf("String() = %q", got)
+	}
+}

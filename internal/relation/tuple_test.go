@@ -1,0 +1,105 @@
+package relation
+
+import "testing"
+
+func TestTupleCompleteness(t *testing.T) {
+	full := Tuple{String("Honda"), String("Civic"), Int(2004), String("Sedan")}
+	if !full.IsComplete() || full.NullCount() != 0 {
+		t.Error("full tuple misclassified")
+	}
+	hole := Tuple{String("Honda"), Null(), Int(2004), Null()}
+	if hole.IsComplete() || hole.NullCount() != 2 {
+		t.Error("incomplete tuple misclassified")
+	}
+	s := carSchema()
+	got := hole.NullAttrs(s)
+	if len(got) != 2 || got[0] != "model" || got[1] != "body_style" {
+		t.Errorf("NullAttrs = %v", got)
+	}
+}
+
+func TestNullCountOn(t *testing.T) {
+	s := carSchema()
+	// Paper's running example: only tuples with <=1 null over constrained
+	// attributes are ranked.
+	tu := Tuple{String("Honda"), Null(), Null(), String("Coupe")}
+	if n := tu.NullCountOn(s, []string{"model", "year"}); n != 2 {
+		t.Errorf("NullCountOn(model,year) = %d", n)
+	}
+	if n := tu.NullCountOn(s, []string{"model", "body_style"}); n != 1 {
+		t.Errorf("NullCountOn(model,body_style) = %d", n)
+	}
+	if n := tu.NullCountOn(s, []string{"make"}); n != 0 {
+		t.Errorf("NullCountOn(make) = %d", n)
+	}
+	// Unknown attributes are ignored rather than counted.
+	if n := tu.NullCountOn(s, []string{"price"}); n != 0 {
+		t.Errorf("NullCountOn(price) = %d", n)
+	}
+}
+
+func TestIsCompletionOf(t *testing.T) {
+	incomplete := Tuple{String("Honda"), Null(), Int(2004), Null()}
+	yes := Tuple{String("Honda"), String("Civic"), Int(2004), String("Sedan")}
+	no := Tuple{String("Toyota"), String("Camry"), Int(2004), String("Sedan")}
+	if !yes.IsCompletionOf(incomplete) {
+		t.Error("yes should complete incomplete")
+	}
+	if no.IsCompletionOf(incomplete) {
+		t.Error("no should not complete incomplete")
+	}
+	// A complete tuple is a completion of itself.
+	if !yes.IsCompletionOf(yes) {
+		t.Error("a tuple completes itself")
+	}
+	// Arity mismatch is never a completion.
+	if yes.IsCompletionOf(Tuple{Null()}) {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestTupleEqualAndKeys(t *testing.T) {
+	a := Tuple{String("x"), Null(), Int(1)}
+	b := Tuple{String("x"), Null(), Int(1)}
+	c := Tuple{String("x"), Null(), Int(2)}
+	if !a.Equal(b) {
+		t.Error("a should equal b (null identical to null)")
+	}
+	if a.Equal(c) {
+		t.Error("a should not equal c")
+	}
+	if a.Key() != b.Key() || a.Key() == c.Key() {
+		t.Error("Key inconsistent with Equal")
+	}
+	if a.KeyOn([]int{0, 2}) == c.KeyOn([]int{0, 2}) {
+		t.Error("KeyOn should differ on differing columns")
+	}
+	if a.KeyOn([]int{0, 1}) != c.KeyOn([]int{0, 1}) {
+		t.Error("KeyOn should match on shared columns")
+	}
+}
+
+func TestTupleKeyNoCollisionAcrossPositions(t *testing.T) {
+	// ("ab","c") must not collide with ("a","bc").
+	a := Tuple{String("ab"), String("c")}
+	b := Tuple{String("a"), String("bc")}
+	if a.Key() == b.Key() {
+		t.Error("tuple key collision across field boundaries")
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	a := Tuple{String("x"), Int(1)}
+	b := a.Clone()
+	b[0] = String("y")
+	if a[0].Str() != "x" {
+		t.Error("Clone should not share storage")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := Tuple{String("Honda"), Null()}.String()
+	if got != "⟨Honda, null⟩" {
+		t.Errorf("String() = %q", got)
+	}
+}

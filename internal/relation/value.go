@@ -1,0 +1,333 @@
+// Package relation implements the relational substrate QPIAD mediates over:
+// typed values with explicit nulls, schemas, tuples, in-memory relations,
+// conjunctive selection predicates, aggregates, and CSV interchange.
+//
+// The package is deliberately self-contained (stdlib only) so that the
+// mediator, the knowledge-mining layer, and the autonomous-source simulator
+// all share one data model.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types supported by the engine. Null is a kind of
+// its own so that a Value is always self-describing.
+type Kind uint8
+
+const (
+	// KindNull marks a missing attribute value ("null" in the paper).
+	KindNull Kind = iota
+	// KindString is a categorical string value.
+	KindString
+	// KindInt is a 64-bit integer value.
+	KindInt
+	// KindFloat is a 64-bit floating point value.
+	KindFloat
+	// KindBool is a boolean value.
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a kind name (as produced by Kind.String) back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "null":
+		return KindNull, nil
+	case "string", "str":
+		return KindString, nil
+	case "int", "integer":
+		return KindInt, nil
+	case "float", "double", "real":
+		return KindFloat, nil
+	case "bool", "boolean":
+		return KindBool, nil
+	default:
+		return KindNull, fmt.Errorf("relation: unknown kind %q", s)
+	}
+}
+
+// Value is a single attribute value. The zero Value is null.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// String returns a string-kinded value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int returns an int-kinded value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a float-kinded value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool returns a bool-kinded value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind reports the kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload. It panics if v is not string-kinded.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("relation: Str on %s value", v.kind))
+	}
+	return v.s
+}
+
+// IntVal returns the int payload. It panics if v is not int-kinded.
+func (v Value) IntVal() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("relation: IntVal on %s value", v.kind))
+	}
+	return v.i
+}
+
+// FloatVal returns the float payload. It panics if v is not float-kinded.
+func (v Value) FloatVal() float64 {
+	if v.kind != KindFloat {
+		panic(fmt.Sprintf("relation: FloatVal on %s value", v.kind))
+	}
+	return v.f
+}
+
+// BoolVal returns the bool payload. It panics if v is not bool-kinded.
+func (v Value) BoolVal() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("relation: BoolVal on %s value", v.kind))
+	}
+	return v.b
+}
+
+// Numeric returns the value as a float64 for int and float kinds.
+// The second result reports whether the conversion applied.
+func (v Value) Numeric() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports whether two values are identical in kind and payload.
+// Following SQL semantics used throughout the paper, null is not equal to
+// anything, including null.
+func (v Value) Equal(o Value) bool {
+	if v.kind == KindNull || o.kind == KindNull {
+		return false
+	}
+	if v.kind != o.kind {
+		// Allow int/float cross-kind numeric equality: selection constants
+		// parsed from user input may be int while the column is float.
+		a, aok := v.Numeric()
+		b, bok := o.Numeric()
+		return aok && bok && a == b
+	}
+	switch v.kind {
+	case KindString:
+		return v.s == o.s
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindBool:
+		return v.b == o.b
+	}
+	return false
+}
+
+// Identical reports whether two values are exactly the same, treating null
+// as identical to null. This is the notion used for grouping, indexing and
+// duplicate elimination (where SQL also groups nulls together).
+func (v Value) Identical(o Value) bool {
+	if v.kind == KindNull && o.kind == KindNull {
+		return true
+	}
+	return v.Equal(o)
+}
+
+// Compare orders two non-null values. It returns -1, 0 or +1 and ok=false
+// when the values are not comparable (either is null, or kinds are
+// incomparable).
+func (v Value) Compare(o Value) (int, bool) {
+	if v.kind == KindNull || o.kind == KindNull {
+		return 0, false
+	}
+	if a, aok := v.Numeric(); aok {
+		if b, bok := o.Numeric(); bok {
+			switch {
+			case a < b:
+				return -1, true
+			case a > b:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		return 0, false
+	}
+	if v.kind != o.kind {
+		return 0, false
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, o.s), true
+	case KindBool:
+		switch {
+		case v.b == o.b:
+			return 0, true
+		case !v.b:
+			return -1, true
+		default:
+			return 1, true
+		}
+	}
+	return 0, false
+}
+
+// Key returns a canonical string encoding of the value usable as a map key.
+// Distinct values have distinct keys and identical values identical keys.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindString:
+		return "s" + v.s
+	case KindInt:
+		return "i" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return "f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.b {
+			return "bt"
+		}
+		return "bf"
+	}
+	return ""
+}
+
+// String renders the value for display. Null renders as "null".
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	}
+	return "?"
+}
+
+// CSV field escape scheme. Null and the empty string both need non-empty
+// encodings: encoding/csv silently skips blank lines, so a row whose only
+// field were empty would vanish on read. A leading backslash marks the
+// escapes; literal leading backslashes are doubled.
+const (
+	// NullToken is the CSV encoding of a null value (the MySQL convention).
+	NullToken = `\N`
+	// EmptyToken is the CSV encoding of the empty string.
+	EmptyToken = `\E`
+)
+
+// Encode renders the value for CSV interchange: null as NullToken, the
+// empty string as EmptyToken, a leading backslash doubled; everything else
+// verbatim. Decode applies the inverse mapping.
+func (v Value) Encode() string {
+	if v.kind == KindNull {
+		return NullToken
+	}
+	s := v.String()
+	if v.kind == KindString {
+		switch {
+		case s == "":
+			return EmptyToken
+		case strings.HasPrefix(s, `\`):
+			return `\` + s
+		}
+	}
+	return s
+}
+
+// Decode parses s into a value of the given kind. NullToken decodes to
+// null for every kind; for non-string kinds the empty string also decodes
+// to null (tolerating hand-written CSVs). For string kinds, EmptyToken
+// decodes to the empty string and a doubled leading backslash is stripped;
+// other leading backslashes are taken literally (so hand-written fields
+// stay stable under re-encoding).
+func Decode(kind Kind, s string) (Value, error) {
+	if s == NullToken {
+		return Null(), nil
+	}
+	if s == "" && kind != KindString {
+		return Null(), nil
+	}
+	switch kind {
+	case KindString:
+		switch {
+		case s == EmptyToken:
+			return String(""), nil
+		case strings.HasPrefix(s, `\\`):
+			return String(s[1:]), nil
+		}
+		return String(s), nil
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: decode int %q: %w", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: decode float %q: %w", s, err)
+		}
+		return Float(f), nil
+	case KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: decode bool %q: %w", s, err)
+		}
+		return Bool(b), nil
+	case KindNull:
+		return Null(), nil
+	default:
+		return Null(), fmt.Errorf("relation: decode: unknown kind %v", kind)
+	}
+}

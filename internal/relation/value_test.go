@@ -1,0 +1,205 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "null"},
+		{String("Honda"), KindString, "Honda"},
+		{Int(2004), KindInt, "2004"},
+		{Float(1.5), KindFloat, "1.5"},
+		{Bool(true), KindBool, "true"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value should be null")
+	}
+}
+
+func TestNullNeverEqual(t *testing.T) {
+	if Null().Equal(Null()) {
+		t.Error("null = null must be false under SQL semantics")
+	}
+	if Null().Equal(Int(1)) || Int(1).Equal(Null()) {
+		t.Error("null = 1 must be false")
+	}
+	if !Null().Identical(Null()) {
+		t.Error("Identical must treat null as identical to null")
+	}
+}
+
+func TestCrossKindNumericEquality(t *testing.T) {
+	if !Int(5).Equal(Float(5.0)) {
+		t.Error("Int(5) should equal Float(5)")
+	}
+	if Int(5).Equal(Float(5.5)) {
+		t.Error("Int(5) should not equal Float(5.5)")
+	}
+	if Int(5).Equal(String("5")) {
+		t.Error("Int(5) should not equal String(5)")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Float(1.5), Int(2), -1, true},
+		{String("a"), String("b"), -1, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Null(), Int(1), 0, false},
+		{String("a"), Int(1), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := c.a.Compare(c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Compare(%v,%v) = %d,%v want %d,%v", c.a, c.b, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Str on int", func() { Int(1).Str() })
+	mustPanic("IntVal on string", func() { String("x").IntVal() })
+	mustPanic("FloatVal on null", func() { Null().FloatVal() })
+	mustPanic("BoolVal on int", func() { Int(1).BoolVal() })
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(), String("Convt"), Int(-42), Float(3.25), Bool(false),
+	}
+	kinds := []Kind{KindString, KindString, KindInt, KindFloat, KindBool}
+	for i, v := range vals {
+		got, err := Decode(kinds[i], v.Encode())
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", v, err)
+		}
+		if !got.Identical(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(KindInt, "abc"); err == nil {
+		t.Error("decoding 'abc' as int should error")
+	}
+	if _, err := Decode(KindFloat, "x.y"); err == nil {
+		t.Error("decoding 'x.y' as float should error")
+	}
+	if _, err := Decode(KindBool, "maybe"); err == nil {
+		t.Error("decoding 'maybe' as bool should error")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{KindNull, KindString, KindInt, KindFloat, KindBool} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v,%v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("banana"); err == nil {
+		t.Error("ParseKind(banana) should error")
+	}
+}
+
+// Property: Key is injective on the generated sample of int/float/string
+// values and consistent with Identical.
+func TestValueKeyConsistentWithIdentical(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		vals := []Value{Int(a), Int(b), String(s1), String(s2), Null()}
+		for _, x := range vals {
+			for _, y := range vals {
+				if (x.Key() == y.Key()) != x.Identical(y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for ints.
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		c1, ok1 := x.Compare(y)
+		c2, ok2 := y.Compare(x)
+		if !ok1 || !ok2 {
+			return false
+		}
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatKeyPrecision(t *testing.T) {
+	x, y := 0.1, 0.2 // runtime addition: 0.1+0.2 != 0.3 in float64
+	a := Float(x + y)
+	b := Float(0.3)
+	if a.Key() == b.Key() {
+		t.Error("0.1+0.2 and 0.3 must have distinct keys")
+	}
+	if Float(math.Inf(1)).Key() == Float(math.MaxFloat64).Key() {
+		t.Error("inf and max float must differ")
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	if f, ok := Int(7).Numeric(); !ok || f != 7 {
+		t.Error("Int(7).Numeric() failed")
+	}
+	if f, ok := Float(2.5).Numeric(); !ok || f != 2.5 {
+		t.Error("Float(2.5).Numeric() failed")
+	}
+	if _, ok := String("x").Numeric(); ok {
+		t.Error("String.Numeric() should not be ok")
+	}
+	if _, ok := Null().Numeric(); ok {
+		t.Error("Null.Numeric() should not be ok")
+	}
+}

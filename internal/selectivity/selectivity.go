@@ -1,0 +1,66 @@
+// Package selectivity estimates rewritten-query selectivity from the
+// mediator's offline sample, per Section 5.4 of the paper:
+//
+//	EstSel(Q) = SmplSel(Q) × SmplRatio(R) × PerInc(R)
+//
+// where SmplSel is the query's cardinality on the sample, SmplRatio scales
+// the sample to the full database, and PerInc is the fraction of incomplete
+// tuples — because a rewritten query's useful yield is the incomplete
+// tuples it retrieves (complete ones were either certain answers already or
+// certain non-answers).
+package selectivity
+
+import (
+	"fmt"
+
+	"qpiad/internal/relation"
+)
+
+// Estimator scores queries against a sample.
+type Estimator struct {
+	sample *relation.Relation
+	ratio  float64
+	perInc float64
+}
+
+// New builds an estimator. ratio is SmplRatio(R) ≥ 0 and perInc is
+// PerInc(R) ∈ [0, 1].
+func New(sample *relation.Relation, ratio, perInc float64) (*Estimator, error) {
+	if sample == nil {
+		return nil, fmt.Errorf("selectivity: nil sample")
+	}
+	if ratio < 0 {
+		return nil, fmt.Errorf("selectivity: negative ratio %v", ratio)
+	}
+	if perInc < 0 || perInc > 1 {
+		return nil, fmt.Errorf("selectivity: PerInc %v outside [0,1]", perInc)
+	}
+	return &Estimator{sample: sample, ratio: ratio, perInc: perInc}, nil
+}
+
+// Sample returns the backing sample relation.
+func (e *Estimator) Sample() *relation.Relation { return e.sample }
+
+// Ratio returns SmplRatio(R).
+func (e *Estimator) Ratio() float64 { return e.ratio }
+
+// PerInc returns PerInc(R).
+func (e *Estimator) PerInc() float64 { return e.perInc }
+
+// SampleSelectivity returns SmplSel(Q): the cardinality of Q on the sample.
+func (e *Estimator) SampleSelectivity(q relation.Query) int {
+	return e.sample.Count(q)
+}
+
+// EstSel returns the estimated number of relevant incomplete tuples the
+// query would retrieve from the full database.
+func (e *Estimator) EstSel(q relation.Query) float64 {
+	return float64(e.SampleSelectivity(q)) * e.ratio * e.perInc
+}
+
+// EstSelComplete returns the estimated full-database cardinality of Q
+// without the incompleteness discount (used where the expected total result
+// size matters, e.g. join-pair cost estimates for complete queries).
+func (e *Estimator) EstSelComplete(q relation.Query) float64 {
+	return float64(e.SampleSelectivity(q)) * e.ratio
+}

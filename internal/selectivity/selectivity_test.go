@@ -1,0 +1,76 @@
+package selectivity
+
+import (
+	"testing"
+
+	"qpiad/internal/relation"
+)
+
+func sampleRel() *relation.Relation {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "model", Kind: relation.KindString},
+	)
+	r := relation.New("s", s)
+	for i := 0; i < 6; i++ {
+		r.MustInsert(relation.Tuple{relation.String("A4")})
+	}
+	for i := 0; i < 2; i++ {
+		r.MustInsert(relation.Tuple{relation.String("Z4")})
+	}
+	return r
+}
+
+func TestEstSel(t *testing.T) {
+	e, err := New(sampleRel(), 10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa := relation.NewQuery("s", relation.Eq("model", relation.String("A4")))
+	qz := relation.NewQuery("s", relation.Eq("model", relation.String("Z4")))
+	if got := e.SampleSelectivity(qa); got != 6 {
+		t.Errorf("SmplSel(A4) = %d", got)
+	}
+	// EstSel = 6 * 10 * 0.1 = 6.
+	if got := e.EstSel(qa); got != 6 {
+		t.Errorf("EstSel(A4) = %v", got)
+	}
+	if got := e.EstSel(qz); got != 2 {
+		t.Errorf("EstSel(Z4) = %v", got)
+	}
+	// Higher-selectivity query ranks higher (the A4 vs Z4 example).
+	if e.EstSel(qa) <= e.EstSel(qz) {
+		t.Error("A4 should have higher estimated selectivity")
+	}
+	if got := e.EstSelComplete(qa); got != 60 {
+		t.Errorf("EstSelComplete(A4) = %v", got)
+	}
+	if e.Ratio() != 10 || e.PerInc() != 0.1 || e.Sample() == nil {
+		t.Error("accessors misbehave")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, 1, 0.5); err == nil {
+		t.Error("nil sample should error")
+	}
+	if _, err := New(sampleRel(), -1, 0.5); err == nil {
+		t.Error("negative ratio should error")
+	}
+	if _, err := New(sampleRel(), 1, 1.5); err == nil {
+		t.Error("PerInc > 1 should error")
+	}
+	if _, err := New(sampleRel(), 1, -0.1); err == nil {
+		t.Error("PerInc < 0 should error")
+	}
+	if _, err := New(sampleRel(), 0, 0); err != nil {
+		t.Errorf("boundary values should pass: %v", err)
+	}
+}
+
+func TestUnknownQueryZero(t *testing.T) {
+	e, _ := New(sampleRel(), 10, 0.1)
+	q := relation.NewQuery("s", relation.Eq("model", relation.String("Unseen")))
+	if e.EstSel(q) != 0 {
+		t.Error("unseen value should have zero estimate")
+	}
+}

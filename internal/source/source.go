@@ -1,0 +1,203 @@
+// Package source simulates autonomous web databases as QPIAD sees them: a
+// relation hidden behind a form-style query interface with restricted
+// access patterns. The mediator can only interact with a Source through
+// Query, which enforces the capability profile the paper assumes:
+//
+//   - only attributes exposed by the local schema (and declared bindable)
+//     can be constrained;
+//   - null values cannot be bound ("list cars whose Body Style is missing"
+//     is rejected) unless the profile explicitly allows it — the paper
+//     notes web sources such as Yahoo! Autos, Cars.com and Realtor.com
+//     refuse such queries, while the AllReturned/AllRanked baselines
+//     require them;
+//   - results may be truncated at a per-query cap, and a total query budget
+//     may be imposed (the paper's "limits on the number of queries we can
+//     pose to the autonomous source").
+//
+// Every query and transferred tuple is accounted, which is what the
+// efficiency evaluation (Figure 8) measures.
+package source
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"qpiad/internal/relation"
+)
+
+// Typed errors the mediator can branch on.
+var (
+	// ErrUnsupportedAttr marks a predicate on an attribute the source does
+	// not expose or does not allow binding.
+	ErrUnsupportedAttr = errors.New("source: unsupported query attribute")
+	// ErrNullBinding marks an is-null predicate against a source that
+	// refuses null bindings.
+	ErrNullBinding = errors.New("source: null value binding not supported")
+	// ErrQueryBudget marks exhaustion of the source's query budget.
+	ErrQueryBudget = errors.New("source: query budget exhausted")
+	// ErrRangeBinding marks a range predicate against an equality-only form.
+	ErrRangeBinding = errors.New("source: range predicates not supported")
+)
+
+// Capabilities is a source's access-pattern profile.
+type Capabilities struct {
+	// BindableAttrs restricts which attributes may carry predicates. Empty
+	// means every local-schema attribute is bindable.
+	BindableAttrs []string
+	// AllowNullBinding permits is-null predicates. Web sources in the paper
+	// do not support this; it exists so the AllReturned and AllRanked
+	// baselines can be run at all.
+	AllowNullBinding bool
+	// DisallowRange rejects range (between/</>) predicates, modelling
+	// equality-only web forms.
+	DisallowRange bool
+	// MaxResults truncates each result set (0 = unlimited), modelling
+	// paginated web sources that expose only the top of a result.
+	MaxResults int
+	// MaxQueries is the total query budget (0 = unlimited).
+	MaxQueries int
+	// Latency is a simulated per-query network/processing delay, applied
+	// to every accepted query. It makes the cost of issuing many rewritten
+	// queries — and the benefit of issuing them concurrently — observable
+	// in experiments and benchmarks.
+	Latency time.Duration
+}
+
+// Stats is the access accounting the efficiency evaluation reads.
+type Stats struct {
+	// Queries is the number of accepted queries.
+	Queries int
+	// TuplesReturned is the total number of tuples transferred.
+	TuplesReturned int
+	// Rejected is the number of queries refused for capability reasons.
+	Rejected int
+}
+
+// Source wraps a backing relation behind the restricted interface.
+type Source struct {
+	name string
+	rel  *relation.Relation
+	caps Capabilities
+
+	bindable map[string]bool // nil when all local attributes are bindable
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New wraps rel as an autonomous source with the given capabilities.
+// The relation's schema is the source's local schema.
+func New(name string, rel *relation.Relation, caps Capabilities) *Source {
+	s := &Source{name: name, rel: rel, caps: caps}
+	if len(caps.BindableAttrs) > 0 {
+		s.bindable = make(map[string]bool, len(caps.BindableAttrs))
+		for _, a := range caps.BindableAttrs {
+			s.bindable[a] = true
+		}
+	}
+	return s
+}
+
+// Name returns the source name.
+func (s *Source) Name() string { return s.name }
+
+// Schema returns the source's exported (local) schema.
+func (s *Source) Schema() *relation.Schema { return s.rel.Schema }
+
+// Capabilities returns the source's access profile.
+func (s *Source) Capabilities() Capabilities { return s.caps }
+
+// Size returns the source's cardinality. Real autonomous sources do not
+// advertise this; it exists for oracular evaluation and dataset setup, not
+// for the mediator's online path.
+func (s *Source) Size() int { return s.rel.Len() }
+
+// Relation exposes the backing relation for oracular evaluation only.
+func (s *Source) Relation() *relation.Relation { return s.rel }
+
+// Supports reports whether the named attribute exists in the local schema
+// and accepts predicate bindings.
+func (s *Source) Supports(attr string) bool {
+	if !s.rel.Schema.Has(attr) {
+		return false
+	}
+	if s.bindable == nil {
+		return true
+	}
+	return s.bindable[attr]
+}
+
+// validate checks q against the capability profile.
+func (s *Source) validate(q relation.Query) error {
+	for _, p := range q.Preds {
+		if !s.Supports(p.Attr) {
+			return fmt.Errorf("%w: %q on source %s", ErrUnsupportedAttr, p.Attr, s.name)
+		}
+		switch p.Op {
+		case relation.OpIsNull:
+			if !s.caps.AllowNullBinding {
+				return fmt.Errorf("%w: %q on source %s", ErrNullBinding, p.Attr, s.name)
+			}
+		case relation.OpEq, relation.OpNotNull:
+			// always acceptable
+		default:
+			if s.caps.DisallowRange {
+				return fmt.Errorf("%w: %s on source %s", ErrRangeBinding, p, s.name)
+			}
+		}
+	}
+	return nil
+}
+
+// Query runs q against the source under its capability profile and returns
+// copies of the matching tuples (the "transferred" rows). Aggregate parts of
+// q are ignored: autonomous web sources return tuples, and the mediator
+// aggregates. Rejected queries do not consume budget.
+func (s *Source) Query(q relation.Query) ([]relation.Tuple, error) {
+	if err := s.validate(q); err != nil {
+		s.mu.Lock()
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.caps.MaxQueries > 0 && s.stats.Queries >= s.caps.MaxQueries {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: source %s (budget %d)", ErrQueryBudget, s.name, s.caps.MaxQueries)
+	}
+	s.stats.Queries++
+	s.mu.Unlock()
+
+	if s.caps.Latency > 0 {
+		time.Sleep(s.caps.Latency)
+	}
+	rows := s.rel.Select(q)
+	if s.caps.MaxResults > 0 && len(rows) > s.caps.MaxResults {
+		rows = rows[:s.caps.MaxResults]
+	}
+	out := make([]relation.Tuple, len(rows))
+	for i, t := range rows {
+		out[i] = t.Clone()
+	}
+	s.mu.Lock()
+	s.stats.TuplesReturned += len(out)
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Stats returns a snapshot of the access accounting.
+func (s *Source) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the accounting (between experiment runs).
+func (s *Source) ResetStats() {
+	s.mu.Lock()
+	s.stats = Stats{}
+	s.mu.Unlock()
+}

@@ -1,0 +1,54 @@
+package sqlish
+
+import (
+	"testing"
+
+	"qpiad/internal/relation"
+)
+
+// FuzzParse asserts the parser never panics and that successful parses
+// yield structurally sane statements. Run the fuzzer with:
+//
+//	go test -fuzz=FuzzParse ./internal/sqlish
+//
+// Under plain `go test` only the seed corpus runs.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM cars WHERE body_style = 'Convt'",
+		"SELECT make, model FROM cars WHERE price BETWEEN 15000 AND 20000",
+		"SELECT COUNT(*) FROM cars",
+		"SELECT SUM(price) FROM cars WHERE model = 'Civic' AND year >= 2001",
+		"select * from t where a is null and b is not null",
+		"SELECT * FROM t ORDER BY a DESC, b LIMIT 10",
+		"SELECT * FROM t WHERE s = 'O''Brien' AND q = \"x\"",
+		"", "SELECT", "))((", "SELECT * FROM t WHERE x = -3.5",
+		"SELECT * FROM t WHERE x != y AND z <> 1 LIMIT 0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := relation.MustSchema(
+		relation.Attribute{Name: "a", Kind: relation.KindInt},
+		relation.Attribute{Name: "b", Kind: relation.KindString},
+	)
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if st.Query.Relation == "" {
+			t.Fatalf("accepted statement without relation: %q", input)
+		}
+		for _, p := range st.Query.Preds {
+			if p.Attr == "" {
+				t.Fatalf("predicate without attribute: %q", input)
+			}
+		}
+		if st.Limit < 0 {
+			t.Fatalf("negative limit accepted: %q", input)
+		}
+		// CoerceTypes and Comparator must not panic either way.
+		_ = st.CoerceTypes(schema)
+		_, _ = st.Comparator(schema)
+	})
+}

@@ -1,0 +1,120 @@
+// Package sqlish parses a small SQL dialect into relation queries — the
+// surface the qpiad CLI and HTTP mediator expose, mirroring the paper's
+// examples:
+//
+//	SELECT * FROM cars WHERE body_style = 'Convt'
+//	SELECT make, model FROM cars WHERE model = 'Accord' AND price BETWEEN 15000 AND 20000
+//	SELECT COUNT(*) FROM cars WHERE body_style = 'Convt'
+//	SELECT SUM(price) FROM cars WHERE model = 'Civic'
+//
+// Supported: projection lists or *, the aggregates COUNT/SUM/AVG/MIN/MAX,
+// conjunctive WHERE with =, !=, <>, <, <=, >, >=, BETWEEN ... AND ...,
+// IS NULL and IS NOT NULL. Values are single- or double-quoted strings,
+// numbers, TRUE/FALSE, or barewords (treated as strings). Keywords are
+// case-insensitive; identifiers are case-sensitive.
+package sqlish
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexer output types.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens. Errors carry byte offsets.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if input[j] == quote {
+					// Doubled quote is an escaped quote.
+					if j+1 < n && input[j+1] == quote {
+						sb.WriteByte(quote)
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqlish: unterminated string starting at %d", i)
+			}
+			out = append(out, token{tokString, sb.String(), i})
+			i = j + 1
+		case isDigit(c) || (c == '-' && i+1 < n && isDigit(input[i+1])):
+			j := i + 1
+			for j < n && (isDigit(input[j]) || input[j] == '.') {
+				j++
+			}
+			out = append(out, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < n && isIdentRune(rune(input[j])) {
+				j++
+			}
+			out = append(out, token{tokIdent, input[i:j], i})
+			i = j
+		case strings.ContainsRune("(),*", rune(c)):
+			out = append(out, token{tokSymbol, string(c), i})
+			i++
+		case c == '=':
+			out = append(out, token{tokSymbol, "=", i})
+			i++
+		case c == '!' || c == '<' || c == '>':
+			if i+1 < n && (input[i+1] == '=' || (c == '<' && input[i+1] == '>')) {
+				out = append(out, token{tokSymbol, input[i : i+2], i})
+				i += 2
+			} else if c == '!' {
+				return nil, fmt.Errorf("sqlish: stray '!' at %d (did you mean !=?)", i)
+			} else {
+				out = append(out, token{tokSymbol, string(c), i})
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("sqlish: unexpected character %q at %d", c, i)
+		}
+	}
+	out = append(out, token{tokEOF, "", n})
+	return out, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

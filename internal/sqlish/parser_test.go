@@ -1,0 +1,251 @@
+package sqlish
+
+import (
+	"strings"
+	"testing"
+
+	"qpiad/internal/relation"
+)
+
+func mustParse(t *testing.T, in string) *Statement {
+	t.Helper()
+	st, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", in, err)
+	}
+	return st
+}
+
+func TestParseStarSelect(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM cars WHERE body_style = 'Convt'")
+	if st.Query.Relation != "cars" {
+		t.Errorf("relation = %q", st.Query.Relation)
+	}
+	if len(st.Projection) != 0 {
+		t.Errorf("projection = %v", st.Projection)
+	}
+	if len(st.Query.Preds) != 1 {
+		t.Fatalf("preds = %v", st.Query.Preds)
+	}
+	p := st.Query.Preds[0]
+	if p.Attr != "body_style" || p.Op != relation.OpEq || p.Value.Str() != "Convt" {
+		t.Errorf("pred = %v", p)
+	}
+}
+
+func TestParseProjection(t *testing.T) {
+	st := mustParse(t, "SELECT make, model FROM cars")
+	if len(st.Projection) != 2 || st.Projection[0] != "make" || st.Projection[1] != "model" {
+		t.Errorf("projection = %v", st.Projection)
+	}
+	if len(st.Query.Preds) != 0 {
+		t.Errorf("unexpected preds: %v", st.Query.Preds)
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM cars WHERE model = 'Accord' AND price BETWEEN 15000 AND 20000 AND year >= 2001`)
+	if len(st.Query.Preds) != 3 {
+		t.Fatalf("preds = %v", st.Query.Preds)
+	}
+	if st.Query.Preds[1].Op != relation.OpBetween ||
+		st.Query.Preds[1].Value.IntVal() != 15000 ||
+		st.Query.Preds[1].High.IntVal() != 20000 {
+		t.Errorf("between = %v", st.Query.Preds[1])
+	}
+	if st.Query.Preds[2].Op != relation.OpGe {
+		t.Errorf("ge = %v", st.Query.Preds[2])
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := map[string]relation.Op{
+		"=": relation.OpEq, "!=": relation.OpNe, "<>": relation.OpNe,
+		"<": relation.OpLt, "<=": relation.OpLe, ">": relation.OpGt, ">=": relation.OpGe,
+	}
+	for sym, op := range cases {
+		st := mustParse(t, "SELECT * FROM r WHERE x "+sym+" 5")
+		if st.Query.Preds[0].Op != op {
+			t.Errorf("%s parsed as %v", sym, st.Query.Preds[0].Op)
+		}
+	}
+}
+
+func TestParseNullPredicates(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM cars WHERE body_style IS NULL")
+	if st.Query.Preds[0].Op != relation.OpIsNull {
+		t.Errorf("pred = %v", st.Query.Preds[0])
+	}
+	st = mustParse(t, "SELECT * FROM cars WHERE body_style IS NOT NULL")
+	if st.Query.Preds[0].Op != relation.OpNotNull {
+		t.Errorf("pred = %v", st.Query.Preds[0])
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*) FROM cars WHERE body_style = 'Convt'")
+	if st.Query.Agg == nil || st.Query.Agg.Func != relation.AggCount || st.Query.Agg.Attr != "" {
+		t.Errorf("agg = %v", st.Query.Agg)
+	}
+	st = mustParse(t, "SELECT SUM(price) FROM cars")
+	if st.Query.Agg == nil || st.Query.Agg.Func != relation.AggSum || st.Query.Agg.Attr != "price" {
+		t.Errorf("agg = %v", st.Query.Agg)
+	}
+	for _, fn := range []string{"AVG", "MIN", "MAX"} {
+		st = mustParse(t, "SELECT "+fn+"(price) FROM cars")
+		if st.Query.Agg == nil || st.Query.Agg.Attr != "price" {
+			t.Errorf("%s agg = %v", fn, st.Query.Agg)
+		}
+	}
+}
+
+func TestParseValueTypes(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM r WHERE a = 'str' AND b = 42 AND c = 3.5 AND d = TRUE AND e = -7 AND f = bareword`)
+	vals := st.Query.Preds
+	if vals[0].Value.Kind() != relation.KindString {
+		t.Error("quoted string")
+	}
+	if vals[1].Value.IntVal() != 42 {
+		t.Error("int")
+	}
+	if vals[2].Value.FloatVal() != 3.5 {
+		t.Error("float")
+	}
+	if vals[3].Value.BoolVal() != true {
+		t.Error("bool")
+	}
+	if vals[4].Value.IntVal() != -7 {
+		t.Error("negative int")
+	}
+	if vals[5].Value.Str() != "bareword" {
+		t.Error("bareword")
+	}
+}
+
+func TestParseQuotedEscapes(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM r WHERE a = 'O''Brien' AND b = "say ""hi"""`)
+	if st.Query.Preds[0].Value.Str() != "O'Brien" {
+		t.Errorf("single-quote escape: %q", st.Query.Preds[0].Value.Str())
+	}
+	if st.Query.Preds[1].Value.Str() != `say "hi"` {
+		t.Errorf("double-quote escape: %q", st.Query.Preds[1].Value.Str())
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	st := mustParse(t, "select * from cars where make = Honda and year = 2004")
+	if len(st.Query.Preds) != 2 {
+		t.Errorf("preds = %v", st.Query.Preds)
+	}
+}
+
+func TestParseMultiWordValues(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM complaints WHERE general_component = 'Engine and Engine Cooling'`)
+	if st.Query.Preds[0].Value.Str() != "Engine and Engine Cooling" {
+		t.Errorf("value = %q", st.Query.Preds[0].Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE cars SET x = 1",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM cars WHERE",
+		"SELECT * FROM cars WHERE x",
+		"SELECT * FROM cars WHERE x =",
+		"SELECT * FROM cars WHERE x BETWEEN 1",
+		"SELECT * FROM cars WHERE x BETWEEN 1 AND",
+		"SELECT * FROM cars extra",
+		"SELECT SUM(*) FROM cars",
+		"SELECT COUNT( FROM cars",
+		"SELECT * FROM cars WHERE x IS",
+		"SELECT * FROM cars WHERE a = 'unterminated",
+		"SELECT * FROM cars WHERE x ! 1",
+		"SELECT * FROM cars WHERE x = @",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestCoerceTypes(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "make", Kind: relation.KindString},
+		relation.Attribute{Name: "price", Kind: relation.KindFloat},
+		relation.Attribute{Name: "year", Kind: relation.KindInt},
+		relation.Attribute{Name: "certified", Kind: relation.KindBool},
+	)
+	st := mustParse(t, `SELECT make FROM cars WHERE price = 15000 AND year = '2004' AND certified = 'true' AND make = 5`)
+	if err := st.CoerceTypes(s); err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.Preds[0].Value.Kind() != relation.KindFloat {
+		t.Error("int should coerce to float")
+	}
+	if st.Query.Preds[1].Value.IntVal() != 2004 {
+		t.Error("numeric string should coerce to int")
+	}
+	if st.Query.Preds[2].Value.BoolVal() != true {
+		t.Error("string should coerce to bool")
+	}
+	if st.Query.Preds[3].Value.Str() != "5" {
+		t.Error("number should render as string for string columns")
+	}
+}
+
+func TestCoerceBetween(t *testing.T) {
+	s := relation.MustSchema(relation.Attribute{Name: "price", Kind: relation.KindFloat})
+	st := mustParse(t, "SELECT * FROM cars WHERE price BETWEEN 1 AND 2")
+	if err := st.CoerceTypes(s); err != nil {
+		t.Fatal(err)
+	}
+	if st.Query.Preds[0].Value.Kind() != relation.KindFloat || st.Query.Preds[0].High.Kind() != relation.KindFloat {
+		t.Error("both range ends should coerce")
+	}
+}
+
+func TestCoerceErrors(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "year", Kind: relation.KindInt},
+	)
+	st := mustParse(t, "SELECT * FROM cars WHERE nope = 1")
+	if err := st.CoerceTypes(s); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown attribute: %v", err)
+	}
+	st = mustParse(t, "SELECT * FROM cars WHERE year = 'notanumber'")
+	if err := st.CoerceTypes(s); err == nil {
+		t.Error("uncoercible value should error")
+	}
+	st = mustParse(t, "SELECT nope FROM cars")
+	if err := st.CoerceTypes(s); err == nil {
+		t.Error("unknown projection should error")
+	}
+	st = mustParse(t, "SELECT SUM(nope) FROM cars")
+	if err := st.CoerceTypes(s); err == nil {
+		t.Error("unknown aggregate attribute should error")
+	}
+}
+
+func TestParseRoundTripAgainstRelation(t *testing.T) {
+	// End-to-end: parse, coerce, run against a relation.
+	s := relation.MustSchema(
+		relation.Attribute{Name: "model", Kind: relation.KindString},
+		relation.Attribute{Name: "price", Kind: relation.KindInt},
+	)
+	r := relation.New("cars", s)
+	r.MustInsert(relation.Tuple{relation.String("Civic"), relation.Int(15000)})
+	r.MustInsert(relation.Tuple{relation.String("Civic"), relation.Int(18000)})
+	r.MustInsert(relation.Tuple{relation.String("Z4"), relation.Int(36000)})
+	st := mustParse(t, "SELECT * FROM cars WHERE model = 'Civic' AND price BETWEEN 14000 AND 16000")
+	if err := st.CoerceTypes(s); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Select(st.Query)
+	if len(got) != 1 || got[0][1].IntVal() != 15000 {
+		t.Errorf("select = %v", got)
+	}
+}

@@ -1,0 +1,381 @@
+// Package qpiad is the public face of a from-scratch reproduction of
+// "Query Processing over Incomplete Autonomous Databases" (Wolf, Khatri,
+// Chokshi, Fan, Chen, Kambhampati; VLDB 2007 — introduced as an ICDE 2007
+// poster).
+//
+// QPIAD is a mediator for autonomous web databases whose tuples have
+// missing (null) attribute values. Traditional mediators return only the
+// certain answers, silently dropping tuples that are relevant but
+// incomplete on a constrained attribute. QPIAD additionally retrieves
+// those *relevant possible answers* — without binding nulls (which web
+// forms refuse) and without modifying the sources — by rewriting the user
+// query along mined Approximate Functional Dependencies and ordering the
+// rewrites by an F-measure over estimated precision and recall.
+//
+// A minimal session:
+//
+//	sys := qpiad.New(qpiad.Config{Alpha: 0, K: 10})
+//	sys.AddSource("cars", carsRelation, qpiad.Capabilities{})
+//	if err := sys.LearnFromSample("cars", sampleRelation); err != nil { ... }
+//	rs, err := sys.Query("cars", qpiad.NewQuery("cars",
+//	    qpiad.Eq("body_style", qpiad.String("Convt"))))
+//	// rs.Certain — exact matches; rs.Possible — ranked possible answers.
+//
+// The heavy lifting lives in the internal packages (relation, afd, nbc,
+// selectivity, sample, source, core, baseline); this package re-exports
+// the types a client needs and wires them with sensible defaults.
+package qpiad
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qpiad/internal/afd"
+	"qpiad/internal/core"
+	"qpiad/internal/nbc"
+	"qpiad/internal/relation"
+	"qpiad/internal/sample"
+	"qpiad/internal/source"
+	"qpiad/internal/sqlish"
+)
+
+// Re-exported data-model types. See the internal/relation package for full
+// documentation of each.
+type (
+	// Relation is an in-memory table with typed values and explicit nulls.
+	Relation = relation.Relation
+	// Schema is an ordered attribute list.
+	Schema = relation.Schema
+	// Attribute is a named, typed column.
+	Attribute = relation.Attribute
+	// Tuple is a row of values.
+	Tuple = relation.Tuple
+	// Value is a typed attribute value (string/int/float/bool/null).
+	Value = relation.Value
+	// Kind enumerates value types.
+	Kind = relation.Kind
+	// Query is a conjunctive selection, optionally with an aggregate.
+	Query = relation.Query
+	// Predicate is one selection condition.
+	Predicate = relation.Predicate
+	// Aggregate pairs an aggregate function with its attribute.
+	Aggregate = relation.Aggregate
+)
+
+// Value kinds.
+const (
+	KindNull   = relation.KindNull
+	KindString = relation.KindString
+	KindInt    = relation.KindInt
+	KindFloat  = relation.KindFloat
+	KindBool   = relation.KindBool
+)
+
+// Aggregate functions.
+const (
+	AggCount = relation.AggCount
+	AggSum   = relation.AggSum
+	AggAvg   = relation.AggAvg
+	AggMin   = relation.AggMin
+	AggMax   = relation.AggMax
+)
+
+// Value constructors.
+var (
+	// Null is the missing value.
+	Null = relation.Null
+	// String builds a string value.
+	String = relation.String
+	// Int builds an integer value.
+	Int = relation.Int
+	// Float builds a float value.
+	Float = relation.Float
+	// Bool builds a boolean value.
+	Bool = relation.Bool
+)
+
+// Schema and relation constructors.
+var (
+	// NewSchema builds a schema from attributes.
+	NewSchema = relation.NewSchema
+	// MustSchema is NewSchema that panics on error.
+	MustSchema = relation.MustSchema
+	// NewRelation creates an empty relation.
+	NewRelation = relation.New
+	// LoadCSV reads a relation from a typed-header CSV file.
+	LoadCSV = relation.LoadCSV
+	// ReadCSV reads a relation from a typed-header CSV stream.
+	ReadCSV = relation.ReadCSV
+)
+
+// Query constructors.
+var (
+	// NewQuery builds a selection query.
+	NewQuery = relation.NewQuery
+	// Eq builds an equality predicate.
+	Eq = relation.Eq
+	// Between builds an inclusive range predicate.
+	Between = relation.Between
+)
+
+// Statement is a parsed SQL statement: the relational query plus an
+// optional projection column list.
+type Statement = sqlish.Statement
+
+// ParseSQL parses a small SQL dialect into a query, e.g.
+//
+//	SELECT * FROM cars WHERE body_style = 'Convt'
+//	SELECT make, model FROM cars WHERE price BETWEEN 15000 AND 20000
+//	SELECT COUNT(*) FROM cars WHERE model = 'Accord'
+//
+// Call Statement.CoerceTypes with the target schema to align literal types
+// before executing.
+func ParseSQL(input string) (*Statement, error) {
+	return sqlish.Parse(input)
+}
+
+// Mediator-layer types.
+type (
+	// Capabilities is an autonomous source's access-pattern profile.
+	Capabilities = source.Capabilities
+	// SourceStats is per-source query/tuple accounting.
+	SourceStats = source.Stats
+	// Answer is one returned tuple with its relevance assessment.
+	Answer = core.Answer
+	// ResultSet is the outcome of a selection query: certain answers, then
+	// ranked possible answers, then the unranked multi-null tail.
+	ResultSet = core.ResultSet
+	// RewrittenQuery is one issued rewrite with its ranking statistics.
+	RewrittenQuery = core.RewrittenQuery
+	// AggAnswer is the outcome of an aggregate query.
+	AggAnswer = core.AggAnswer
+	// AggOptions tunes aggregate processing.
+	AggOptions = core.AggOptions
+	// JoinSpec describes a two-way join query.
+	JoinSpec = core.JoinSpec
+	// JoinResult is the outcome of a join query.
+	JoinResult = core.JoinResult
+	// JoinAnswer is one joined tuple pair.
+	JoinAnswer = core.JoinAnswer
+	// ChainSpec describes an n-way chain join (multi-way extension).
+	ChainSpec = core.ChainSpec
+	// ChainResult is the outcome of a chain join.
+	ChainResult = core.ChainResult
+	// ChainAnswer is one joined chain of tuples.
+	ChainAnswer = core.ChainAnswer
+	// GlobalResult is the merged outcome of a global-schema query fanned
+	// out across every registered source.
+	GlobalResult = core.GlobalResult
+	// Knowledge is a source's mined statistics (AFDs, classifiers,
+	// selectivity estimates).
+	Knowledge = core.Knowledge
+	// AFD is a mined approximate functional dependency.
+	AFD = afd.AFD
+)
+
+// Aggregate inclusion rules (Section 4.4).
+const (
+	// RuleArgmax includes a rewrite's whole aggregate iff the predicted
+	// most-likely value satisfies the predicate (the paper's rule).
+	RuleArgmax = core.RuleArgmax
+	// RuleFractional weighs each rewrite's aggregate by its precision
+	// (the footnote-4 alternative).
+	RuleFractional = core.RuleFractional
+)
+
+// Config tunes a System.
+type Config struct {
+	// Alpha is the F-measure weight: 0 = precision-only ordering,
+	// 1 = balanced, larger favors recall. Default 0.
+	Alpha float64
+	// K caps the rewritten queries issued per user query. Default 10;
+	// K < 0 means unlimited.
+	K int
+	// AFD tunes dependency mining (zero value = paper defaults: β=0.5,
+	// δ=0.3, determining sets up to 3 attributes).
+	AFD afd.Config
+	// Predictor tunes the missing-value classifiers (zero value = the
+	// paper's Hybrid One-AFD with m-estimate smoothing).
+	Predictor nbc.PredictorConfig
+	// Parallel bounds concurrent rewritten-query issuing per user query
+	// (0 or 1 = sequential). Results are identical either way; only
+	// wall-clock time changes when sources have latency.
+	Parallel int
+}
+
+// System is a configured QPIAD mediator over registered sources.
+type System struct {
+	cfg Config
+	med *core.Mediator
+}
+
+// New creates a System.
+func New(cfg Config) *System {
+	k := cfg.K
+	if k == 0 {
+		k = 10
+	}
+	if k < 0 {
+		k = 0 // core interprets 0 as unlimited
+	}
+	return &System{
+		cfg: cfg,
+		med: core.New(core.Config{Alpha: cfg.Alpha, K: k, Parallel: cfg.Parallel}),
+	}
+}
+
+// Mediator exposes the underlying mediator for advanced use (ordering
+// ablations, direct knowledge access).
+func (s *System) Mediator() *core.Mediator { return s.med }
+
+// AddSource registers a relation as an autonomous source with the given
+// access profile. Knowledge must be learned (LearnFromSample or
+// LearnByProbing) before the source can answer QPIAD queries; sources
+// reached only through correlated knowledge (Section 4.3) may stay
+// unlearned.
+func (s *System) AddSource(name string, rel *Relation, caps Capabilities) error {
+	if name == "" || rel == nil {
+		return fmt.Errorf("qpiad: AddSource needs a name and a relation")
+	}
+	if _, exists := s.med.Source(name); exists {
+		return fmt.Errorf("qpiad: source %q already registered", name)
+	}
+	s.med.Register(source.New(name, rel, caps), nil)
+	return nil
+}
+
+// LearnFromSample mines AFDs, classifiers and selectivity estimates for a
+// registered source from an already-obtained sample relation. ratio is the
+// source-size over sample-size scaling (pass 0 to estimate it as
+// sourceSize/sampleSize when the source size is known).
+func (s *System) LearnFromSample(name string, smpl *Relation, ratio float64) error {
+	src, ok := s.med.Source(name)
+	if !ok {
+		return fmt.Errorf("qpiad: unknown source %q", name)
+	}
+	if ratio == 0 {
+		if smpl.Len() == 0 {
+			return fmt.Errorf("qpiad: empty sample for %q", name)
+		}
+		ratio = float64(src.Size()) / float64(smpl.Len())
+	}
+	k, err := core.MineKnowledge(name, smpl, ratio, smpl.IncompleteFraction(), core.KnowledgeConfig{
+		AFD:       s.cfg.AFD,
+		Predictor: s.cfg.Predictor,
+	})
+	if err != nil {
+		return err
+	}
+	s.med.Register(src, k)
+	return nil
+}
+
+// ProbeConfig re-exports the random-probing sampler configuration.
+type ProbeConfig = sample.Config
+
+// LearnByProbing samples the source with random probing queries through
+// its restricted interface (the paper's offline knowledge-mining protocol)
+// and mines knowledge from the probed sample.
+func (s *System) LearnByProbing(name string, cfg ProbeConfig, seed int64) error {
+	src, ok := s.med.Source(name)
+	if !ok {
+		return fmt.Errorf("qpiad: unknown source %q", name)
+	}
+	if cfg.Rng == nil {
+		cfg.Rng = rand.New(rand.NewSource(seed))
+	}
+	res, err := sample.Probe(src, cfg)
+	if err != nil {
+		return err
+	}
+	ratio := float64(src.Size()) / float64(res.Sample.Len())
+	k, err := core.MineKnowledge(name, res.Sample, ratio, res.PerInc, core.KnowledgeConfig{
+		AFD:       s.cfg.AFD,
+		Predictor: s.cfg.Predictor,
+	})
+	if err != nil {
+		return err
+	}
+	s.med.Register(src, k)
+	return nil
+}
+
+// Query runs the QPIAD selection algorithm: certain answers plus ranked
+// relevant possible answers (Section 4.2).
+func (s *System) Query(sourceName string, q Query) (*ResultSet, error) {
+	return s.med.QuerySelect(sourceName, q)
+}
+
+// QueryCorrelated answers a query whose constrained attribute the target
+// source does not support, using knowledge from a correlated source
+// (Section 4.3).
+func (s *System) QueryCorrelated(targetSource string, q Query) (*ResultSet, error) {
+	return s.med.QuerySelectCorrelated(targetSource, q)
+}
+
+// QueryGlobal runs a selection on the mediator's global schema against
+// every registered source — directly where the source supports the query
+// and has learned knowledge, through correlated knowledge where it lacks
+// the constrained attribute — and merges the ranked possible answers.
+func (s *System) QueryGlobal(q Query) (*GlobalResult, error) {
+	return s.med.QuerySelectGlobal(q)
+}
+
+// QueryAggregate processes an aggregate query, optionally folding in
+// incomplete tuples via rewritten queries and predicted values
+// (Section 4.4).
+func (s *System) QueryAggregate(sourceName string, q Query, opts AggOptions) (*AggAnswer, error) {
+	return s.med.QueryAggregate(sourceName, q, opts)
+}
+
+// QueryJoin processes a two-way join over incomplete sources via ranked
+// query pairs (Section 4.5).
+func (s *System) QueryJoin(spec JoinSpec) (*JoinResult, error) {
+	return s.med.QueryJoin(spec)
+}
+
+// QueryJoinChain processes an n-way chain join, planning each adjacency as
+// a Section 4.5 query-pair problem (the paper's footnote 5 extension).
+func (s *System) QueryJoinChain(spec ChainSpec) (*ChainResult, error) {
+	return s.med.QueryJoinChain(spec)
+}
+
+// Knowledge returns the mined knowledge of a source, if learned.
+func (s *System) Knowledge(sourceName string) (*Knowledge, bool) {
+	return s.med.Knowledge(sourceName)
+}
+
+// SaveKnowledge persists a source's mined knowledge to a file. The probed
+// sample is the expensive artifact (it was acquired through the source's
+// restricted interface); loading re-mines it deterministically.
+func (s *System) SaveKnowledge(sourceName, path string) error {
+	k, ok := s.med.Knowledge(sourceName)
+	if !ok {
+		return fmt.Errorf("qpiad: no knowledge for source %q", sourceName)
+	}
+	return k.SaveFile(path, core.KnowledgeConfig{AFD: s.cfg.AFD, Predictor: s.cfg.Predictor})
+}
+
+// LoadKnowledge restores previously saved knowledge for a registered
+// source, skipping the probing phase entirely.
+func (s *System) LoadKnowledge(sourceName, path string) error {
+	src, ok := s.med.Source(sourceName)
+	if !ok {
+		return fmt.Errorf("qpiad: unknown source %q", sourceName)
+	}
+	k, err := core.LoadKnowledgeFile(path)
+	if err != nil {
+		return err
+	}
+	s.med.Register(src, k)
+	return nil
+}
+
+// SourceStats returns the access accounting of a registered source.
+func (s *System) SourceStats(sourceName string) (SourceStats, bool) {
+	src, ok := s.med.Source(sourceName)
+	if !ok {
+		return SourceStats{}, false
+	}
+	return src.Stats(), true
+}
