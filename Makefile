@@ -1,0 +1,26 @@
+# QPIAD build/test targets. `make tier1` is the gate CI runs: build, vet,
+# and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: tier1 build vet test race bench clean
+
+tier1: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+clean:
+	$(GO) clean ./...

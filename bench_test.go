@@ -11,11 +11,13 @@ package qpiad
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"qpiad/internal/afd"
 	"qpiad/internal/core"
 	"qpiad/internal/datagen"
 	"qpiad/internal/experiments"
+	"qpiad/internal/faults"
 	"qpiad/internal/nbc"
 	"qpiad/internal/relation"
 	"qpiad/internal/source"
@@ -73,6 +75,7 @@ func BenchmarkFigure13(b *testing.B)                 { runExperiment(b, "fig13")
 
 func BenchmarkExtMultiJoin(b *testing.B)            { runExperiment(b, "ext-multijoin") }
 func BenchmarkExtParallel(b *testing.B)             { runExperiment(b, "ext-parallel") }
+func BenchmarkExtResilience(b *testing.B)           { runExperiment(b, "ext-resilience") }
 func BenchmarkAblationOrdering(b *testing.B)        { runExperiment(b, "ablation-ordering") }
 func BenchmarkAblationBaseSetVsSample(b *testing.B) { runExperiment(b, "ablation-base-vs-sample") }
 func BenchmarkAblationAKeyPruning(b *testing.B)     { runExperiment(b, "ablation-akey-pruning") }
@@ -159,6 +162,39 @@ func BenchmarkQuerySelectEndToEnd(b *testing.B) {
 	k := benchKnowledge(b, ed)
 	med := core.New(core.Config{Alpha: 0, K: 10})
 	med.Register(source.New("cars", ed, source.Capabilities{}), k)
+	q := relation.NewQuery("cars", relation.Eq("body_style", relation.String("Convt")))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := med.QuerySelect("cars", q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Certain) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+func BenchmarkResilientFetch(b *testing.B) {
+	// End-to-end selection against a 30% transient-error source with
+	// microsecond-scale backoffs: the cost of the retry layer itself.
+	ed := benchSample(8000)
+	k := benchKnowledge(b, ed)
+	med := core.New(core.Config{
+		Alpha: 0, K: 10, Parallel: 4,
+		Retry: core.RetryPolicy{
+			MaxAttempts: 3,
+			BaseBackoff: 50 * time.Microsecond,
+			MaxBackoff:  500 * time.Microsecond,
+		},
+	})
+	src := source.New("cars", ed, source.Capabilities{})
+	// Seed 1 lets the base query through within the attempt budget for
+	// every iteration (fault decisions depend only on query key + attempt,
+	// not iteration count, so one good seed holds for all of b.N).
+	src.SetFaults(faults.New(faults.Profile{Seed: 1, TransientRate: 0.3}))
+	med.Register(src, k)
 	q := relation.NewQuery("cars", relation.Eq("body_style", relation.String("Convt")))
 	b.ReportAllocs()
 	b.ResetTimer()

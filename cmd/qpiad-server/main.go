@@ -5,7 +5,12 @@
 //	GET  /healthz
 //	GET  /sources
 //	GET  /knowledge?source=cars
+//	GET  /metrics
 //	POST /query   {"sql": "SELECT * FROM cars WHERE body_style = 'Convt'"}
+//
+// Flaky-source simulation: -error-rate/-timeout-rate/-latency-jitter attach
+// a deterministic fault injector to every source (seeded by -fault-seed);
+// -retries and -attempt-timeout tune the mediator's retry policy.
 //
 // Example session:
 //
@@ -25,6 +30,7 @@ import (
 	"qpiad/internal/afd"
 	"qpiad/internal/core"
 	"qpiad/internal/datagen"
+	"qpiad/internal/faults"
 	"qpiad/internal/httpapi"
 	"qpiad/internal/nbc"
 	"qpiad/internal/relation"
@@ -42,14 +48,36 @@ func main() {
 		alpha    = flag.Float64("alpha", 0, "default F-measure alpha")
 		k        = flag.Int("k", 10, "default rewritten-query budget")
 		parallel = flag.Int("parallel", 4, "concurrent rewrite issuing")
+
+		errRate     = flag.Float64("error-rate", 0, "injected transient-error rate per query attempt (deterministic per -fault-seed)")
+		timeoutRate = flag.Float64("timeout-rate", 0, "injected timeout rate per query attempt")
+		jitter      = flag.Duration("latency-jitter", 0, "injected per-query latency jitter upper bound")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
+		retries     = flag.Int("retries", 0, "max attempts per query (0 = default of 3)")
+		attemptTO   = flag.Duration("attempt-timeout", 0, "per-attempt deadline (0 = none)")
 	)
 	flag.Parse()
 
 	med, err := buildMediator(*csvPath, *n, *seed, *incmp, *smplFrac, core.Config{
 		Alpha: *alpha, K: *k, Parallel: *parallel,
+		Retry: core.RetryPolicy{MaxAttempts: *retries, AttemptTimeout: *attemptTO},
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	profile := faults.Profile{
+		Seed:          *faultSeed,
+		TransientRate: *errRate,
+		TimeoutRate:   *timeoutRate,
+		LatencyJitter: *jitter,
+	}
+	if profile.Enabled() {
+		for _, name := range med.SourceNames() {
+			src, _ := med.Source(name)
+			src.SetFaults(faults.New(profile))
+		}
+		log.Printf("fault injection on: %.0f%% transient, %.0f%% timeout, %v jitter (seed %d)",
+			100*profile.TransientRate, 100*profile.TimeoutRate, profile.LatencyJitter, profile.Seed)
 	}
 	log.Printf("qpiad-server listening on %s (sources: %v)", *addr, med.SourceNames())
 	log.Fatal(http.ListenAndServe(*addr, httpapi.New(med)))

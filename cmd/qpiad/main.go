@@ -46,11 +46,28 @@ func main() {
 		k        = flag.Int("k", 10, "max rewritten queries (-1 = unlimited)")
 		limit    = flag.Int("limit", 15, "answers to print per section")
 		explain  = flag.Bool("explain", true, "show AFD-based explanations")
+		stats    = flag.Bool("stats", false, "print full per-source metrics (queries, retries, errors, latency percentiles)")
+
+		errRate     = flag.Float64("error-rate", 0, "injected transient-error rate per query attempt (deterministic per -fault-seed)")
+		timeoutRate = flag.Float64("timeout-rate", 0, "injected timeout rate per query attempt")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
+		retries     = flag.Int("retries", 0, "max attempts per query (0 = default of 3)")
+		attemptTO   = flag.Duration("attempt-timeout", 0, "per-attempt deadline (0 = none)")
 	)
 	flag.Parse()
 
+	res := resilience{
+		stats: *stats,
+		faults: qpiad.FaultProfile{
+			Seed:          *faultSeed,
+			TransientRate: *errRate,
+			TimeoutRate:   *timeoutRate,
+		},
+		retry: qpiad.RetryPolicy{MaxAttempts: *retries, AttemptTimeout: *attemptTO},
+	}
+
 	if *replMode {
-		sys, db, err := setup(*csvPath, *n, *seed, *incmp, *smplFrac, *alpha, *k)
+		sys, db, err := setup(*csvPath, *n, *seed, *incmp, *smplFrac, *alpha, *k, res)
 		if err == nil {
 			err = repl(sys, db, os.Stdin, os.Stdout, *limit, *explain)
 		}
@@ -60,14 +77,21 @@ func main() {
 		}
 		return
 	}
-	if err := run(*csvPath, *n, *seed, *incmp, *smplFrac, *attr, *value, *where, *sql, *alpha, *k, *limit, *explain); err != nil {
+	if err := run(*csvPath, *n, *seed, *incmp, *smplFrac, *attr, *value, *where, *sql, *alpha, *k, *limit, *explain, res); err != nil {
 		fmt.Fprintln(os.Stderr, "qpiad:", err)
 		os.Exit(1)
 	}
 }
 
+// resilience bundles the fault-injection and retry knobs.
+type resilience struct {
+	stats  bool
+	faults qpiad.FaultProfile
+	retry  qpiad.RetryPolicy
+}
+
 // setup builds the learned system over a loaded or generated database.
-func setup(csvPath string, n int, seed int64, incmp, smplFrac, alpha float64, k int) (*qpiad.System, *qpiad.Relation, error) {
+func setup(csvPath string, n int, seed int64, incmp, smplFrac, alpha float64, k int, res resilience) (*qpiad.System, *qpiad.Relation, error) {
 	var db *qpiad.Relation
 	if csvPath != "" {
 		var err error
@@ -83,9 +107,16 @@ func setup(csvPath string, n int, seed int64, incmp, smplFrac, alpha float64, k 
 		fmt.Printf("generated %d car tuples, %.1f%% incomplete\n", db.Len(), 100*db.IncompleteFraction())
 	}
 
-	sys := qpiad.New(qpiad.Config{Alpha: alpha, K: k})
+	sys := qpiad.New(qpiad.Config{Alpha: alpha, K: k, Retry: res.retry})
 	if err := sys.AddSource("db", db, qpiad.Capabilities{}); err != nil {
 		return nil, nil, err
+	}
+	if res.faults.Enabled() {
+		if err := sys.InjectFaults("db", res.faults); err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("fault injection on: %.0f%% transient, %.0f%% timeout (seed %d)\n",
+			100*res.faults.TransientRate, 100*res.faults.TimeoutRate, res.faults.Seed)
 	}
 	smpl := db.Sample(int(float64(db.Len())*smplFrac), rand.New(rand.NewSource(seed+2)))
 	if err := sys.LearnFromSample("db", smpl, 0); err != nil {
@@ -98,8 +129,8 @@ func setup(csvPath string, n int, seed int64, incmp, smplFrac, alpha float64, k 
 	return sys, db, nil
 }
 
-func run(csvPath string, n int, seed int64, incmp, smplFrac float64, attr, value, where, sql string, alpha float64, k, limit int, explain bool) error {
-	sys, db, err := setup(csvPath, n, seed, incmp, smplFrac, alpha, k)
+func run(csvPath string, n int, seed int64, incmp, smplFrac float64, attr, value, where, sql string, alpha float64, k, limit int, explain bool, res resilience) error {
+	sys, db, err := setup(csvPath, n, seed, incmp, smplFrac, alpha, k, res)
 	if err != nil {
 		return err
 	}
@@ -180,12 +211,39 @@ func run(csvPath string, n int, seed int64, incmp, smplFrac float64, attr, value
 	}
 	fmt.Printf("\nissued %d rewritten queries (of %d generated):\n", len(rs.Issued), rs.Generated)
 	for _, rq := range rs.Issued {
+		if rq.Err != nil {
+			fmt.Printf("  %-60s FAILED after %d attempts: %v\n", rq.Query, rq.Attempts, rq.Err)
+			continue
+		}
 		fmt.Printf("  %-60s precision=%.3f estSel=%.1f F=%.3f\n", rq.Query, rq.Precision, rq.EstSel, rq.F)
+	}
+	if rs.Degraded {
+		fmt.Println("\nWARNING: result degraded — some rewrites failed; possible answers may be incomplete")
 	}
 	if st, ok := sys.SourceStats("db"); ok {
 		fmt.Printf("\nsource accounting: %d queries, %d tuples transferred\n", st.Queries, st.TuplesReturned)
 	}
+	if res.stats {
+		printMetrics(sys, "db")
+	}
 	return nil
+}
+
+// printMetrics dumps the full per-source accounting behind -stats.
+func printMetrics(sys *qpiad.System, name string) {
+	mt, ok := sys.SourceMetrics(name)
+	if !ok {
+		return
+	}
+	fmt.Printf("\nsource metrics (%s):\n", name)
+	fmt.Printf("  queries=%d retries=%d errors=%d rejected=%d tuples=%d\n",
+		mt.Queries, mt.Retries, mt.Errors, mt.Rejected, mt.TuplesReturned)
+	fmt.Printf("  latency: n=%d p50<=%v p90<=%v p99<=%v\n",
+		mt.Latency.Count, mt.Latency.Percentile(0.50), mt.Latency.Percentile(0.90), mt.Latency.Percentile(0.99))
+	if fs, ok := sys.FaultStats(name); ok {
+		fmt.Printf("  faults dealt: %d transient, %d timeout, %d truncation (%d decisions)\n",
+			fs.Transients, fs.Timeouts, fs.Truncations, fs.Decisions)
+	}
 }
 
 // repl reads SQL statements line by line and executes each against the

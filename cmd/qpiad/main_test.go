@@ -73,12 +73,12 @@ func TestBuildQueryErrors(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	// Exercise the whole CLI path on a small generated database.
-	err := run("", 3000, 7, 0.10, 0.10, "body_style", "Convt", "", "", 0, 5, 3, true)
+	err := run("", 3000, 7, 0.10, 0.10, "body_style", "Convt", "", "", 0, 5, 3, true, resilience{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Multi-predicate run.
-	err = run("", 3000, 7, 0.10, 0.10, "model", "Civic", "year=2003", "", 1, 5, 3, false)
+	err = run("", 3000, 7, 0.10, 0.10, "model", "Civic", "year=2003", "", 1, 5, 3, false, resilience{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,36 +86,36 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunSQL(t *testing.T) {
 	err := run("", 3000, 7, 0.10, 0.10, "", "", "",
-		"SELECT make, model FROM db WHERE body_style = 'Convt' AND year >= 2000", 0, 5, 3, true)
+		"SELECT make, model FROM db WHERE body_style = 'Convt' AND year >= 2000", 0, 5, 3, true, resilience{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Aggregate SQL path.
 	err = run("", 3000, 7, 0.10, 0.10, "", "", "",
-		"SELECT COUNT(*) FROM db WHERE body_style = 'Convt'", 1, -1, 3, false)
+		"SELECT COUNT(*) FROM db WHERE body_style = 'Convt'", 1, -1, 3, false, resilience{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// ORDER BY + LIMIT path.
 	err = run("", 3000, 7, 0.10, 0.10, "", "", "",
-		"SELECT * FROM db WHERE body_style = 'Convt' ORDER BY price DESC LIMIT 4", 0, 5, 10, false)
+		"SELECT * FROM db WHERE body_style = 'Convt' ORDER BY price DESC LIMIT 4", 0, 5, 10, false, resilience{})
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSQLErrors(t *testing.T) {
-	if err := run("", 1000, 7, 0.10, 0.10, "", "", "", "NOT SQL", 0, 5, 3, false); err == nil {
+	if err := run("", 1000, 7, 0.10, 0.10, "", "", "", "NOT SQL", 0, 5, 3, false, resilience{}); err == nil {
 		t.Error("bad SQL should error")
 	}
 	if err := run("", 1000, 7, 0.10, 0.10, "", "", "",
-		"SELECT * FROM db WHERE nope = 1", 0, 5, 3, false); err == nil {
+		"SELECT * FROM db WHERE nope = 1", 0, 5, 3, false, resilience{}); err == nil {
 		t.Error("unknown attribute should error")
 	}
 }
 
 func TestREPL(t *testing.T) {
-	sys, db, err := setup("", 3000, 7, 0.10, 0.10, 0, 5)
+	sys, db, err := setup("", 3000, 7, 0.10, 0.10, 0, 5, resilience{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestREPL(t *testing.T) {
 }
 
 func TestExecSQLErrors(t *testing.T) {
-	sys, db, err := setup("", 1500, 7, 0.10, 0.10, 0, 5)
+	sys, db, err := setup("", 1500, 7, 0.10, 0.10, 0, 5, resilience{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestExecSQLErrors(t *testing.T) {
 }
 
 func TestRunBadCSV(t *testing.T) {
-	if err := run("/nonexistent.csv", 0, 1, 0, 0.1, "a", "b", "", "", 0, 5, 3, false); err == nil {
+	if err := run("/nonexistent.csv", 0, 1, 0, 0.1, "a", "b", "", "", 0, 5, 3, false, resilience{}); err == nil {
 		t.Error("missing CSV should error")
 	}
 }

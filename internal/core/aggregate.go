@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"qpiad/internal/relation"
+	"qpiad/internal/source"
 )
 
 // InclusionRule selects how a rewritten query's aggregate contribution is
@@ -62,6 +65,13 @@ type AggAnswer struct {
 	PossibleRows int
 	// Included are the rewritten queries whose results were combined.
 	Included []RewrittenQuery
+	// Failed are rewritten queries that were selected for inclusion but
+	// could not be fetched (after retries) or were skipped on budget
+	// exhaustion; each carries its Err and Attempts.
+	Failed []RewrittenQuery
+	// Degraded reports that Failed is non-empty: the possible contribution
+	// underestimates what a fully reliable source would have yielded.
+	Degraded bool
 }
 
 // QueryAggregate processes an aggregate query (q.Agg != nil) per Section
@@ -70,6 +80,13 @@ type AggAnswer struct {
 // each rewrite whose predicted most-likely value satisfies the original
 // predicate (RuleArgmax) or a precision-weighted fraction (RuleFractional).
 func (m *Mediator) QueryAggregate(srcName string, q relation.Query, opts AggOptions) (*AggAnswer, error) {
+	return m.QueryAggregateWith(m.cfg, srcName, q, opts)
+}
+
+// QueryAggregateWith is QueryAggregate under an explicit per-call
+// configuration; it never touches the mediator's shared config, so
+// concurrent callers with different α/K settings cannot interfere.
+func (m *Mediator) QueryAggregateWith(cfg Config, srcName string, q relation.Query, opts AggOptions) (*AggAnswer, error) {
 	if q.Agg == nil {
 		return nil, fmt.Errorf("core: QueryAggregate needs an aggregate query")
 	}
@@ -86,10 +103,11 @@ func (m *Mediator) QueryAggregate(srcName string, q relation.Query, opts AggOpti
 		return nil, fmt.Errorf("core: aggregate attribute %q not in source %q", agg.Attr, srcName)
 	}
 
-	base, err := src.Query(q)
-	if err != nil {
-		return nil, fmt.Errorf("core: base query: %w", err)
+	bres := fetchOne(context.Background(), src, q, cfg.Retry)
+	if bres.err != nil {
+		return nil, fmt.Errorf("core: base query: %w", bres.err)
 	}
+	base := bres.rows
 	out := &AggAnswer{}
 	certain, rows, err := m.aggregateOver(src.Schema(), k, agg, base, opts.PredictMissing)
 	if err != nil {
@@ -100,20 +118,33 @@ func (m *Mediator) QueryAggregate(srcName string, q relation.Query, opts AggOpti
 
 	if opts.IncludePossible {
 		cands := m.generateRewrites(k, q, base, src.Schema())
-		chosen := m.scoreAndSelect(cands)
+		chosen := scoreAndSelectWith(cfg, cands)
 		seen := make(map[string]bool, len(base))
 		for _, t := range base {
 			seen[t.Key()] = true
 		}
+		budgetOut := false
 		for _, rq := range chosen {
 			include, weight := m.shouldInclude(rq, opts.Rule)
 			if !include {
 				continue
 			}
-			rows, err := src.Query(rq.Query)
-			if err != nil {
+			if budgetOut {
+				rq.Err = errSkippedBudget
+				out.Failed = append(out.Failed, rq)
+				out.Degraded = true
 				continue
 			}
+			fres := fetchOne(context.Background(), src, rq.Query, cfg.Retry)
+			rq.Attempts = fres.attempts
+			if fres.err != nil {
+				rq.Err = fres.err
+				out.Failed = append(out.Failed, rq)
+				out.Degraded = true
+				budgetOut = errors.Is(fres.err, source.ErrQueryBudget)
+				continue
+			}
+			rows := fres.rows
 			tcol, ok := src.Schema().Index(rq.TargetAttr)
 			if !ok {
 				continue

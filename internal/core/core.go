@@ -75,6 +75,11 @@ type Config struct {
 	// results: answers are still assembled in precision order. 0 or 1 is
 	// sequential.
 	Parallel int
+	// Retry bounds how the mediator's fetch path handles source failures:
+	// attempts, backoff, deadlines. The zero value resolves to 3 attempts
+	// with a small exponential backoff and no deadlines — inert against
+	// reliable sources, since capability and budget refusals never retry.
+	Retry RetryPolicy
 }
 
 // DefaultConfig matches the paper's experimental defaults (α = 0, K = 10).
@@ -172,10 +177,17 @@ type ResultSet struct {
 	// constrained attributes, output after the ranked answers (see the
 	// paper's Assumptions paragraph).
 	Unranked []Answer
-	// Issued are the rewritten queries actually sent, in issue order.
+	// Issued are the chosen rewritten queries in issue order, each with its
+	// outcome: successful rewrites carry Transferred/Kept, failed or
+	// budget-skipped rewrites carry a non-nil Err (and Attempts made), so
+	// query-cost accounting sees every rewrite the mediator committed to.
 	Issued []RewrittenQuery
 	// Generated is the number of candidate rewrites before top-K selection.
 	Generated int
+	// Degraded reports that at least one chosen rewrite failed or was
+	// skipped: the answer set is complete over the queries that succeeded
+	// but may be missing possible answers (see Issued for which and why).
+	Degraded bool
 }
 
 // Mediator coordinates sources and their mined knowledge.

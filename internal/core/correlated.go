@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"qpiad/internal/relation"
@@ -102,10 +103,11 @@ func (m *Mediator) QuerySelectCorrelated(targetSrc string, q relation.Query) (*R
 	k := m.knowledge[plan.Correlated]
 
 	// Step 1 (modified): base set from the correlated source.
-	base, err := sc.Query(q)
-	if err != nil {
-		return nil, fmt.Errorf("core: correlated base query: %w", err)
+	bres := fetchOne(context.Background(), sc, q, m.cfg.Retry)
+	if bres.err != nil {
+		return nil, fmt.Errorf("core: correlated base query: %w", bres.err)
 	}
+	base := bres.rows
 	rs := &ResultSet{Query: q, Source: targetSrc}
 
 	// Step 2: rewrites from Sc's knowledge, issued to Sk. Only rewrites
@@ -120,12 +122,22 @@ func (m *Mediator) QuerySelectCorrelated(targetSrc string, q relation.Query) (*R
 	rs.Generated = len(usable)
 	chosen := m.scoreAndSelect(usable)
 
+	issueQs := make([]relation.Query, len(chosen))
+	for i, rq := range chosen {
+		issueQs[i] = rq.Query
+	}
+	results := fetchAll(sk, issueQs, m.cfg.Parallel, m.cfg.Retry)
 	seen := make(map[string]bool)
-	for _, rq := range chosen {
-		rows, err := sk.Query(rq.Query)
-		if err != nil {
+	for i, rq := range chosen {
+		rq.Attempts = results[i].attempts
+		if err := results[i].err; err != nil {
+			rq.Err = err
+			rs.Degraded = true
+			rs.Issued = append(rs.Issued, rq)
 			continue
 		}
+		rows := results[i].rows
+		rq.Transferred = len(rows)
 		rs.Issued = append(rs.Issued, rq)
 		for _, t := range rows {
 			key := t.Key()

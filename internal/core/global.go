@@ -26,6 +26,9 @@ type GlobalResult struct {
 	// Errors records sources that could not serve the query at all
 	// (e.g. no knowledge and no correlated plan).
 	Errors map[string]error
+	// Degraded reports that at least one per-source result was degraded or
+	// a source failed entirely — the merged answer set may be incomplete.
+	Degraded bool
 }
 
 // QuerySelectGlobal runs a selection query on the mediator's global schema
@@ -64,9 +67,13 @@ func (m *Mediator) QuerySelectGlobal(q relation.Query) (*GlobalResult, error) {
 		}
 		if err != nil {
 			out.Errors[name] = err
+			out.Degraded = true
 			continue
 		}
 		out.PerSource[name] = rs
+		if rs.Degraded {
+			out.Degraded = true
+		}
 		tag := func(answers []Answer) []Answer {
 			tagged := make([]Answer, len(answers))
 			for i, a := range answers {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,6 +72,9 @@ type JoinResult struct {
 	// Answers are the joined tuples, certain first, then by descending
 	// confidence.
 	Answers []JoinAnswer
+	// Degraded reports that at least one component rewrite could not be
+	// fetched (after retries), so some possible join pairs may be missing.
+	Degraded bool
 }
 
 // QueryJoin processes a join query per Section 4.5: retrieve both base
@@ -96,15 +100,18 @@ func (m *Mediator) QueryJoin(spec JoinSpec) (*JoinResult, error) {
 		return nil, fmt.Errorf("core: join attributes %q/%q not present", spec.LeftJoinAttr, spec.RightJoinAttr)
 	}
 
-	// Step 1: base sets.
-	lbase, err := ls.Query(spec.LeftQuery)
-	if err != nil {
-		return nil, fmt.Errorf("core: left base query: %w", err)
+	// Step 1: base sets (retried under the mediator's policy; the join
+	// cannot proceed without them).
+	lbres := fetchOne(context.Background(), ls, spec.LeftQuery, m.cfg.Retry)
+	if lbres.err != nil {
+		return nil, fmt.Errorf("core: left base query: %w", lbres.err)
 	}
-	rbase, err := rsrc.Query(spec.RightQuery)
-	if err != nil {
-		return nil, fmt.Errorf("core: right base query: %w", err)
+	lbase := lbres.rows
+	rbres := fetchOne(context.Background(), rsrc, spec.RightQuery, m.cfg.Retry)
+	if rbres.err != nil {
+		return nil, fmt.Errorf("core: right base query: %w", rbres.err)
 	}
+	rbase := rbres.rows
 
 	// Step 2: rewrites per side.
 	lunits := m.buildUnits(lk, spec.LeftQuery, lbase, ls.Schema(), spec.LeftJoinAttr)
@@ -122,7 +129,7 @@ func (m *Mediator) QueryJoin(spec JoinSpec) (*JoinResult, error) {
 	leftResults := make(map[string]*sideResult)
 	rightResults := make(map[string]*sideResult)
 	fetch := func(u queryUnit, src interface {
-		Query(relation.Query) ([]relation.Tuple, error)
+		QueryCtx(context.Context, relation.Query) ([]relation.Tuple, error)
 		Schema() *relation.Schema
 	}, cache map[string]*sideResult, base []relation.Tuple) *sideResult {
 		key := u.query.Key()
@@ -135,11 +142,15 @@ func (m *Mediator) QueryJoin(spec JoinSpec) (*JoinResult, error) {
 				sr.answers = append(sr.answers, Answer{Tuple: t, Certain: true, Confidence: 1, FromQuery: u.query})
 			}
 		} else {
-			rows, err := src.Query(u.query)
-			if err == nil {
+			fres := fetchOne(context.Background(), src, u.query, m.cfg.Retry)
+			if fres.err != nil {
+				// A component that stays unfetchable after retries degrades
+				// the join rather than failing it.
+				res.Degraded = true
+			} else {
 				tcol, ok := src.Schema().Index(u.rq.TargetAttr)
 				if ok {
-					for _, t := range rows {
+					for _, t := range fres.rows {
 						if !t[tcol].IsNull() {
 							continue
 						}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -44,6 +45,9 @@ type ChainResult struct {
 	Answers []ChainAnswer
 	// PairsPerAdjacency records how many query pairs each adjacency issued.
 	PairsPerAdjacency []int
+	// Degraded reports that at least one selected component rewrite could
+	// not be fetched (after retries), so some chains may be missing.
+	Degraded bool
 }
 
 // QueryJoinChain processes an n-way chain join. Each adjacency is planned
@@ -76,11 +80,11 @@ func (m *Mediator) QueryJoinChain(spec ChainSpec) (*ChainResult, error) {
 		if k == nil {
 			return nil, fmt.Errorf("core: no knowledge for source %q", name)
 		}
-		base, err := src.Query(spec.Queries[i])
-		if err != nil {
-			return nil, fmt.Errorf("core: base query on %q: %w", name, err)
+		bres := fetchOne(context.Background(), src, spec.Queries[i], m.cfg.Retry)
+		if bres.err != nil {
+			return nil, fmt.Errorf("core: base query on %q: %w", name, bres.err)
 		}
-		sides[i] = side{src: src, k: k, base: base}
+		sides[i] = side{src: src, k: k, base: bres.rows}
 	}
 
 	// Plan each adjacency as a two-way join and collect, per source, the
@@ -134,10 +138,12 @@ func (m *Mediator) QueryJoinChain(spec ChainSpec) (*ChainResult, error) {
 		sort.Strings(keys)
 		for _, key := range keys {
 			rq := selected[i][key]
-			rows, err := sides[i].src.Query(rq.Query)
-			if err != nil {
+			fres := fetchOne(context.Background(), sides[i].src, rq.Query, m.cfg.Retry)
+			if fres.err != nil {
+				res.Degraded = true
 				continue
 			}
+			rows := fres.rows
 			tcol, ok := sides[i].src.Schema().Index(rq.TargetAttr)
 			if !ok {
 				continue
@@ -250,7 +256,7 @@ func (m *Mediator) QueryJoinChain(spec ChainSpec) (*ChainResult, error) {
 
 // sourceIface is the slice of the source API the chain join uses.
 type sourceIface interface {
-	Query(relation.Query) ([]relation.Tuple, error)
+	QueryCtx(context.Context, relation.Query) ([]relation.Tuple, error)
 	Schema() *relation.Schema
 	Name() string
 }

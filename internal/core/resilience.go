@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qpiad/internal/faults"
+	"qpiad/internal/relation"
+	"qpiad/internal/source"
+)
+
+// RetryPolicy bounds how hard the mediator works to get one query through a
+// flaky source. The zero value means "3 attempts, small exponential
+// backoff, no deadlines" — safe for perfectly reliable sources, where no
+// retryable error ever occurs and the policy is inert.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per query (first try
+	// included). <= 0 means the default of 3.
+	MaxAttempts int
+	// BaseBackoff is the delay before the second attempt; it doubles per
+	// attempt. <= 0 means the default of 2ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-attempt backoff. <= 0 means the default of
+	// 250ms.
+	MaxBackoff time.Duration
+	// AttemptTimeout, when > 0, bounds each individual attempt with a
+	// context deadline (injected timeouts block until it expires).
+	AttemptTimeout time.Duration
+	// QueryDeadline, when > 0, bounds the whole query — all attempts plus
+	// backoffs. Once it expires no further attempts are made.
+	QueryDeadline time.Duration
+	// JitterSeed seeds the backoff jitter, keyed per query, so sleep
+	// schedules are reproducible run to run.
+	JitterSeed int64
+}
+
+// DefaultRetryPolicy is the resolved zero-value policy.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{}.withDefaults() }
+
+// withDefaults resolves zero fields to their defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 2 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	return p
+}
+
+// queryable is the slice of the source API the fetch path needs.
+type queryable interface {
+	QueryCtx(context.Context, relation.Query) ([]relation.Tuple, error)
+}
+
+// fetchResult is the outcome of fetching one query, retries included.
+type fetchResult struct {
+	rows     []relation.Tuple
+	err      error // final error, nil on success
+	attempts int   // attempts actually made (0 when skipped unissued)
+}
+
+// errSkippedBudget marks a query the mediator never sent because the source
+// had already reported budget exhaustion. errors.Is(err,
+// source.ErrQueryBudget) holds, so callers classify skips like the refusal
+// that triggered them.
+var errSkippedBudget = fmt.Errorf("core: rewrite not issued: %w", source.ErrQueryBudget)
+
+// fetchOne issues q with bounded retries: exponential backoff with seeded
+// jitter between attempts, per-attempt and per-query deadlines from the
+// policy. Only retryable errors (transient faults, timeouts) are retried;
+// capability refusals and budget exhaustion return immediately.
+func fetchOne(ctx context.Context, src queryable, q relation.Query, pol RetryPolicy) fetchResult {
+	pol = pol.withDefaults()
+	if pol.QueryDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pol.QueryDeadline)
+		defer cancel()
+	}
+	var rng *rand.Rand
+	var res fetchResult
+	for attempt := 1; ; attempt++ {
+		res.attempts = attempt
+		actx := faults.WithAttempt(ctx, attempt)
+		cancel := context.CancelFunc(func() {})
+		if pol.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(actx, pol.AttemptTimeout)
+		}
+		res.rows, res.err = src.QueryCtx(actx, q)
+		cancel()
+		if res.err == nil || !faults.Retryable(res.err) ||
+			attempt >= pol.MaxAttempts || ctx.Err() != nil {
+			return res
+		}
+		d := pol.BaseBackoff << (attempt - 1)
+		if d <= 0 || d > pol.MaxBackoff {
+			d = pol.MaxBackoff
+		}
+		// Half fixed, half jittered; the rng is keyed by (seed, query) so a
+		// rerun replays the same sleep schedule.
+		if rng == nil {
+			rng = rand.New(rand.NewSource(jitterSeed(pol.JitterSeed, q.Key())))
+		}
+		d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			res.err = fmt.Errorf("core: canceled during retry backoff: %w", ctx.Err())
+			return res
+		}
+	}
+}
+
+// jitterSeed hashes (seed, query key) into a backoff-jitter rng seed.
+func jitterSeed(seed int64, queryKey string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(queryKey))
+	return int64(h.Sum64())
+}
+
+// fetchAll issues the queries against the source, at most parallel at a
+// time (sequential when parallel <= 1), each under the retry policy.
+// Results are positional so callers process them in the original precision
+// order regardless of completion order.
+//
+// Budget-aware early stop: once the source reports ErrQueryBudget, the
+// remaining queries are not issued at all — they resolve to a skip error
+// (errors.Is(err, source.ErrQueryBudget)) without touching the source, so
+// the Rejected counter reflects exactly one refusal. In the parallel path
+// budget consumption is made deterministic by admitting queries in index
+// order: each query waits for its predecessor to be either admitted
+// (budget consumed, via source.WithAdmitSignal) or finished, while
+// execution itself still overlaps up to the parallelism bound.
+//
+// Note: when retries race with successors' admissions (faults + budget +
+// parallel combined), which attempt consumes the last budget slot is
+// scheduling-dependent; fault decisions themselves stay deterministic.
+func fetchAll(src queryable, queries []relation.Query, parallel int, pol RetryPolicy) []fetchResult {
+	results := make([]fetchResult, len(queries))
+	if parallel <= 1 || len(queries) <= 1 {
+		budgetOut := false
+		for i, q := range queries {
+			if budgetOut {
+				results[i] = fetchResult{err: errSkippedBudget}
+				continue
+			}
+			results[i] = fetchOne(context.Background(), src, q, pol)
+			if errors.Is(results[i].err, source.ErrQueryBudget) {
+				budgetOut = true
+			}
+		}
+		return results
+	}
+
+	sem := make(chan struct{}, parallel)
+	// gates[i] opens when query i-1 has been admitted or has finished;
+	// gates[0] is open from the start.
+	gates := make([]chan struct{}, len(queries)+1)
+	for i := range gates {
+		gates[i] = make(chan struct{})
+	}
+	close(gates[0])
+	var budgetOut atomic.Bool
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q relation.Query) {
+			defer wg.Done()
+			var once sync.Once
+			open := func() { once.Do(func() { close(gates[i+1]) }) }
+			defer open() // rejected/finished queries release the successor too
+			// Gate first, semaphore second: a semaphore holder is always
+			// executing (never gate-waiting), so the chain cannot deadlock.
+			<-gates[i]
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if budgetOut.Load() {
+				results[i] = fetchResult{err: errSkippedBudget}
+				return
+			}
+			ctx := source.WithAdmitSignal(context.Background(), open)
+			results[i] = fetchOne(ctx, src, q, pol)
+			if errors.Is(results[i].err, source.ErrQueryBudget) {
+				budgetOut.Store(true)
+			}
+		}(i, q)
+	}
+	wg.Wait()
+	return results
+}

@@ -40,6 +40,14 @@ type RewrittenQuery struct {
 	// The efficiency evaluation (Figure 8) reads Transferred.
 	Transferred int
 	Kept        int
+	// Attempts is the number of times the rewrite was actually sent to the
+	// source (retries included); 0 when it was skipped unissued on budget
+	// exhaustion.
+	Attempts int
+	// Err records why the rewrite ultimately failed (after retries) or was
+	// skipped. nil for successful rewrites. A non-nil Err marks the
+	// enclosing result set Degraded.
+	Err error
 }
 
 // fMeasure computes the weighted harmonic mean (1+α)PR/(αP+R).
@@ -187,7 +195,14 @@ func (m *Mediator) generateRewrites(k *Knowledge, q relation.Query, base []relat
 // ordering, then reorder the survivors by descending precision (so
 // retrieved tuples inherit their query's precision as their final rank).
 func (m *Mediator) scoreAndSelect(cands []RewrittenQuery) []RewrittenQuery {
-	return ScoreAndSelect(cands, m.cfg.Alpha, m.cfg.K, m.cfg.Ordering)
+	return scoreAndSelectWith(m.cfg, cands)
+}
+
+// scoreAndSelectWith is scoreAndSelect under an explicit per-call config
+// (the With-variant entry points use it so concurrent requests with
+// different α/K never touch the shared mediator config).
+func scoreAndSelectWith(cfg Config, cands []RewrittenQuery) []RewrittenQuery {
+	return ScoreAndSelect(cands, cfg.Alpha, cfg.K, cfg.Ordering)
 }
 
 // ScoreAndSelect is the exported form of QPIAD's Steps 2(b) and 2(c), used

@@ -1,11 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"qpiad/internal/relation"
-	"qpiad/internal/source"
 )
 
 // QuerySelect runs the full QPIAD selection algorithm (Section 4.2) against
@@ -20,6 +19,13 @@ import (
 // Tuples with more than one null over the constrained attributes are
 // reported in ResultSet.Unranked, after the ranked answers.
 func (m *Mediator) QuerySelect(srcName string, q relation.Query) (*ResultSet, error) {
+	return m.QuerySelectWith(m.cfg, srcName, q)
+}
+
+// QuerySelectWith is QuerySelect under an explicit per-call configuration.
+// It never reads or mutates the mediator's shared config, so concurrent
+// callers with different α/K/retry settings cannot bleed into each other.
+func (m *Mediator) QuerySelectWith(cfg Config, srcName string, q relation.Query) (*ResultSet, error) {
 	src, ok := m.sources[srcName]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", srcName)
@@ -29,11 +35,13 @@ func (m *Mediator) QuerySelect(srcName string, q relation.Query) (*ResultSet, er
 		return nil, fmt.Errorf("core: no knowledge mined for source %q", srcName)
 	}
 
-	// Step 1: certain answers.
-	base, err := src.Query(q)
-	if err != nil {
-		return nil, fmt.Errorf("core: base query: %w", err)
+	// Step 1: certain answers. The base query is retried like any other;
+	// without it there is nothing to rewrite from, so failure is fatal.
+	bres := fetchOne(context.Background(), src, q, cfg.Retry)
+	if bres.err != nil {
+		return nil, fmt.Errorf("core: base query: %w", bres.err)
 	}
+	base := bres.rows
 	rs := &ResultSet{Query: q, Source: srcName}
 	for _, t := range base {
 		rs.Certain = append(rs.Certain, Answer{
@@ -47,7 +55,7 @@ func (m *Mediator) QuerySelect(srcName string, q relation.Query) (*ResultSet, er
 	// Step 2(a): generate; 2(b)+(c): order and select.
 	cands := m.generateRewrites(k, q, base, src.Schema())
 	rs.Generated = len(cands)
-	chosen := m.scoreAndSelect(cands)
+	chosen := scoreAndSelectWith(cfg, cands)
 
 	// Step 2(d)+(e): retrieve the extended result set and post-filter.
 	seen := make(map[string]bool, len(base))
@@ -69,14 +77,19 @@ func (m *Mediator) QuerySelect(srcName string, q relation.Query) (*ResultSet, er
 			issueQs[i] = issueQs[i].With(relation.IsNull(rq.TargetAttr))
 		}
 	}
-	fetched, fetchErrs := fetchAll(src, issueQs, m.cfg.Parallel)
+	results := fetchAll(src, issueQs, cfg.Parallel, cfg.Retry)
 	for i, rq := range chosen {
-		if fetchErrs[i] != nil {
-			// A rewrite the source refuses (capability change mid-flight)
-			// is skipped rather than failing the whole result.
+		rq.Attempts = results[i].attempts
+		if err := results[i].err; err != nil {
+			// A rewrite that failed (after retries) or was skipped on budget
+			// exhaustion degrades the result instead of failing it — and is
+			// still accounted in Issued so cost analysis sees it.
+			rq.Err = err
+			rs.Degraded = true
+			rs.Issued = append(rs.Issued, rq)
 			continue
 		}
-		rows := fetched[i]
+		rows := results[i].rows
 		rq.Transferred = len(rows)
 		tcol, ok := src.Schema().Index(rq.TargetAttr)
 		if !ok {
@@ -113,34 +126,6 @@ func (m *Mediator) QuerySelect(srcName string, q relation.Query) (*ResultSet, er
 	return rs, nil
 }
 
-// fetchAll issues the queries against the source, at most parallel at a
-// time (sequential when parallel <= 1), returning per-query rows and
-// errors positionally so callers can process results in the original
-// precision order regardless of completion order.
-func fetchAll(src *source.Source, queries []relation.Query, parallel int) ([][]relation.Tuple, []error) {
-	rows := make([][]relation.Tuple, len(queries))
-	errs := make([]error, len(queries))
-	if parallel <= 1 || len(queries) <= 1 {
-		for i, q := range queries {
-			rows[i], errs[i] = src.Query(q)
-		}
-		return rows, errs
-	}
-	sem := make(chan struct{}, parallel)
-	var wg sync.WaitGroup
-	for i, q := range queries {
-		wg.Add(1)
-		go func(i int, q relation.Query) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i], errs[i] = src.Query(q)
-		}(i, q)
-	}
-	wg.Wait()
-	return rows, errs
-}
-
 // AllAnswers returns certain answers followed by ranked possible answers
 // and then the unranked tail — the order a user sees.
 func (rs *ResultSet) AllAnswers() []Answer {
@@ -162,6 +147,7 @@ func (rs *ResultSet) Project(s *relation.Schema, attrs []string) (*ResultSet, *r
 		Source:    rs.Source,
 		Issued:    rs.Issued,
 		Generated: rs.Generated,
+		Degraded:  rs.Degraded,
 	}
 	var ps *relation.Schema
 	project := func(answers []Answer) ([]Answer, error) {

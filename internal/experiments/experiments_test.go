@@ -61,7 +61,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation-agg-rule", "ablation-akey-pruning", "ablation-base-vs-sample",
 		"ablation-ordering", "classifiers", "ext-multijoin", "ext-parallel",
-		"fig10", "fig11", "fig12", "fig13",
+		"ext-resilience", "fig10", "fig11", "fig12", "fig13",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"table1", "table3",
 	}
@@ -454,6 +454,35 @@ func TestExtParallelShape(t *testing.T) {
 	for _, row := range rows[1:] {
 		if row[3] != rows[0][3] {
 			t.Errorf("answer counts differ across parallelism: %v vs %v", row[3], rows[0][3])
+		}
+	}
+}
+
+func TestExtResilienceShape(t *testing.T) {
+	rep, err := ExtResilience(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Fault-free row: nothing failed, nothing retried, not degraded.
+	if rows[0][2] != "0" || rows[0][3] != "0" || rows[0][5] != "false" {
+		t.Errorf("fault-free row should be clean: %v", rows[0])
+	}
+	possible := func(i int) int {
+		n, _ := strconv.Atoi(rows[i][4])
+		return n
+	}
+	// Degradation is graceful: even the highest error rate keeps answers
+	// bounded by the fault-free run, and the clean run finds some.
+	if possible(0) == 0 {
+		t.Fatal("fault-free run found no possible answers")
+	}
+	for i := 1; i < len(rows); i++ {
+		if possible(i) > possible(0) {
+			t.Errorf("rate %s found more answers (%d) than fault-free (%d)", rows[i][0], possible(i), possible(0))
 		}
 	}
 }

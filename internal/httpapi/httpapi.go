@@ -5,11 +5,16 @@
 //	GET  /healthz            liveness
 //	GET  /sources            registered sources, schemas, accounting
 //	GET  /knowledge?source=S mined AFDs / AKeys / pruned AFDs for S
+//	GET  /metrics            per-source query/retry/error counters and
+//	                         latency percentiles
 //	POST /query              {"sql": "SELECT ..."} → certain + ranked
 //	                         possible answers (or the aggregate result),
 //	                         with confidences and AFD explanations
 //
-// The FROM clause of the SQL names the source to query.
+// The FROM clause of the SQL names the source to query. Query handling is
+// fully concurrent: per-request α/K overrides are applied through the
+// mediator's per-call (With-variant) entry points, never by mutating the
+// shared configuration.
 package httpapi
 
 import (
@@ -17,7 +22,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"sync"
+	"time"
 
 	"qpiad/internal/core"
 	"qpiad/internal/relation"
@@ -28,9 +33,6 @@ import (
 type Server struct {
 	med *core.Mediator
 	mux *http.ServeMux
-	// mu serializes query handling: per-request α/K overrides mutate the
-	// shared mediator configuration.
-	mu sync.Mutex
 }
 
 // New builds the handler around a configured mediator.
@@ -39,6 +41,7 @@ func New(med *core.Mediator) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /sources", s.handleSources)
 	s.mux.HandleFunc("GET /knowledge", s.handleKnowledge)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	return s
 }
@@ -143,6 +146,50 @@ func (s *Server) handleKnowledge(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// latencyJSON summarizes a source's latency histogram.
+type latencyJSON struct {
+	Count     int   `json:"count"`
+	SumMicros int64 `json:"sum_micros"`
+	P50Micros int64 `json:"p50_micros"`
+	P90Micros int64 `json:"p90_micros"`
+	P99Micros int64 `json:"p99_micros"`
+}
+
+// sourceMetrics is one source's accounting in the /metrics payload.
+type sourceMetrics struct {
+	Source         string      `json:"source"`
+	Queries        int         `json:"queries"`
+	TuplesReturned int         `json:"tuples_returned"`
+	Rejected       int         `json:"rejected"`
+	Errors         int         `json:"errors"`
+	Retries        int         `json:"retries"`
+	Latency        latencyJSON `json:"latency"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	out := make([]sourceMetrics, 0, len(s.med.SourceNames()))
+	for _, name := range s.med.SourceNames() {
+		src, _ := s.med.Source(name)
+		mt := src.Metrics()
+		out = append(out, sourceMetrics{
+			Source:         name,
+			Queries:        mt.Queries,
+			TuplesReturned: mt.TuplesReturned,
+			Rejected:       mt.Rejected,
+			Errors:         mt.Errors,
+			Retries:        mt.Retries,
+			Latency: latencyJSON{
+				Count:     mt.Latency.Count,
+				SumMicros: int64(mt.Latency.Sum / time.Microsecond),
+				P50Micros: int64(mt.Latency.Percentile(0.50) / time.Microsecond),
+				P90Micros: int64(mt.Latency.Percentile(0.90) / time.Microsecond),
+				P99Micros: int64(mt.Latency.Percentile(0.99) / time.Microsecond),
+			},
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // queryRequest is the /query input.
 type queryRequest struct {
 	SQL string `json:"sql"`
@@ -169,6 +216,10 @@ type queryResponse struct {
 	Unranked  []answerJSON `json:"unranked,omitempty"`
 	Rewrites  []string     `json:"rewrites_issued"`
 	Generated int          `json:"rewrites_generated"`
+	// Degraded reports that some rewrites failed or were skipped; the
+	// possible answers may be incomplete (failures are annotated in
+	// rewrites_issued).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // aggResponse is the /query output for aggregates.
@@ -181,6 +232,8 @@ type aggResponse struct {
 	CertainRows    int     `json:"certain_rows"`
 	PossibleRows   int     `json:"possible_rows"`
 	RewritesFolded int     `json:"rewrites_folded"`
+	RewritesFailed int     `json:"rewrites_failed,omitempty"`
+	Degraded       bool    `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -208,24 +261,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if req.Alpha != nil || req.K != nil {
-		cfg := s.med.Config()
-		if req.Alpha != nil {
-			cfg.Alpha = *req.Alpha
-		}
-		if req.K != nil {
-			cfg.K = *req.K
-		}
-		// The deferred call captures the pre-override configuration (defer
-		// arguments evaluate immediately), restoring it after the query.
-		defer s.med.SetConfig(s.med.Config())
-		s.med.SetConfig(cfg)
+	// Overrides apply to this call only: the shared mediator config is
+	// never mutated, so concurrent requests cannot bleed into each other.
+	cfg := s.med.Config()
+	if req.Alpha != nil {
+		cfg.Alpha = *req.Alpha
+	}
+	if req.K != nil {
+		cfg.K = *req.K
 	}
 
 	if st.Query.Agg != nil {
-		ans, err := s.med.QueryAggregate(srcName, st.Query, core.AggOptions{
+		ans, err := s.med.QueryAggregateWith(cfg, srcName, st.Query, core.AggOptions{
 			IncludePossible: true,
 			PredictMissing:  true,
 			Rule:            core.RuleArgmax,
@@ -243,11 +290,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			CertainRows:    ans.CertainRows,
 			PossibleRows:   ans.PossibleRows,
 			RewritesFolded: len(ans.Included),
+			RewritesFailed: len(ans.Failed),
+			Degraded:       ans.Degraded,
 		})
 		return
 	}
 
-	rs, err := s.med.QuerySelect(srcName, st.Query)
+	rs, err := s.med.QuerySelectWith(cfg, srcName, st.Query)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -286,8 +335,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Possible:  toJSONAnswers(schema, rs.Possible),
 		Unranked:  toJSONAnswers(schema, rs.Unranked),
 		Generated: rs.Generated,
+		Degraded:  rs.Degraded,
 	}
 	for _, rq := range rs.Issued {
+		if rq.Err != nil {
+			resp.Rewrites = append(resp.Rewrites, fmt.Sprintf("%s (precision %.3f, failed after %d attempts: %v)",
+				rq.Query, rq.Precision, rq.Attempts, rq.Err))
+			continue
+		}
 		resp.Rewrites = append(resp.Rewrites, fmt.Sprintf("%s (precision %.3f)", rq.Query, rq.Precision))
 	}
 	writeJSON(w, http.StatusOK, resp)

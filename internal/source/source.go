@@ -14,16 +14,24 @@
 //     may be imposed (the paper's "limits on the number of queries we can
 //     pose to the autonomous source").
 //
-// Every query and transferred tuple is accounted, which is what the
-// efficiency evaluation (Figure 8) measures.
+// Sources can additionally misbehave: attach a faults.Injector (SetFaults)
+// and accepted queries suffer deterministic, seeded transient errors,
+// timeouts, latency jitter and page truncation. QueryCtx honors context
+// deadlines and cancellation, so the mediator can bound how long it waits.
+//
+// Every query, transferred tuple, failed attempt and retry is accounted,
+// which is what the efficiency evaluation (Figure 8) and the /metrics
+// endpoint read.
 package source
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"qpiad/internal/faults"
 	"qpiad/internal/relation"
 )
 
@@ -67,12 +75,94 @@ type Capabilities struct {
 
 // Stats is the access accounting the efficiency evaluation reads.
 type Stats struct {
-	// Queries is the number of accepted queries.
+	// Queries is the number of accepted query attempts (retries included:
+	// each retry is a fresh submission of the web form).
 	Queries int
-	// TuplesReturned is the total number of tuples transferred.
+	// TuplesReturned is the total number of tuples transferred. Failed
+	// attempts transfer nothing, so retries never double-count.
 	TuplesReturned int
-	// Rejected is the number of queries refused for capability reasons.
+	// Rejected is the number of queries refused for capability reasons
+	// (unsupported binding, null binding, range binding, budget).
 	Rejected int
+	// Errors is the number of accepted attempts that subsequently failed:
+	// injected transient errors, timeouts, context cancellation.
+	Errors int
+	// Retries is the number of accepted attempts beyond each query's first
+	// (attempt number > 1, as tagged by the mediator's retry loop).
+	Retries int
+}
+
+// latencyBuckets is the histogram resolution: bucket i holds observations
+// with duration <= 1µs << i, the last bucket is the overflow.
+const latencyBuckets = 24
+
+// LatencyStats is a fixed-bucket exponential latency histogram over the
+// service time of accepted query attempts (successes and failures).
+type LatencyStats struct {
+	// Count is the number of observations.
+	Count int
+	// Sum is the total observed duration.
+	Sum time.Duration
+	// Buckets[i] counts observations <= BucketBound(i); the last bucket
+	// absorbs everything slower.
+	Buckets [latencyBuckets]int
+}
+
+// BucketBound returns the inclusive upper bound of histogram bucket i.
+func BucketBound(i int) time.Duration {
+	if i >= latencyBuckets-1 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Microsecond << i
+}
+
+// observe files one duration.
+func (l *LatencyStats) observe(d time.Duration) {
+	l.Count++
+	l.Sum += d
+	for i := 0; i < latencyBuckets; i++ {
+		if d <= BucketBound(i) {
+			l.Buckets[i]++
+			return
+		}
+	}
+}
+
+// Percentile returns the upper bound of the bucket holding the p-th
+// quantile (p in [0, 1]), 0 when nothing was observed. Bucket bounds make
+// it an over-estimate by at most one bucket width.
+func (l LatencyStats) Percentile(p float64) time.Duration {
+	if l.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int(p * float64(l.Count))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for i := 0; i < latencyBuckets; i++ {
+		cum += l.Buckets[i]
+		if cum >= target {
+			if i == latencyBuckets-1 {
+				return l.Sum // overflow bucket: sum is the only honest bound
+			}
+			return BucketBound(i)
+		}
+	}
+	return l.Sum
+}
+
+// Metrics bundles a source's full accounting: counters plus the latency
+// histogram. This is what GET /metrics serializes.
+type Metrics struct {
+	Stats
+	Latency LatencyStats
 }
 
 // Source wraps a backing relation behind the restricted interface.
@@ -83,8 +173,10 @@ type Source struct {
 
 	bindable map[string]bool // nil when all local attributes are bindable
 
-	mu    sync.Mutex
-	stats Stats
+	mu      sync.Mutex
+	stats   Stats
+	latency LatencyStats
+	faults  *faults.Injector
 }
 
 // New wraps rel as an autonomous source with the given capabilities.
@@ -108,6 +200,23 @@ func (s *Source) Schema() *relation.Schema { return s.rel.Schema }
 
 // Capabilities returns the source's access profile.
 func (s *Source) Capabilities() Capabilities { return s.caps }
+
+// SetFaults attaches (or, with nil, detaches) a fault injector. Accepted
+// queries then suffer the injector's seeded faults. Call before serving
+// queries; the injector itself is concurrency-safe.
+func (s *Source) SetFaults(in *faults.Injector) {
+	s.mu.Lock()
+	s.faults = in
+	s.mu.Unlock()
+}
+
+// Faults returns the attached fault injector, nil when the source is
+// perfectly reliable.
+func (s *Source) Faults() *faults.Injector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
 
 // Size returns the source's cardinality. Real autonomous sources do not
 // advertise this; it exists for oracular evaluation and dataset setup, not
@@ -151,17 +260,48 @@ func (s *Source) validate(q relation.Query) error {
 	return nil
 }
 
+// admitSignalKey carries the mediator's admission callback.
+type admitSignalKey struct{}
+
+// WithAdmitSignal arranges for fn to be called (at most once) the moment
+// the source ACCEPTS the query — capability checks passed and budget
+// consumed, before execution starts. Rejected queries do not signal. The
+// mediator's parallel fetch path uses this to serialize budget consumption
+// across concurrent rewrites: the next query is released only once the
+// previous one's budget decision is final.
+func WithAdmitSignal(ctx context.Context, fn func()) context.Context {
+	var once sync.Once
+	return context.WithValue(ctx, admitSignalKey{}, func() { once.Do(fn) })
+}
+
+// signalAdmit fires the admission callback, if any.
+func signalAdmit(ctx context.Context) {
+	if fn, ok := ctx.Value(admitSignalKey{}).(func()); ok {
+		fn()
+	}
+}
+
 // Query runs q against the source under its capability profile and returns
-// copies of the matching tuples (the "transferred" rows). Aggregate parts of
-// q are ignored: autonomous web sources return tuples, and the mediator
-// aggregates. Rejected queries do not consume budget.
+// copies of the matching tuples (the "transferred" rows). It is QueryCtx
+// without deadline or cancellation.
 func (s *Source) Query(q relation.Query) ([]relation.Tuple, error) {
+	return s.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx runs q under the capability profile, honoring the context's
+// deadline/cancellation and the attached fault injector. Aggregate parts
+// of q are ignored: autonomous web sources return tuples, and the mediator
+// aggregates. Rejected queries do not consume budget and pay no latency;
+// accepted attempts are accounted (Queries, and Retries when the context
+// carries an attempt number > 1) even when they subsequently fail.
+func (s *Source) QueryCtx(ctx context.Context, q relation.Query) ([]relation.Tuple, error) {
 	if err := s.validate(q); err != nil {
 		s.mu.Lock()
 		s.stats.Rejected++
 		s.mu.Unlock()
 		return nil, err
 	}
+	attempt := faults.Attempt(ctx)
 	s.mu.Lock()
 	if s.caps.MaxQueries > 0 && s.stats.Queries >= s.caps.MaxQueries {
 		s.stats.Rejected++
@@ -169,23 +309,74 @@ func (s *Source) Query(q relation.Query) ([]relation.Tuple, error) {
 		return nil, fmt.Errorf("%w: source %s (budget %d)", ErrQueryBudget, s.name, s.caps.MaxQueries)
 	}
 	s.stats.Queries++
-	s.mu.Unlock()
-
-	if s.caps.Latency > 0 {
-		time.Sleep(s.caps.Latency)
+	if attempt > 1 {
+		s.stats.Retries++
 	}
+	inj := s.faults
+	s.mu.Unlock()
+	signalAdmit(ctx) // budget decision is final: release the next query
+
+	start := time.Now()
+	var fault faults.Outcome
+	if inj != nil {
+		fault = inj.Decide(s.name, q.Key(), attempt)
+	}
+
+	// A timed-out attempt blocks until its deadline actually expires (the
+	// caller pays the wait), or fails immediately when it has none.
+	if fault.Err != nil && errors.Is(fault.Err, faults.ErrTimeout) {
+		if _, hasDeadline := ctx.Deadline(); hasDeadline {
+			<-ctx.Done()
+		}
+		s.recordFailure(start)
+		return nil, fault.Err
+	}
+
+	if delay := s.caps.Latency + fault.Latency; delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			s.recordFailure(start)
+			return nil, fmt.Errorf("source %s: %w", s.name, ctx.Err())
+		}
+	}
+	if fault.Err != nil {
+		s.recordFailure(start)
+		return nil, fault.Err
+	}
+	if err := ctx.Err(); err != nil {
+		s.recordFailure(start)
+		return nil, fmt.Errorf("source %s: %w", s.name, err)
+	}
+
 	rows := s.rel.Select(q)
 	if s.caps.MaxResults > 0 && len(rows) > s.caps.MaxResults {
 		rows = rows[:s.caps.MaxResults]
+	}
+	if fault.TruncateTo > 0 && len(rows) > fault.TruncateTo {
+		rows = rows[:fault.TruncateTo]
 	}
 	out := make([]relation.Tuple, len(rows))
 	for i, t := range rows {
 		out[i] = t.Clone()
 	}
+	elapsed := time.Since(start)
 	s.mu.Lock()
 	s.stats.TuplesReturned += len(out)
+	s.latency.observe(elapsed)
 	s.mu.Unlock()
 	return out, nil
+}
+
+// recordFailure accounts one accepted-but-failed attempt.
+func (s *Source) recordFailure(start time.Time) {
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	s.stats.Errors++
+	s.latency.observe(elapsed)
+	s.mu.Unlock()
 }
 
 // Stats returns a snapshot of the access accounting.
@@ -195,9 +386,23 @@ func (s *Source) Stats() Stats {
 	return s.stats
 }
 
-// ResetStats zeroes the accounting (between experiment runs).
+// Metrics returns the full accounting snapshot: counters plus the latency
+// histogram.
+func (s *Source) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{Stats: s.stats, Latency: s.latency}
+}
+
+// ResetStats zeroes the accounting (between experiment runs), including the
+// latency histogram and any attached injector's fault counters.
 func (s *Source) ResetStats() {
 	s.mu.Lock()
 	s.stats = Stats{}
+	s.latency = LatencyStats{}
+	inj := s.faults
 	s.mu.Unlock()
+	if inj != nil {
+		inj.ResetStats()
+	}
 }

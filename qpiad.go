@@ -32,6 +32,7 @@ import (
 
 	"qpiad/internal/afd"
 	"qpiad/internal/core"
+	"qpiad/internal/faults"
 	"qpiad/internal/nbc"
 	"qpiad/internal/relation"
 	"qpiad/internal/sample"
@@ -140,6 +141,19 @@ type (
 	Capabilities = source.Capabilities
 	// SourceStats is per-source query/tuple accounting.
 	SourceStats = source.Stats
+	// SourceMetrics is the full per-source accounting: counters plus the
+	// latency histogram.
+	SourceMetrics = source.Metrics
+	// LatencyStats is a source's query-latency histogram.
+	LatencyStats = source.LatencyStats
+	// FaultProfile describes a source's injected failure behavior
+	// (deterministic per seed).
+	FaultProfile = faults.Profile
+	// FaultStats counts the faults an injector actually dealt.
+	FaultStats = faults.Stats
+	// RetryPolicy bounds the mediator's per-query retries, backoff and
+	// deadlines.
+	RetryPolicy = core.RetryPolicy
 	// Answer is one returned tuple with its relevance assessment.
 	Answer = core.Answer
 	// ResultSet is the outcome of a selection query: certain answers, then
@@ -201,6 +215,11 @@ type Config struct {
 	// (0 or 1 = sequential). Results are identical either way; only
 	// wall-clock time changes when sources have latency.
 	Parallel int
+	// Retry bounds how the fetch path survives flaky sources: attempts,
+	// exponential backoff, per-attempt and per-query deadlines. The zero
+	// value resolves to 3 attempts with a small backoff and is inert
+	// against reliable sources.
+	Retry RetryPolicy
 }
 
 // System is a configured QPIAD mediator over registered sources.
@@ -220,7 +239,7 @@ func New(cfg Config) *System {
 	}
 	return &System{
 		cfg: cfg,
-		med: core.New(core.Config{Alpha: cfg.Alpha, K: k, Parallel: cfg.Parallel}),
+		med: core.New(core.Config{Alpha: cfg.Alpha, K: k, Parallel: cfg.Parallel, Retry: cfg.Retry}),
 	}
 }
 
@@ -378,4 +397,45 @@ func (s *System) SourceStats(sourceName string) (SourceStats, bool) {
 		return SourceStats{}, false
 	}
 	return src.Stats(), true
+}
+
+// SourceMetrics returns the full accounting snapshot of a registered
+// source: counters plus the latency histogram.
+func (s *System) SourceMetrics(sourceName string) (SourceMetrics, bool) {
+	src, ok := s.med.Source(sourceName)
+	if !ok {
+		return SourceMetrics{}, false
+	}
+	return src.Metrics(), true
+}
+
+// InjectFaults attaches a deterministic fault profile to a registered
+// source: accepted queries then suffer seeded transient errors, timeouts,
+// latency jitter and page truncation, exactly reproducibly per seed. A zero
+// profile detaches injection.
+func (s *System) InjectFaults(sourceName string, p FaultProfile) error {
+	src, ok := s.med.Source(sourceName)
+	if !ok {
+		return fmt.Errorf("qpiad: unknown source %q", sourceName)
+	}
+	if !p.Enabled() {
+		src.SetFaults(nil)
+		return nil
+	}
+	src.SetFaults(faults.New(p))
+	return nil
+}
+
+// FaultStats returns the injected-fault accounting of a source, false when
+// no injector is attached.
+func (s *System) FaultStats(sourceName string) (FaultStats, bool) {
+	src, ok := s.med.Source(sourceName)
+	if !ok {
+		return FaultStats{}, false
+	}
+	inj := src.Faults()
+	if inj == nil {
+		return FaultStats{}, false
+	}
+	return inj.Stats(), true
 }
