@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench clean
+.PHONY: tier1 build vet test race bench bench-json clean
 
 tier1: build vet race
 
@@ -21,6 +21,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json runs the performance-layer benchmarks and writes a JSON
+# baseline (name -> ns/op, B/op, allocs/op) for diffing across PRs.
+BENCH_JSON ?= BENCH_PR2.json
+bench-json:
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkMineKnowledge|BenchmarkWarmQuery|BenchmarkRewriteGeneration|BenchmarkQuerySelectEndToEnd|BenchmarkTANEMining|BenchmarkNBCPrediction' \
+		-benchmem . | $(GO) run ./cmd/qpiad-benchjson -o $(BENCH_JSON)
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,7 @@
 package qpiad
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -158,9 +159,12 @@ func BenchmarkRewriteGeneration(b *testing.B) {
 }
 
 func BenchmarkQuerySelectEndToEnd(b *testing.B) {
+	// NoCache: this measures the full rewrite/issue/rank pipeline; with the
+	// answer cache on, every iteration after the first would be a cache hit
+	// (see BenchmarkWarmQuery for that number).
 	ed := benchSample(8000)
 	k := benchKnowledge(b, ed)
-	med := core.New(core.Config{Alpha: 0, K: 10})
+	med := core.New(core.Config{Alpha: 0, K: 10, NoCache: true})
 	med.Register(source.New("cars", ed, source.Capabilities{}), k)
 	q := relation.NewQuery("cars", relation.Eq("body_style", relation.String("Convt")))
 	b.ReportAllocs()
@@ -182,7 +186,7 @@ func BenchmarkResilientFetch(b *testing.B) {
 	ed := benchSample(8000)
 	k := benchKnowledge(b, ed)
 	med := core.New(core.Config{
-		Alpha: 0, K: 10, Parallel: 4,
+		Alpha: 0, K: 10, Parallel: 4, NoCache: true,
 		Retry: core.RetryPolicy{
 			MaxAttempts: 3,
 			BaseBackoff: 50 * time.Microsecond,
@@ -196,6 +200,68 @@ func BenchmarkResilientFetch(b *testing.B) {
 	src.SetFaults(faults.New(faults.Profile{Seed: 1, TransientRate: 0.3}))
 	med.Register(src, k)
 	q := relation.NewQuery("cars", relation.Eq("body_style", relation.String("Convt")))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := med.QuerySelect("cars", q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Certain) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+// BenchmarkMineKnowledge measures full offline mining (TANE + per-attribute
+// NBC training) at worker counts 1 and 4. The two must produce identical
+// knowledge (TestParallelMiningEquivalence); on multi-core hosts the
+// workers=4 variant should approach the per-attribute-parallel lower bound.
+func BenchmarkMineKnowledge(b *testing.B) {
+	smpl := benchSample(8000).Sample(800, rand.New(rand.NewSource(5)))
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.KnowledgeConfig{
+				AFD:     afd.Config{MinSupport: 5},
+				Workers: workers,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k, err := core.MineKnowledge("cars", smpl, 10, smpl.IncompleteFraction(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(k.Predictors) == 0 {
+					b.Fatal("no predictors trained")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWarmQuery measures a repeated identical selection with the
+// mediator answer cache on: after the first iteration every QuerySelect is
+// a cache hit plus a ResultSet clone. BenchmarkWarmQueryNoCache is the same
+// workload through the full pipeline — their ratio is the cache's payoff.
+func BenchmarkWarmQuery(b *testing.B) {
+	benchWarmQuery(b, core.Config{Alpha: 0, K: 10})
+}
+
+func BenchmarkWarmQueryNoCache(b *testing.B) {
+	benchWarmQuery(b, core.Config{Alpha: 0, K: 10, NoCache: true})
+}
+
+func benchWarmQuery(b *testing.B, cfg core.Config) {
+	b.Helper()
+	ed := benchSample(8000)
+	k := benchKnowledge(b, ed)
+	med := core.New(cfg)
+	med.Register(source.New("cars", ed, source.Capabilities{}), k)
+	q := relation.NewQuery("cars", relation.Eq("body_style", relation.String("Convt")))
+	if _, err := med.QuerySelect("cars", q); err != nil { // warm the cache
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,116 @@
+// Command qpiad-benchjson converts `go test -bench` output on stdin into a
+// JSON benchmark baseline: a map from benchmark name (GOMAXPROCS suffix
+// stripped) to ns/op, B/op and allocs/op. Committed baselines (e.g.
+// BENCH_PR2.json) let later changes diff performance without re-reading raw
+// bench logs.
+//
+// Usage:
+//
+//	go test -bench='Mine|WarmQuery' -benchmem . | qpiad-benchjson -o BENCH.json
+//
+// Lines that are not benchmark results (the "goos:"/"PASS" chatter) are
+// ignored. Benchmarks run with -count>1 keep the last measurement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark measurement.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qpiad-benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "qpiad-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpiad-benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "qpiad-benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		names := make([]string, 0, len(results))
+		for n := range results {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s: %s\n",
+			len(results), *out, strings.Join(names, ", "))
+	}
+}
+
+// parse extracts benchmark result lines of the form
+//
+//	BenchmarkName-8   123   456789 ns/op   1024 B/op   12 allocs/op
+//
+// (the -benchmem columns are optional).
+func parse(sc *bufio.Scanner) (map[string]result, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	results := make(map[string]result)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so baselines compare across hosts.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var r result
+		ok := false
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+				ok = true
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			}
+		}
+		if ok {
+			results[name] = r
+		}
+	}
+	return results, sc.Err()
+}

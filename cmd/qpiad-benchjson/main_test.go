@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: qpiad
+BenchmarkWarmQuery-8         	  521432	      2304 ns/op	    1184 B/op	      14 allocs/op
+BenchmarkWarmQueryNoCache-8  	     860	   1401822 ns/op	  406512 B/op	    5120 allocs/op
+BenchmarkMineKnowledge/workers=1-8 	      26	  44852011 ns/op
+PASS
+ok  	qpiad	12.3s
+`
+	got, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	warm := got["BenchmarkWarmQuery"]
+	if warm.NsPerOp != 2304 || warm.BytesPerOp != 1184 || warm.AllocsPerOp != 14 {
+		t.Errorf("BenchmarkWarmQuery = %+v", warm)
+	}
+	mine := got["BenchmarkMineKnowledge/workers=1"]
+	if mine.NsPerOp != 44852011 || mine.BytesPerOp != 0 {
+		t.Errorf("BenchmarkMineKnowledge/workers=1 = %+v", mine)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	got, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok qpiad 1s\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d results from non-bench input", len(got))
+	}
+}

@@ -32,16 +32,17 @@ func main() {
 		delta   = flag.Float64("delta", 0.3, "AKey pruning threshold δ")
 		maxDet  = flag.Int("max-determining", 3, "max determining set size")
 		xval    = flag.Bool("accuracy", true, "also report per-attribute classifier holdout accuracy")
+		workers = flag.Int("mine-workers", 0, "worker goroutines for TANE level scoring (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	if err := run(*csvPath, *dataset, *n, *seed, *minConf, *delta, *maxDet, *xval); err != nil {
+	if err := run(*csvPath, *dataset, *n, *seed, *minConf, *delta, *maxDet, *xval, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "qpiad-mine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(csvPath, dataset string, n int, seed int64, minConf, delta float64, maxDet int, xval bool) error {
+func run(csvPath, dataset string, n int, seed int64, minConf, delta float64, maxDet int, xval bool, workers int) error {
 	var rel *relation.Relation
 	switch {
 	case csvPath != "":
@@ -66,6 +67,7 @@ func run(csvPath, dataset string, n int, seed int64, minConf, delta float64, max
 		PruneDelta:     delta,
 		MaxDetermining: maxDet,
 		MinSupport:     5,
+		Workers:        workers,
 	})
 	fmt.Printf("approximate functional dependencies (%d):\n", len(res.AFDs))
 	for _, a := range res.AFDs {
@@ -97,7 +99,7 @@ func run(csvPath, dataset string, n int, seed int64, minConf, delta float64, max
 			test.MustInsert(t)
 		}
 	}
-	trainAFDs := afd.Mine(train, afd.Config{MinConfidence: minConf, PruneDelta: delta, MaxDetermining: maxDet, MinSupport: 5})
+	trainAFDs := afd.Mine(train, afd.Config{MinConfidence: minConf, PruneDelta: delta, MaxDetermining: maxDet, MinSupport: 5, Workers: workers})
 	for _, attr := range rel.Schema.Names() {
 		p, err := nbc.TrainPredictor(train, attr, trainAFDs, nbc.PredictorConfig{})
 		if err != nil {

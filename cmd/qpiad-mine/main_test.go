@@ -10,14 +10,14 @@ import (
 
 func TestRunSyntheticDatasets(t *testing.T) {
 	for _, ds := range []string{"cars", "census", "complaints"} {
-		if err := run("", ds, 2000, 1, 0.5, 0.3, 2, false); err != nil {
+		if err := run("", ds, 2000, 1, 0.5, 0.3, 2, false, 0); err != nil {
 			t.Fatalf("%s: %v", ds, err)
 		}
 	}
 }
 
 func TestRunWithAccuracy(t *testing.T) {
-	if err := run("", "cars", 3000, 2, 0.5, 0.3, 2, true); err != nil {
+	if err := run("", "cars", 3000, 2, 0.5, 0.3, 2, true, 2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -28,16 +28,16 @@ func TestRunCSV(t *testing.T) {
 	if err := rel.SaveCSV(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", 0, 4, 0.5, 0.3, 2, false); err != nil {
+	if err := run(path, "", 0, 4, 0.5, 0.3, 2, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.csv", "", 0, 1, 0.5, 0.3, 2, false); err == nil {
+	if err := run("/nonexistent.csv", "", 0, 1, 0.5, 0.3, 2, false, 0); err == nil {
 		t.Error("missing CSV should error")
 	}
-	if err := run("", "nope", 10, 1, 0.5, 0.3, 2, false); err == nil {
+	if err := run("", "nope", 10, 1, 0.5, 0.3, 2, false, 0); err == nil {
 		t.Error("unknown dataset should error")
 	}
 }

@@ -49,6 +49,9 @@ func main() {
 		k        = flag.Int("k", 10, "default rewritten-query budget")
 		parallel = flag.Int("parallel", 4, "concurrent rewrite issuing")
 
+		mineWorkers = flag.Int("mine-workers", 0, "worker goroutines for knowledge mining (0 = GOMAXPROCS)")
+		noCache     = flag.Bool("no-cache", false, "disable the mediator answer cache")
+
 		errRate     = flag.Float64("error-rate", 0, "injected transient-error rate per query attempt (deterministic per -fault-seed)")
 		timeoutRate = flag.Float64("timeout-rate", 0, "injected timeout rate per query attempt")
 		jitter      = flag.Duration("latency-jitter", 0, "injected per-query latency jitter upper bound")
@@ -58,10 +61,15 @@ func main() {
 	)
 	flag.Parse()
 
-	med, err := buildMediator(*csvPath, *n, *seed, *incmp, *smplFrac, core.Config{
+	ccfg := core.Config{
 		Alpha: *alpha, K: *k, Parallel: *parallel,
 		Retry: core.RetryPolicy{MaxAttempts: *retries, AttemptTimeout: *attemptTO},
-	})
+	}
+	if *noCache {
+		ccfg.NoCache = true
+		ccfg.CacheSize = -1
+	}
+	med, err := buildMediator(*csvPath, *n, *seed, *incmp, *smplFrac, *mineWorkers, ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +91,7 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, httpapi.New(med)))
 }
 
-func buildMediator(csvPath string, n int, seed int64, incmp, smplFrac float64, cfg core.Config) (*core.Mediator, error) {
+func buildMediator(csvPath string, n int, seed int64, incmp, smplFrac float64, mineWorkers int, cfg core.Config) (*core.Mediator, error) {
 	var (
 		db   *relation.Relation
 		name string
@@ -109,7 +117,7 @@ func buildMediator(csvPath string, n int, seed int64, incmp, smplFrac float64, c
 	smpl := db.Sample(smplN, rand.New(rand.NewSource(seed+2)))
 	know, err := core.MineKnowledge(name, smpl,
 		float64(db.Len())/float64(smpl.Len()), smpl.IncompleteFraction(),
-		core.KnowledgeConfig{AFD: afd.Config{MinSupport: 5}, Predictor: nbc.PredictorConfig{}})
+		core.KnowledgeConfig{AFD: afd.Config{MinSupport: 5}, Predictor: nbc.PredictorConfig{}, Workers: mineWorkers})
 	if err != nil {
 		return nil, err
 	}

@@ -10,7 +10,7 @@ import (
 )
 
 func TestBuildMediatorGenerated(t *testing.T) {
-	med, err := buildMediator("", 3000, 1, 0.10, 0.10, core.Config{Alpha: 0, K: 5})
+	med, err := buildMediator("", 3000, 1, 0.10, 0.10, 0, core.Config{Alpha: 0, K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestBuildMediatorCSV(t *testing.T) {
 	if err := ed.SaveCSV(path); err != nil {
 		t.Fatal(err)
 	}
-	med, err := buildMediator(path, 0, 4, 0, 0.10, core.Config{K: 5})
+	med, err := buildMediator(path, 0, 4, 0, 0.10, 0, core.Config{K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,10 +44,10 @@ func TestBuildMediatorCSV(t *testing.T) {
 }
 
 func TestBuildMediatorErrors(t *testing.T) {
-	if _, err := buildMediator("/nonexistent.csv", 0, 1, 0, 0.1, core.Config{}); err == nil {
+	if _, err := buildMediator("/nonexistent.csv", 0, 1, 0, 0.1, 0, core.Config{}); err == nil {
 		t.Error("missing CSV should error")
 	}
-	if _, err := buildMediator("", 100, 1, 0.1, 0.000001, core.Config{}); err == nil {
+	if _, err := buildMediator("", 100, 1, 0.1, 0.000001, 0, core.Config{}); err == nil {
 		t.Error("degenerate sample fraction should error")
 	}
 }

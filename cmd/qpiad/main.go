@@ -48,6 +48,9 @@ func main() {
 		explain  = flag.Bool("explain", true, "show AFD-based explanations")
 		stats    = flag.Bool("stats", false, "print full per-source metrics (queries, retries, errors, latency percentiles)")
 
+		mineWorkers = flag.Int("mine-workers", 0, "worker goroutines for knowledge mining (0 = GOMAXPROCS)")
+		noCache     = flag.Bool("no-cache", false, "disable the mediator answer cache")
+
 		errRate     = flag.Float64("error-rate", 0, "injected transient-error rate per query attempt (deterministic per -fault-seed)")
 		timeoutRate = flag.Float64("timeout-rate", 0, "injected timeout rate per query attempt")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
@@ -57,7 +60,9 @@ func main() {
 	flag.Parse()
 
 	res := resilience{
-		stats: *stats,
+		stats:       *stats,
+		mineWorkers: *mineWorkers,
+		noCache:     *noCache,
 		faults: qpiad.FaultProfile{
 			Seed:          *faultSeed,
 			TransientRate: *errRate,
@@ -83,11 +88,13 @@ func main() {
 	}
 }
 
-// resilience bundles the fault-injection and retry knobs.
+// resilience bundles the fault-injection, retry and performance knobs.
 type resilience struct {
-	stats  bool
-	faults qpiad.FaultProfile
-	retry  qpiad.RetryPolicy
+	stats       bool
+	mineWorkers int
+	noCache     bool
+	faults      qpiad.FaultProfile
+	retry       qpiad.RetryPolicy
 }
 
 // setup builds the learned system over a loaded or generated database.
@@ -107,7 +114,10 @@ func setup(csvPath string, n int, seed int64, incmp, smplFrac, alpha float64, k 
 		fmt.Printf("generated %d car tuples, %.1f%% incomplete\n", db.Len(), 100*db.IncompleteFraction())
 	}
 
-	sys := qpiad.New(qpiad.Config{Alpha: alpha, K: k, Retry: res.retry})
+	sys := qpiad.New(qpiad.Config{
+		Alpha: alpha, K: k, Retry: res.retry,
+		MineWorkers: res.mineWorkers, NoCache: res.noCache,
+	})
 	if err := sys.AddSource("db", db, qpiad.Capabilities{}); err != nil {
 		return nil, nil, err
 	}
@@ -244,6 +254,9 @@ func printMetrics(sys *qpiad.System, name string) {
 		fmt.Printf("  faults dealt: %d transient, %d timeout, %d truncation (%d decisions)\n",
 			fs.Transients, fs.Timeouts, fs.Truncations, fs.Decisions)
 	}
+	cs := sys.CacheStats()
+	fmt.Printf("  answer cache: %d hits, %d misses, %d evictions, %d coalesced (%d entries)\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Coalesced, cs.Entries)
 }
 
 // repl reads SQL statements line by line and executes each against the

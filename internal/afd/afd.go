@@ -19,8 +19,11 @@ package afd
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"qpiad/internal/relation"
 )
@@ -78,6 +81,14 @@ type Config struct {
 	// strict superset of an already-accepted AFD for the same dependent.
 	// TANE outputs minimal dependencies; the default (false) matches that.
 	KeepNonMinimal bool
+	// Workers bounds the goroutines scoring candidates within one lattice
+	// level. 0 means GOMAXPROCS; 1 forces sequential scoring. Results are
+	// identical for any value: same-level candidates are independent (a set
+	// can only be a strict subset of a *larger* set, so minimality checks
+	// depend only on previous levels) and the merge runs in level order.
+	// Excluded from JSON so persisted knowledge files don't depend on the
+	// mining machine's core count.
+	Workers int `json:"-"`
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -322,10 +333,16 @@ func (m *miner) run() *Result {
 
 	for depth := 1; depth <= m.cfg.MaxDetermining && len(level) > 0; depth++ {
 		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
+		// Phase 1 (parallel): classify and score every candidate of the
+		// level. Same-level sets have equal cardinality, so none is a strict
+		// subset of another — minimality only depends on previous levels,
+		// which are frozen here. Phase 2 (sequential, level order): AKey
+		// minimality, accept/prune, candidate generation. Output is
+		// byte-identical to the fully sequential loop.
+		scored := m.scoreLevel(level, accepted)
 		var next []attrSet
-		for _, x := range level {
-			classes, nclasses := m.classify(x)
-			kconf, ksupport := akeyConf(classes, nclasses)
+		for i, x := range level {
+			kconf, ksupport := scored[i].kconf, scored[i].ksupport
 
 			// AKey reporting (minimal only).
 			if ksupport >= m.cfg.MinSupport && kconf >= m.cfg.AKeyMinConfidence {
@@ -342,28 +359,21 @@ func (m *miner) run() *Result {
 				}
 			}
 
-			for a := 0; a < m.nattrs; a++ {
-				if x.has(a) {
-					continue
-				}
-				if !m.cfg.KeepNonMinimal && hasSubset(accepted[a], x) {
-					continue
-				}
-				conf, support := m.score(classes, nclasses, a)
-				if support < m.cfg.MinSupport || conf < m.cfg.MinConfidence {
+			for _, dc := range scored[i].deps {
+				if !m.cfg.KeepNonMinimal && hasSubset(accepted[dc.a], x) {
 					continue
 				}
 				dep := AFD{
 					Determining:    m.attrNames(x),
-					Dependent:      m.names[a],
-					Confidence:     conf,
+					Dependent:      m.names[dc.a],
+					Confidence:     dc.conf,
 					AKeyConfidence: kconf,
-					Support:        support,
+					Support:        dc.support,
 				}
-				accepted[a] = append(accepted[a], x)
+				accepted[dc.a] = append(accepted[dc.a], x)
 				// AKey pruning rule (Section 5.1): determining sets that
 				// nearly key the relation generalize poorly.
-				if conf-kconf < m.cfg.PruneDelta {
+				if dc.conf-kconf < m.cfg.PruneDelta {
 					res.Pruned = append(res.Pruned, dep)
 				} else {
 					res.AFDs = append(res.AFDs, dep)
@@ -395,6 +405,80 @@ func (m *miner) run() *Result {
 		return res.AFDs[i].Confidence > res.AFDs[j].Confidence
 	})
 	return res
+}
+
+// depCand is one dependent attribute whose score passed the support and
+// confidence thresholds for a candidate determining set.
+type depCand struct {
+	a       int
+	conf    float64
+	support int
+}
+
+// levelScore is the parallel-phase output for one candidate set.
+type levelScore struct {
+	kconf    float64
+	ksupport int
+	deps     []depCand
+}
+
+// scoreLevel computes classify/akeyConf/score for every candidate in the
+// level, fanning the work over cfg.Workers goroutines. accepted is read-only
+// during the fan-out: each worker filters against the previous levels'
+// minimality state, which is all that can subsume a same-cardinality set.
+func (m *miner) scoreLevel(level []attrSet, accepted [][]attrSet) []levelScore {
+	scored := make([]levelScore, len(level))
+	scoreOne := func(i int) {
+		x := level[i]
+		classes, nclasses := m.classify(x)
+		ls := levelScore{}
+		ls.kconf, ls.ksupport = akeyConf(classes, nclasses)
+		for a := 0; a < m.nattrs; a++ {
+			if x.has(a) {
+				continue
+			}
+			if !m.cfg.KeepNonMinimal && hasSubset(accepted[a], x) {
+				continue
+			}
+			conf, support := m.score(classes, nclasses, a)
+			if support < m.cfg.MinSupport || conf < m.cfg.MinConfidence {
+				continue
+			}
+			ls.deps = append(ls.deps, depCand{a: a, conf: conf, support: support})
+		}
+		scored[i] = ls
+	}
+
+	workers := m.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(level) {
+		workers = len(level)
+	}
+	if workers <= 1 {
+		for i := range level {
+			scoreOne(i)
+		}
+		return scored
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(level) {
+					return
+				}
+				scoreOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return scored
 }
 
 func hasSubset(sets []attrSet, x attrSet) bool {

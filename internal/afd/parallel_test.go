@@ -1,0 +1,64 @@
+package afd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"qpiad/internal/relation"
+)
+
+// wideRandomRel builds a wide relation with mixed exact, approximate and absent
+// dependencies so multi-attribute TANE levels are non-trivial.
+func wideRandomRel(n int, seed int64) *relation.Relation {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "a", Kind: relation.KindString},
+		relation.Attribute{Name: "b", Kind: relation.KindString},
+		relation.Attribute{Name: "c", Kind: relation.KindString},
+		relation.Attribute{Name: "d", Kind: relation.KindInt},
+		relation.Attribute{Name: "e", Kind: relation.KindInt},
+	)
+	r := relation.New("rand", s)
+	rng := rand.New(rand.NewSource(seed))
+	letters := []string{"x", "y", "z", "w"}
+	for i := 0; i < n; i++ {
+		a := letters[rng.Intn(len(letters))]
+		b := a + letters[rng.Intn(2)] // a narrows b: {a,b} often determines
+		c := letters[rng.Intn(len(letters))]
+		d := int64(rng.Intn(5))
+		e := d
+		if rng.Float64() < 0.15 { // d ~> e at ~0.85
+			e = int64(rng.Intn(5))
+		}
+		r.MustInsert(relation.Tuple{
+			relation.String(a), relation.String(b), relation.String(c),
+			relation.Int(d), relation.Int(e),
+		})
+	}
+	return r
+}
+
+// TestMineParallelEquivalence proves level-parallel scoring returns the
+// exact Result sequential mining does — AFD order, confidences, supports,
+// pruned keys — across worker counts and configurations.
+func TestMineParallelEquivalence(t *testing.T) {
+	rel := wideRandomRel(800, 11)
+	for _, cfg := range []Config{
+		{MinSupport: 2},
+		{MinSupport: 5, MaxDetermining: 2},
+		{MinConfidence: 0.8, MinSupport: 3},
+	} {
+		seqCfg := cfg
+		seqCfg.Workers = 1
+		seq := Mine(rel, seqCfg)
+		for _, workers := range []int{2, 4, 8} {
+			parCfg := cfg
+			parCfg.Workers = workers
+			par := Mine(rel, parCfg)
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("cfg %+v workers=%d: parallel result differs from sequential\nseq: %+v\npar: %+v",
+					cfg, workers, seq, par)
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"qpiad/internal/afd"
+	"qpiad/internal/nbc"
+	"qpiad/internal/qcache"
+	"qpiad/internal/relation"
+)
+
+// TestAnswerCacheHitSkipsSource proves a repeated identical query is served
+// entirely from the cache: the source sees no additional traffic and the
+// answer is identical to the cold one.
+func TestAnswerCacheHitSkipsSource(t *testing.T) {
+	f := newFixture(t, Config{Alpha: 0, K: 10})
+	q := convtQuery()
+
+	cold, err := f.m.QuerySelect("cars", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queriesAfterCold := f.src.Stats().Queries
+
+	warm, err := f.m.QuerySelect("cars", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.src.Stats().Queries; got != queriesAfterCold {
+		t.Errorf("warm query reached the source: %d queries, want %d", got, queriesAfterCold)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Error("cached answer differs from the cold answer")
+	}
+	st := f.m.CacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("cache stats = %+v; want at least one miss (cold) and one hit (warm)", st)
+	}
+
+	// The returned ResultSet must be the caller's to mutate: truncating it
+	// must not corrupt what the next caller sees.
+	warm.Certain = warm.Certain[:0]
+	again, err := f.m.QuerySelect("cars", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Certain) != len(cold.Certain) {
+		t.Errorf("mutating a returned ResultSet leaked into the cache: %d certain, want %d",
+			len(again.Certain), len(cold.Certain))
+	}
+}
+
+// TestAnswerCacheKeyedByConfig proves different per-query configurations
+// never share a cache entry.
+func TestAnswerCacheKeyedByConfig(t *testing.T) {
+	f := newFixture(t, Config{Alpha: 0, K: 10})
+	q := convtQuery()
+
+	rs2, err := f.m.QuerySelectWith(Config{Alpha: 0, K: 2}, "cars", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs10, err := f.m.QuerySelectWith(Config{Alpha: 0, K: 10}, "cars", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs2.Issued) >= len(rs10.Issued) {
+		t.Fatalf("K=2 issued %d rewrites, K=10 issued %d: configs look conflated",
+			len(rs2.Issued), len(rs10.Issued))
+	}
+	if st := f.m.CacheStats(); st.Misses < 2 {
+		t.Errorf("two distinct configs should be two cache misses, got %+v", st)
+	}
+}
+
+// TestAnswerCacheInvalidatedOnRegister proves re-registering a source drops
+// its cached answers: the next query recomputes against the new state.
+func TestAnswerCacheInvalidatedOnRegister(t *testing.T) {
+	f := newFixture(t, Config{Alpha: 0, K: 10})
+	q := convtQuery()
+
+	if _, err := f.m.QuerySelect("cars", q); err != nil {
+		t.Fatal(err)
+	}
+	warmQueries := f.src.Stats().Queries
+
+	// Re-register the same source (e.g. after a knowledge reload).
+	f.m.Register(f.src, f.k)
+	if _, err := f.m.QuerySelect("cars", q); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.src.Stats().Queries; got <= warmQueries {
+		t.Errorf("query after Register was served from stale cache (%d source queries, want > %d)",
+			got, warmQueries)
+	}
+}
+
+// TestAnswerCacheDisabled proves both opt-outs: the per-query NoCache flag
+// bypasses a live cache, and CacheSize < 0 disables the cache entirely.
+func TestAnswerCacheDisabled(t *testing.T) {
+	q := convtQuery()
+
+	f := newFixture(t, Config{Alpha: 0, K: 10})
+	if _, err := f.m.QuerySelect("cars", q); err != nil {
+		t.Fatal(err)
+	}
+	warmQueries := f.src.Stats().Queries
+	if _, err := f.m.QuerySelectWith(Config{Alpha: 0, K: 10, NoCache: true}, "cars", q); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.src.Stats().Queries; got <= warmQueries {
+		t.Error("NoCache query did not reach the source")
+	}
+
+	off := newFixture(t, Config{Alpha: 0, K: 10, CacheSize: -1})
+	if _, err := off.m.QuerySelect("cars", q); err != nil {
+		t.Fatal(err)
+	}
+	first := off.src.Stats().Queries
+	if _, err := off.m.QuerySelect("cars", q); err != nil {
+		t.Fatal(err)
+	}
+	if got := off.src.Stats().Queries; got <= first {
+		t.Error("CacheSize=-1 mediator still cached")
+	}
+	if st := off.m.CacheStats(); st != (qcache.Stats{}) {
+		t.Errorf("disabled cache stats = %+v; want zero", st)
+	}
+}
+
+// TestAnswerCacheConcurrentIdentical fires many identical queries
+// concurrently; the cache (plus singleflight) must hold the source traffic
+// to one computation's worth, and every response must match the baseline.
+func TestAnswerCacheConcurrentIdentical(t *testing.T) {
+	f := newFixture(t, Config{Alpha: 0, K: 10})
+	q := convtQuery()
+
+	baseline, err := f.m.QuerySelect("cars", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneRun := f.src.Stats().Queries
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 4; r++ {
+				rs, err := f.m.QuerySelect("cars", q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(rs, baseline) {
+					errs <- errMismatch
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := f.src.Stats().Queries; got != oneRun {
+		t.Errorf("concurrent identical queries reached the source: %d queries, want %d", got, oneRun)
+	}
+}
+
+var errMismatch = errString("concurrent response differs from baseline")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// TestParallelMiningEquivalence proves mining with a worker pool produces
+// knowledge identical to sequential mining: same AFDs, same predictions,
+// byte-identical persisted form.
+func TestParallelMiningEquivalence(t *testing.T) {
+	gd := buildCarsGD(4000, 7)
+	ed, _ := makeIncomplete(gd, "body_style", 0.10, 8)
+	smpl := ed.Sample(600, rand.New(rand.NewSource(9)))
+	ratio := float64(ed.Len()) / float64(smpl.Len())
+
+	mine := func(workers int) *Knowledge {
+		t.Helper()
+		k, err := MineKnowledge("cars", smpl, ratio, smpl.IncompleteFraction(), KnowledgeConfig{
+			AFD:       afd.Config{MinSupport: 5},
+			Predictor: nbc.PredictorConfig{},
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	seq, par := mine(1), mine(4)
+
+	if !reflect.DeepEqual(seq.AFDs, par.AFDs) {
+		t.Error("parallel TANE mining produced different AFDs than sequential")
+	}
+	if len(seq.Predictors) != len(par.Predictors) {
+		t.Fatalf("predictor count differs: %d vs %d", len(seq.Predictors), len(par.Predictors))
+	}
+	// Same predictions on every attribute for a probe evidence set drawn
+	// from the sample itself.
+	probe := smpl.Tuple(0)
+	for attr, sp := range seq.Predictors {
+		pp, ok := par.Predictors[attr]
+		if !ok {
+			t.Errorf("attribute %s trained sequentially but not in parallel", attr)
+			continue
+		}
+		ev := map[string]relation.Value{}
+		for i, a := range smpl.Schema.Attrs() {
+			if a.Name != attr && !probe[i].IsNull() {
+				ev[a.Name] = probe[i]
+			}
+		}
+		if !reflect.DeepEqual(sp.PredictEvidence(ev), pp.PredictEvidence(ev)) {
+			t.Errorf("attribute %s: parallel and sequential predictors disagree", attr)
+		}
+	}
+
+	// Persisted form must be byte-identical (Workers is not serialized).
+	var sb, pb bytes.Buffer
+	if err := seq.Save(&sb, KnowledgeConfig{AFD: afd.Config{MinSupport: 5}, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Save(&pb, KnowledgeConfig{AFD: afd.Config{MinSupport: 5}, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Error("persisted knowledge differs between sequential and parallel mining")
+	}
+}

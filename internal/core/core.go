@@ -21,10 +21,13 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"qpiad/internal/afd"
 	"qpiad/internal/nbc"
+	"qpiad/internal/qcache"
 	"qpiad/internal/relation"
 	"qpiad/internal/selectivity"
 	"qpiad/internal/source"
@@ -80,6 +83,15 @@ type Config struct {
 	// with a small exponential backoff and no deadlines — inert against
 	// reliable sources, since capability and budget refusals never retry.
 	Retry RetryPolicy
+	// NoCache bypasses the mediator answer cache for calls made under this
+	// config: the query runs the full pipeline and its result is not stored.
+	// Per-request bypass (the HTTP "no_cache" field, the CLI -no-cache flag)
+	// sets this on the per-call config.
+	NoCache bool
+	// CacheSize bounds the mediator answer cache (entries). 0 means the
+	// default (1024); negative disables the cache entirely — unlike NoCache
+	// this also turns off singleflight collapsing of concurrent duplicates.
+	CacheSize int
 }
 
 // DefaultConfig matches the paper's experimental defaults (α = 0, K = 10).
@@ -101,6 +113,28 @@ type Knowledge struct {
 	Predictors map[string]*nbc.Predictor
 	// Sel estimates rewritten-query selectivity.
 	Sel *selectivity.Estimator
+
+	// predCache memoizes PredictEvidence distributions keyed by
+	// (target, canonical evidence combination). Distributions are immutable
+	// once built, so cached values are shared safely. nil (e.g. on
+	// hand-assembled Knowledge literals in tests) disables memoization.
+	predCache *qcache.Cache
+}
+
+// predictEvidence returns p.PredictEvidence(evidence), memoized under key
+// when the knowledge carries a prediction cache. The same determining-set
+// value combinations recur across every query over a source, so warm
+// lookups skip NBC inference entirely.
+func (k *Knowledge) predictEvidence(p *nbc.Predictor, key string, evidence map[string]relation.Value) nbc.Distribution {
+	if k.predCache == nil {
+		return p.PredictEvidence(evidence)
+	}
+	if v, ok := k.predCache.Get(key); ok {
+		return v.(nbc.Distribution)
+	}
+	d := p.PredictEvidence(evidence)
+	k.predCache.Put(key, d)
+	return d
 }
 
 // KnowledgeConfig tunes offline mining.
@@ -110,6 +144,13 @@ type KnowledgeConfig struct {
 	// Predictor configures classifier construction (mode, thresholds,
 	// m-estimate).
 	Predictor nbc.PredictorConfig
+	// Workers bounds the goroutines training per-attribute predictors (and,
+	// unless AFD.Workers is set explicitly, the TANE level fan-out). 0 means
+	// GOMAXPROCS; 1 forces sequential mining. Any value produces identical
+	// Knowledge: attributes are independent and results merge in schema
+	// order. Excluded from JSON so persisted knowledge files don't depend on
+	// the mining machine's core count.
+	Workers int `json:"-"`
 }
 
 // MineKnowledge mines AFDs, trains one predictor per attribute, and builds
@@ -123,22 +164,60 @@ func MineKnowledge(sourceName string, smpl *relation.Relation, ratio, perInc flo
 	if err != nil {
 		return nil, err
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.AFD.Workers == 0 {
+		cfg.AFD.Workers = workers
+	}
 	k := &Knowledge{
 		Source:     sourceName,
 		Sample:     smpl,
 		AFDs:       afd.Mine(smpl, cfg.AFD),
 		Predictors: make(map[string]*nbc.Predictor, smpl.Schema.Len()),
 		Sel:        sel,
+		predCache:  qcache.New(qcache.Config{Capacity: 4096}),
 	}
-	for _, attr := range smpl.Schema.Names() {
-		p, err := nbc.TrainPredictor(smpl, attr, k.AFDs, cfg.Predictor)
-		if err != nil {
+	// Train one predictor per attribute on a bounded worker pool. Each
+	// training run reads only the (immutable) sample and mined AFDs, so
+	// attribute order carries no data dependency; results land in an
+	// index-addressed slice and merge in schema order, making the Knowledge
+	// identical for any worker count.
+	attrs := smpl.Schema.Names()
+	preds := make([]*nbc.Predictor, len(attrs))
+	if workers > len(attrs) {
+		workers = len(attrs)
+	}
+	if workers <= 1 {
+		for i, attr := range attrs {
 			// An attribute that cannot be learned (e.g. always null in the
 			// sample) simply has no predictor; queries constraining it fall
 			// back to certain answers only.
-			continue
+			preds[i], _ = nbc.TrainPredictor(smpl, attr, k.AFDs, cfg.Predictor)
 		}
-		k.Predictors[attr] = p
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					preds[i], _ = nbc.TrainPredictor(smpl, attrs[i], k.AFDs, cfg.Predictor)
+				}
+			}()
+		}
+		for i := range attrs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, attr := range attrs {
+		if preds[i] != nil {
+			k.Predictors[attr] = preds[i]
+		}
 	}
 	return k, nil
 }
@@ -195,6 +274,10 @@ type Mediator struct {
 	cfg       Config
 	sources   map[string]*source.Source
 	knowledge map[string]*Knowledge
+	// cache memoizes full QuerySelect results keyed by (source, query key,
+	// config fingerprint) with singleflight collapsing of concurrent
+	// identical queries. nil when Config.CacheSize < 0.
+	cache *qcache.Cache
 }
 
 // New creates a mediator.
@@ -203,24 +286,52 @@ func New(cfg Config) *Mediator {
 		cfg:       cfg,
 		sources:   make(map[string]*source.Source),
 		knowledge: make(map[string]*Knowledge),
+		cache:     newAnswerCache(cfg),
 	}
+}
+
+// newAnswerCache builds the answer cache for cfg, or nil when disabled.
+func newAnswerCache(cfg Config) *qcache.Cache {
+	if cfg.CacheSize < 0 {
+		return nil
+	}
+	return qcache.New(qcache.Config{Capacity: cfg.CacheSize})
 }
 
 // Config returns the mediator's configuration.
 func (m *Mediator) Config() Config { return m.cfg }
 
 // SetConfig replaces the rewriting/ranking configuration (α and K are
-// user- and source-dependent knobs; see Section 4.1).
-func (m *Mediator) SetConfig(cfg Config) { m.cfg = cfg }
+// user- and source-dependent knobs; see Section 4.1). The answer cache is
+// rebuilt: entries are keyed by config fingerprint so stale reuse cannot
+// happen either way, but a fresh cache also applies a changed CacheSize.
+func (m *Mediator) SetConfig(cfg Config) {
+	m.cfg = cfg
+	m.cache = newAnswerCache(cfg)
+}
 
 // Register adds a source with its mined knowledge. Knowledge may be nil for
 // sources that are only ever queried through correlated knowledge
-// (Section 4.3).
+// (Section 4.3). Registering invalidates any cached answers for the source:
+// both re-registration with fresh data and knowledge reload (LoadKnowledge
+// funnels through here) must not serve answers derived from the old state.
 func (m *Mediator) Register(src *source.Source, k *Knowledge) {
 	m.sources[src.Name()] = src
 	if k != nil {
 		m.knowledge[src.Name()] = k
 	}
+	if m.cache != nil {
+		m.cache.DeletePrefix(src.Name() + "\x1e")
+	}
+}
+
+// CacheStats snapshots the answer-cache counters (all zero when the cache
+// is disabled).
+func (m *Mediator) CacheStats() qcache.Stats {
+	if m.cache == nil {
+		return qcache.Stats{}
+	}
+	return m.cache.Stats()
 }
 
 // Source returns a registered source.

@@ -135,9 +135,13 @@ func GenerateRewrites(k *Knowledge, q relation.Query, base []relation.Tuple, bas
 // k supplies the AFDs, predictors and selectivity estimates; baseSchema is
 // the schema the base tuples are in (usually the source's local schema).
 func (m *Mediator) generateRewrites(k *Knowledge, q relation.Query, base []relation.Tuple, baseSchema *relation.Schema) []RewrittenQuery {
-	seen := make(map[string]bool)
+	// One rewrite per distinct determining-set combination, and combos come
+	// from the base set — len(base)+1 bounds the map.
+	seen := make(map[string]bool, len(base)+1)
 	seen[q.Key()] = true
 	var out []RewrittenQuery
+	// pkbuf is reused across combos to build prediction-cache keys.
+	var pkbuf []byte
 
 	for _, target := range q.ConstrainedAttrs() {
 		pred, ok := q.PredOn(target)
@@ -152,28 +156,46 @@ func (m *Mediator) generateRewrites(k *Knowledge, q relation.Query, base []relat
 		}
 		dtr := p.AFD.Determining
 		combos := relation.DistinctOn(baseSchema, base, dtr)
+		// Everything that does not depend on the combo is hoisted out of the
+		// combo loop: the explanation string (identical per target), the
+		// rewrite skeleton (original query minus the target predicate), and
+		// which determining attributes the original query constrains.
+		explain := p.Explain()
+		baseRq := q.WithoutAttr(target)
+		baseRq.Agg = nil
+		constrainedDtr := make([]bool, len(dtr))
+		for i, ax := range dtr {
+			_, constrainedDtr[i] = q.PredOn(ax)
+		}
 		for _, combo := range combos {
-			rq := q.WithoutAttr(target)
-			rq.Agg = nil
+			// Build the rewrite's predicates with a single pre-sized
+			// copy+append instead of one full Query clone per With call.
+			preds := make([]relation.Predicate, len(baseRq.Preds), len(baseRq.Preds)+len(dtr))
+			copy(preds, baseRq.Preds)
 			evidence := make(map[string]relation.Value, len(dtr))
+			pkbuf = append(pkbuf[:0], target...)
 			for i, ax := range dtr {
 				evidence[ax] = combo[i]
-				if _, constrained := q.PredOn(ax); constrained {
+				pkbuf = append(pkbuf, '\x1f')
+				pkbuf = append(pkbuf, combo[i].Key()...)
+				if constrainedDtr[i] {
 					// Keep the original constraint on Ax (Section 4.2,
 					// multi-attribute case).
 					continue
 				}
-				rq = rq.With(relation.Eq(ax, combo[i]))
+				preds = append(preds, relation.Eq(ax, combo[i]))
 			}
-			if len(rq.Preds) == 0 {
+			if len(preds) == 0 {
 				continue
 			}
+			rq := baseRq
+			rq.Preds = preds
 			key := rq.Key()
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
-			dist := p.PredictEvidence(evidence)
+			dist := k.predictEvidence(p, string(pkbuf), evidence)
 			mode, _, modeOK := dist.Top()
 			out = append(out, RewrittenQuery{
 				Query:             rq,
@@ -183,7 +205,7 @@ func (m *Mediator) generateRewrites(k *Knowledge, q relation.Query, base []relat
 				Precision:         predProb(dist, pred),
 				ModeSatisfiesPred: modeOK && predicateHolds(pred, mode),
 				EstSel:            k.Sel.EstSel(rq),
-				Explanation:       p.Explain(),
+				Explanation:       explain,
 			})
 		}
 	}
@@ -220,14 +242,23 @@ func ScoreAndSelect(cands []RewrittenQuery, alpha float64, k int, ord Ordering) 
 		}
 		cands[i].F = fMeasure(cands[i].Precision, cands[i].Recall, alpha)
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
+	// Every ordering ends in the query-key tie-break, so equal-F (and
+	// equal-precision) rewrites sort identically across runs and under the
+	// parallel mining/caching paths. Keys are canonicalized once up front —
+	// Query.Key re-sorts the predicate encoding on every call, which is far
+	// too expensive to leave inside an O(n log n) comparator.
+	keys := make([]string, len(cands))
+	for i := range cands {
+		keys[i] = cands[i].Query.Key()
+	}
+	sort.Stable(&rewriteSorter{cands, keys, func(i, j int) bool {
 		switch ord {
 		case OrderSelectivity:
 			if cands[i].EstSel != cands[j].EstSel {
 				return cands[i].EstSel > cands[j].EstSel
 			}
 		case OrderArbitrary:
-			return cands[i].Query.Key() < cands[j].Query.Key()
+			return keys[i] < keys[j]
 		default:
 			if cands[i].F != cands[j].F {
 				return cands[i].F > cands[j].F
@@ -236,21 +267,36 @@ func ScoreAndSelect(cands []RewrittenQuery, alpha float64, k int, ord Ordering) 
 		if cands[i].Precision != cands[j].Precision {
 			return cands[i].Precision > cands[j].Precision
 		}
-		return cands[i].Query.Key() < cands[j].Query.Key()
-	})
+		return keys[i] < keys[j]
+	}})
 	if k > 0 && len(cands) > k {
-		cands = cands[:k]
+		cands, keys = cands[:k], keys[:k]
 	}
 	// Step 2(c): reorder the chosen top-K by precision. Under the
 	// arbitrary-ordering ablation the issue order is left as selected, so
 	// the ablation measures what ordering is worth.
 	if ord != OrderArbitrary {
-		sort.SliceStable(cands, func(i, j int) bool {
+		sort.Stable(&rewriteSorter{cands, keys, func(i, j int) bool {
 			if cands[i].Precision != cands[j].Precision {
 				return cands[i].Precision > cands[j].Precision
 			}
-			return cands[i].Query.Key() < cands[j].Query.Key()
-		})
+			return keys[i] < keys[j]
+		}})
 	}
 	return cands
+}
+
+// rewriteSorter sorts candidates and their precomputed query keys in
+// lockstep, keeping the key slice aligned across both sort passes.
+type rewriteSorter struct {
+	cands []RewrittenQuery
+	keys  []string
+	less  func(i, j int) bool
+}
+
+func (s *rewriteSorter) Len() int           { return len(s.cands) }
+func (s *rewriteSorter) Less(i, j int) bool { return s.less(i, j) }
+func (s *rewriteSorter) Swap(i, j int) {
+	s.cands[i], s.cands[j] = s.cands[j], s.cands[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }

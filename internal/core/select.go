@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"qpiad/internal/relation"
 )
@@ -25,7 +26,58 @@ func (m *Mediator) QuerySelect(srcName string, q relation.Query) (*ResultSet, er
 // QuerySelectWith is QuerySelect under an explicit per-call configuration.
 // It never reads or mutates the mediator's shared config, so concurrent
 // callers with different α/K/retry settings cannot bleed into each other.
+//
+// Results are served from the mediator answer cache when possible:
+// identical (source, query, α/K/ordering) calls hit the cached ResultSet,
+// and concurrent identical misses are collapsed to a single pipeline run.
+// Every caller receives its own shallow clone, so downstream sorting,
+// trimming and projection cannot corrupt the cached copy. Degraded results
+// (a rewrite failed or was budget-skipped) are returned but evicted
+// immediately — a later retry gets a chance at the complete answer set.
+// cfg.NoCache bypasses the cache for this call only.
 func (m *Mediator) QuerySelectWith(cfg Config, srcName string, q relation.Query) (*ResultSet, error) {
+	if m.cache == nil || cfg.NoCache {
+		return m.querySelectUncached(cfg, srcName, q)
+	}
+	key := answerKey(srcName, q, cfg)
+	v, err := m.cache.Do(key, func() (any, error) {
+		return m.querySelectUncached(cfg, srcName, q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rs := v.(*ResultSet)
+	if rs.Degraded {
+		m.cache.Delete(key)
+	}
+	return rs.clone(), nil
+}
+
+// answerKey is the cache key for one selection call. The fingerprint covers
+// exactly the config fields that change a (non-degraded) result: α, K and
+// the ordering policy. Parallel only affects wall-clock time, and Retry can
+// only affect degraded results, which are never kept in the cache.
+func answerKey(srcName string, q relation.Query, cfg Config) string {
+	return srcName + "\x1e" + q.Key() + "\x1e" +
+		strconv.FormatFloat(cfg.Alpha, 'g', -1, 64) + "\x1f" +
+		strconv.Itoa(cfg.K) + "\x1f" +
+		strconv.Itoa(int(cfg.Ordering))
+}
+
+// clone shallow-copies the result set so callers can sort, trim and project
+// their copy without mutating the cached master. Answers and tuples are
+// shared: the pipeline never mutates them after assembly.
+func (rs *ResultSet) clone() *ResultSet {
+	cp := *rs
+	cp.Certain = append([]Answer(nil), rs.Certain...)
+	cp.Possible = append([]Answer(nil), rs.Possible...)
+	cp.Unranked = append([]Answer(nil), rs.Unranked...)
+	cp.Issued = append([]RewrittenQuery(nil), rs.Issued...)
+	return &cp
+}
+
+// querySelectUncached runs the full selection pipeline against the source.
+func (m *Mediator) querySelectUncached(cfg Config, srcName string, q relation.Query) (*ResultSet, error) {
 	src, ok := m.sources[srcName]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", srcName)

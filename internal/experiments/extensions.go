@@ -7,6 +7,7 @@ import (
 	"qpiad/internal/afd"
 	"qpiad/internal/core"
 	"qpiad/internal/datagen"
+	"qpiad/internal/eval"
 	"qpiad/internal/nbc"
 	"qpiad/internal/relation"
 	"qpiad/internal/source"
@@ -36,14 +37,14 @@ func ExtMultiJoin(s Scale) (*Report, error) {
 	if s.ComplaintsN > 15000 {
 		s.ComplaintsN = 15000
 	}
-	carsW, err := carsWorld(s, "model", core.Config{Alpha: 0.5, K: 8}, 0)
+	worlds, err := buildWorlds(
+		func() (*eval.World, error) { return carsWorld(s, "model", core.Config{Alpha: 0.5, K: 8}, 0) },
+		func() (*eval.World, error) { return complaintsWorld(s, core.Config{Alpha: 0.5, K: 8}, 0) },
+	)
 	if err != nil {
 		return nil, err
 	}
-	compW, err := complaintsWorld(s, core.Config{Alpha: 0.5, K: 8}, 0)
-	if err != nil {
-		return nil, err
-	}
+	carsW, compW := worlds[0], worlds[1]
 	recGD := datagen.Recalls(s.ComplaintsN/4, s.Seed+30)
 	recED, _ := datagen.MakeIncompleteAttr(recGD, "severity", s.IncompleteFrac, s.Seed+31)
 	recSrc := source.New("recalls", recED, source.Capabilities{})

@@ -33,14 +33,14 @@ func Figure13(s Scale) (*Report, error) {
 	if s.ComplaintsN > 20000 {
 		s.ComplaintsN = 20000
 	}
-	carsW, err := carsWorld(s, "", core.Config{Alpha: 0, K: 10}, 0)
+	worlds, err := buildWorlds(
+		func() (*eval.World, error) { return carsWorld(s, "", core.Config{Alpha: 0, K: 10}, 0) },
+		func() (*eval.World, error) { return complaintsWorld(s, core.Config{Alpha: 0, K: 10}, 0) },
+	)
 	if err != nil {
 		return nil, err
 	}
-	compW, err := complaintsWorld(s, core.Config{Alpha: 0, K: 10}, 0)
-	if err != nil {
-		return nil, err
-	}
+	carsW, compW := worlds[0], worlds[1]
 	// One mediator over both worlds.
 	med := core.New(core.Config{Alpha: 0, K: 10})
 	med.Register(carsW.Src, carsW.Know)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"qpiad/internal/afd"
 	"qpiad/internal/core"
@@ -76,6 +77,32 @@ func complaintsWorld(s Scale, med core.Config, seedOffset int64) (*eval.World, e
 		Mediator:       med,
 		Knowledge:      defaultKnowledge(),
 	})
+}
+
+// buildWorlds constructs several experimental worlds concurrently. Each
+// build (datagen, incompleteness injection, TANE mining, classifier
+// training) is CPU-bound, deterministic from its own seed, and independent
+// of the others, so multi-source experiments overlap them. Results keep the
+// builders' order; when several fail, the lowest-index error is returned so
+// the failure is deterministic too.
+func buildWorlds(builders ...func() (*eval.World, error)) ([]*eval.World, error) {
+	worlds := make([]*eval.World, len(builders))
+	errs := make([]error, len(builders))
+	var wg sync.WaitGroup
+	for i, build := range builders {
+		wg.Add(1)
+		go func(i int, build func() (*eval.World, error)) {
+			defer wg.Done()
+			worlds[i], errs[i] = build()
+		}(i, build)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return worlds, nil
 }
 
 // prSeries converts a PR curve into a figure series.

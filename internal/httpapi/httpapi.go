@@ -5,8 +5,8 @@
 //	GET  /healthz            liveness
 //	GET  /sources            registered sources, schemas, accounting
 //	GET  /knowledge?source=S mined AFDs / AKeys / pruned AFDs for S
-//	GET  /metrics            per-source query/retry/error counters and
-//	                         latency percentiles
+//	GET  /metrics            per-source query/retry/error counters with
+//	                         latency percentiles, plus answer-cache counters
 //	POST /query              {"sql": "SELECT ..."} → certain + ranked
 //	                         possible answers (or the aggregate result),
 //	                         with confidences and AFD explanations
@@ -166,12 +166,27 @@ type sourceMetrics struct {
 	Latency        latencyJSON `json:"latency"`
 }
 
+// cacheMetrics is the mediator answer-cache section of the /metrics payload.
+type cacheMetrics struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Coalesced uint64 `json:"coalesced"`
+	Entries   int    `json:"entries"`
+}
+
+// metricsResponse is the full /metrics payload.
+type metricsResponse struct {
+	Sources []sourceMetrics `json:"sources"`
+	Cache   cacheMetrics    `json:"cache"`
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	out := make([]sourceMetrics, 0, len(s.med.SourceNames()))
+	out := metricsResponse{Sources: make([]sourceMetrics, 0, len(s.med.SourceNames()))}
 	for _, name := range s.med.SourceNames() {
 		src, _ := s.med.Source(name)
 		mt := src.Metrics()
-		out = append(out, sourceMetrics{
+		out.Sources = append(out.Sources, sourceMetrics{
 			Source:         name,
 			Queries:        mt.Queries,
 			TuplesReturned: mt.TuplesReturned,
@@ -187,6 +202,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			},
 		})
 	}
+	cs := s.med.CacheStats()
+	out.Cache = cacheMetrics{
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		Evictions: cs.Evictions,
+		Coalesced: cs.Coalesced,
+		Entries:   cs.Entries,
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -197,6 +220,9 @@ type queryRequest struct {
 	// query.
 	Alpha *float64 `json:"alpha,omitempty"`
 	K     *int     `json:"k,omitempty"`
+	// NoCache bypasses the mediator answer cache for this request: the
+	// query runs the full pipeline and the result is not stored.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // answerJSON is one returned tuple.
@@ -269,6 +295,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.K != nil {
 		cfg.K = *req.K
+	}
+	if req.NoCache {
+		cfg.NoCache = true
 	}
 
 	if st.Query.Agg != nil {

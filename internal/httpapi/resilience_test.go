@@ -42,7 +42,7 @@ func faultyServer(t *testing.T, p faults.Profile, retry core.RetryPolicy) (*http
 	return srv, src
 }
 
-func getMetrics(t *testing.T, srv *httptest.Server) []sourceMetrics {
+func getMetrics(t *testing.T, srv *httptest.Server) metricsResponse {
 	t.Helper()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -52,7 +52,7 @@ func getMetrics(t *testing.T, srv *httptest.Server) []sourceMetrics {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics status = %d", resp.StatusCode)
 	}
-	var out []sourceMetrics
+	var out metricsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 
 	got := getMetrics(t, srv)
-	if len(got) != 1 || got[0].Source != "cars" {
+	if len(got.Sources) != 1 || got.Sources[0].Source != "cars" {
 		t.Fatalf("metrics = %+v", got)
 	}
 	mt := src.Metrics()
@@ -100,8 +100,13 @@ func TestMetricsEndpoint(t *testing.T) {
 			P99Micros: int64(mt.Latency.Percentile(0.99) / time.Microsecond),
 		},
 	}
-	if got[0] != want {
-		t.Errorf("/metrics = %+v, want internal accounting %+v", got[0], want)
+	if got.Sources[0] != want {
+		t.Errorf("/metrics = %+v, want internal accounting %+v", got.Sources[0], want)
+	}
+	// The cache section must account the workload too: three distinct
+	// uncached queries mean at least one recorded miss and no hits yet.
+	if got.Cache.Misses == 0 {
+		t.Errorf("cache metrics recorded no misses after a fresh workload: %+v", got.Cache)
 	}
 	// The workload must have exercised the resilience path for the match to
 	// mean anything.

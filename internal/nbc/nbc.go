@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 
 	"qpiad/internal/relation"
 )
@@ -222,7 +221,9 @@ func Train(sample *relation.Relation, target string, features []string, cfg Conf
 	for i := range cl.totals {
 		cl.totals[i] = make([]int, len(cl.classes))
 	}
-	// Second pass: counts.
+	// Second pass: counts. jbuf is reused across rows so joint-key encoding
+	// allocates only when a new combination is interned into the map.
+	var jbuf []byte
 	for _, t := range sample.Tuples() {
 		v := t[tcol]
 		if v.IsNull() {
@@ -249,11 +250,11 @@ func Train(sample *relation.Relation, target string, features []string, cfg Conf
 			cl.totals[fi][ci]++
 		}
 		if allPresent && !cl.jointOff {
-			jk := jointKey(t, fcols)
-			row := cl.joint[jk]
+			jbuf = appendJointKey(jbuf[:0], t, fcols)
+			row := cl.joint[string(jbuf)]
 			if row == nil {
 				row = make([]int, len(cl.classes))
-				cl.joint[jk] = row
+				cl.joint[string(jbuf)] = row
 			}
 			row[ci]++
 		}
@@ -287,16 +288,19 @@ func (c *Classifier) cond(fi int, key string, ci int) float64 {
 	return (float64(n) + c.m*p) / (float64(c.totals[fi][ci]) + c.m)
 }
 
-// jointKey encodes the full feature vector of a tuple over given columns.
-func jointKey(t relation.Tuple, fcols []int) string {
-	var b strings.Builder
+// appendJointKey appends the encoded full feature vector of t over fcols to
+// dst and returns it. Callers reuse dst across rows; looking the result up
+// via joint[string(dst)] is allocation-free (the compiler elides the string
+// copy for map access), so a string is only materialized when a new
+// combination is interned.
+func appendJointKey(dst []byte, t relation.Tuple, fcols []int) []byte {
 	for i, fc := range fcols {
 		if i > 0 {
-			b.WriteByte('\x1f')
+			dst = append(dst, '\x1f')
 		}
-		b.WriteString(t[fc].Key())
+		dst = append(dst, t[fc].Key()...)
 	}
-	return b.String()
+	return dst
 }
 
 // PredictEvidence computes P(target | evidence) for the given attribute →
@@ -313,7 +317,9 @@ func (c *Classifier) PredictEvidence(evidence map[string]relation.Value) Distrib
 		logw[ci] = math.Log(c.prior(ci))
 	}
 	allPresent := len(c.Features) > 0
-	keys := make([]string, len(c.Features))
+	// jbuf accumulates the joint key in place of the former []string +
+	// strings.Join pair; it is only consulted when every feature is present.
+	var jbuf []byte
 	for fi, f := range c.Features {
 		v, ok := evidence[f]
 		if !ok || v.IsNull() {
@@ -321,7 +327,12 @@ func (c *Classifier) PredictEvidence(evidence map[string]relation.Value) Distrib
 			continue
 		}
 		k := v.Key()
-		keys[fi] = k
+		if allPresent {
+			if fi > 0 {
+				jbuf = append(jbuf, '\x1f')
+			}
+			jbuf = append(jbuf, k...)
+		}
 		for ci := range c.classes {
 			logw[ci] += math.Log(c.cond(fi, k, ci))
 		}
@@ -341,7 +352,7 @@ func (c *Classifier) PredictEvidence(evidence map[string]relation.Value) Distrib
 	if c.jointOff || !allPresent {
 		return nbcDist
 	}
-	row := c.joint[strings.Join(keys, "\x1f")]
+	row := c.joint[string(jbuf)]
 	if row == nil {
 		return nbcDist
 	}

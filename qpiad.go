@@ -34,6 +34,7 @@ import (
 	"qpiad/internal/core"
 	"qpiad/internal/faults"
 	"qpiad/internal/nbc"
+	"qpiad/internal/qcache"
 	"qpiad/internal/relation"
 	"qpiad/internal/sample"
 	"qpiad/internal/source"
@@ -154,6 +155,9 @@ type (
 	// RetryPolicy bounds the mediator's per-query retries, backoff and
 	// deadlines.
 	RetryPolicy = core.RetryPolicy
+	// CacheStats is a snapshot of the mediator answer-cache counters
+	// (hits, misses, evictions, coalesced duplicate queries, entries).
+	CacheStats = qcache.Stats
 	// Answer is one returned tuple with its relevance assessment.
 	Answer = core.Answer
 	// ResultSet is the outcome of a selection query: certain answers, then
@@ -220,6 +224,19 @@ type Config struct {
 	// value resolves to 3 attempts with a small backoff and is inert
 	// against reliable sources.
 	Retry RetryPolicy
+	// MineWorkers bounds the goroutines used by offline knowledge mining
+	// (per-attribute predictor training and TANE level scoring). 0 means
+	// GOMAXPROCS; 1 forces sequential mining. Mined knowledge is identical
+	// for any value.
+	MineWorkers int
+	// NoCache disables the mediator answer cache: every query runs the full
+	// rewrite-and-fetch pipeline. The cache is transparent — it only serves
+	// a result produced by the identical (source, query, α/K/ordering)
+	// call — so this is an ops/benchmarking knob, not a semantic one.
+	NoCache bool
+	// CacheSize bounds the answer cache in entries. 0 means the default
+	// (1024). Ignored when NoCache is set.
+	CacheSize int
 }
 
 // System is a configured QPIAD mediator over registered sources.
@@ -237,9 +254,20 @@ func New(cfg Config) *System {
 	if k < 0 {
 		k = 0 // core interprets 0 as unlimited
 	}
+	ccfg := core.Config{
+		Alpha:     cfg.Alpha,
+		K:         k,
+		Parallel:  cfg.Parallel,
+		Retry:     cfg.Retry,
+		CacheSize: cfg.CacheSize,
+	}
+	if cfg.NoCache {
+		ccfg.NoCache = true
+		ccfg.CacheSize = -1
+	}
 	return &System{
 		cfg: cfg,
-		med: core.New(core.Config{Alpha: cfg.Alpha, K: k, Parallel: cfg.Parallel, Retry: cfg.Retry}),
+		med: core.New(ccfg),
 	}
 }
 
@@ -281,6 +309,7 @@ func (s *System) LearnFromSample(name string, smpl *Relation, ratio float64) err
 	k, err := core.MineKnowledge(name, smpl, ratio, smpl.IncompleteFraction(), core.KnowledgeConfig{
 		AFD:       s.cfg.AFD,
 		Predictor: s.cfg.Predictor,
+		Workers:   s.cfg.MineWorkers,
 	})
 	if err != nil {
 		return err
@@ -311,6 +340,7 @@ func (s *System) LearnByProbing(name string, cfg ProbeConfig, seed int64) error 
 	k, err := core.MineKnowledge(name, res.Sample, ratio, res.PerInc, core.KnowledgeConfig{
 		AFD:       s.cfg.AFD,
 		Predictor: s.cfg.Predictor,
+		Workers:   s.cfg.MineWorkers,
 	})
 	if err != nil {
 		return err
@@ -388,6 +418,13 @@ func (s *System) LoadKnowledge(sourceName, path string) error {
 	}
 	s.med.Register(src, k)
 	return nil
+}
+
+// CacheStats returns the mediator answer-cache counters: hits, misses,
+// evictions, coalesced concurrent duplicates, and current entries. All zero
+// when the cache is disabled (Config.NoCache).
+func (s *System) CacheStats() CacheStats {
+	return s.med.CacheStats()
 }
 
 // SourceStats returns the access accounting of a registered source.
