@@ -23,12 +23,15 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # bench-json runs the performance-layer benchmarks and writes a JSON
-# baseline (name -> ns/op, B/op, allocs/op) for diffing across PRs.
-BENCH_JSON ?= BENCH_PR2.json
+# baseline (name -> ns/op, B/op, allocs/op, plus custom */op metrics such as
+# queries/op and ttfa-ns/op) for diffing across PRs. BENCH_FLAGS lets CI run
+# a one-iteration smoke (-benchtime=1x) without changing the target.
+BENCH_JSON ?= BENCH_PR3.json
+BENCH_FLAGS ?=
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkMineKnowledge|BenchmarkWarmQuery|BenchmarkRewriteGeneration|BenchmarkQuerySelectEndToEnd|BenchmarkTANEMining|BenchmarkNBCPrediction' \
-		-benchmem . | $(GO) run ./cmd/qpiad-benchjson -o $(BENCH_JSON)
+		-bench 'BenchmarkMineKnowledge|BenchmarkWarmQuery|BenchmarkRewriteGeneration|BenchmarkQuerySelectEndToEnd|BenchmarkTANEMining|BenchmarkNBCPrediction|BenchmarkStreamVsBatch' \
+		-benchmem $(BENCH_FLAGS) . | $(GO) run ./cmd/qpiad-benchjson -o $(BENCH_JSON)
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,7 @@
 package qpiad
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -77,6 +78,7 @@ func BenchmarkFigure13(b *testing.B)                 { runExperiment(b, "fig13")
 func BenchmarkExtMultiJoin(b *testing.B)            { runExperiment(b, "ext-multijoin") }
 func BenchmarkExtParallel(b *testing.B)             { runExperiment(b, "ext-parallel") }
 func BenchmarkExtResilience(b *testing.B)           { runExperiment(b, "ext-resilience") }
+func BenchmarkExtStream(b *testing.B)               { runExperiment(b, "ext-stream") }
 func BenchmarkAblationOrdering(b *testing.B)        { runExperiment(b, "ablation-ordering") }
 func BenchmarkAblationBaseSetVsSample(b *testing.B) { runExperiment(b, "ablation-base-vs-sample") }
 func BenchmarkAblationAKeyPruning(b *testing.B)     { runExperiment(b, "ablation-akey-pruning") }
@@ -289,6 +291,99 @@ func BenchmarkSourceIndexedSelect(b *testing.B) {
 		if err != nil || len(rows) == 0 {
 			b.Fatalf("rows=%d err=%v", len(rows), err)
 		}
+	}
+}
+
+// BenchmarkStreamVsBatch compares the batch and streaming executors on the
+// same query over a source with realistic (1ms) per-query latency, at
+// sequential issuing so the query count dominates wall-clock. Beyond the
+// usual ns/op it reports queries/op and tuples/op (source traffic) and
+// ttfa-ns/op (time to first answer):
+//
+//   - batch:      TTFA is the full pipeline latency, traffic is the whole
+//     top-K fan-out;
+//   - stream:     identical traffic, TTFA collapses to one source
+//     round-trip;
+//   - stream-top: the top-5 confidence bound additionally cuts queries and
+//     tuples transferred.
+func BenchmarkStreamVsBatch(b *testing.B) {
+	const srcLatency = time.Millisecond
+	gd := datagen.Cars(8000, 99)
+	ed, _ := datagen.MakeIncompleteAttr(gd, "body_style", 0.10, 100)
+	k := benchKnowledge(b, ed)
+	q := relation.NewQuery("cars", relation.Eq("body_style", relation.String("Convt")))
+
+	newWorld := func(topN int) (*core.Mediator, *source.Source) {
+		src := source.New("cars", ed, source.Capabilities{Latency: srcLatency})
+		med := core.New(core.Config{Alpha: 0, K: 10, Parallel: 1, TopN: topN, NoCache: true})
+		med.Register(src, k)
+		return med, src
+	}
+	report := func(b *testing.B, src *source.Source, ttfaTotal time.Duration) {
+		st := src.Stats()
+		b.ReportMetric(float64(st.Queries)/float64(b.N), "queries/op")
+		b.ReportMetric(float64(st.TuplesReturned)/float64(b.N), "tuples/op")
+		b.ReportMetric(float64(ttfaTotal.Nanoseconds())/float64(b.N), "ttfa-ns/op")
+	}
+
+	b.Run("batch", func(b *testing.B) {
+		med, src := newWorld(0)
+		var ttfa time.Duration
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			rs, err := med.QuerySelect("cars", q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Batch hands over nothing until the whole pipeline finishes.
+			ttfa += time.Since(start)
+			if len(rs.Certain) == 0 {
+				b.Fatal("no answers")
+			}
+		}
+		b.StopTimer()
+		report(b, src, ttfa)
+	})
+
+	for _, bc := range []struct {
+		name string
+		topN int
+	}{
+		{"stream", 0},
+		{"stream-top", 5},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			med, src := newWorld(bc.topN)
+			var ttfa time.Duration
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				events, err := med.SelectStream(context.Background(), "cars", q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				first := false
+				answers := 0
+				for ev := range events {
+					if ev.Kind != core.StreamEventAnswer {
+						continue
+					}
+					if !first {
+						first = true
+						ttfa += time.Since(start)
+					}
+					answers++
+				}
+				if answers == 0 {
+					b.Fatal("no answers")
+				}
+			}
+			b.StopTimer()
+			report(b, src, ttfa)
+		})
 	}
 }
 

@@ -28,6 +28,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric series ("queries/op",
+	// "tuples/op", "ttfa-ns/op", ...) keyed by their unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -98,7 +101,7 @@ func parse(sc *bufio.Scanner) (map[string]result, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				r.NsPerOp = v
 				ok = true
@@ -106,6 +109,15 @@ func parse(sc *bufio.Scanner) (map[string]result, error) {
 				r.BytesPerOp = int64(v)
 			case "allocs/op":
 				r.AllocsPerOp = int64(v)
+			default:
+				// Custom b.ReportMetric units ("queries/op", "ttfa-ns/op").
+				if strings.HasSuffix(unit, "/op") {
+					if r.Extra == nil {
+						r.Extra = make(map[string]float64)
+					}
+					r.Extra[unit] = v
+					ok = true
+				}
 			}
 		}
 		if ok {

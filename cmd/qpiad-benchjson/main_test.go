@@ -33,6 +33,31 @@ ok  	qpiad	12.3s
 	}
 }
 
+func TestParseCustomMetrics(t *testing.T) {
+	in := `BenchmarkStreamVsBatch/stream-top-8   100   8204511 ns/op   11.0 queries/op   640471 ttfa-ns/op   512 tuples/op   40960 B/op   512 allocs/op
+`
+	got, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["BenchmarkStreamVsBatch/stream-top"]
+	if !ok {
+		t.Fatalf("missing result: %+v", got)
+	}
+	if r.NsPerOp != 8204511 || r.BytesPerOp != 40960 || r.AllocsPerOp != 512 {
+		t.Errorf("standard columns = %+v", r)
+	}
+	want := map[string]float64{"queries/op": 11, "ttfa-ns/op": 640471, "tuples/op": 512}
+	for unit, v := range want {
+		if r.Extra[unit] != v {
+			t.Errorf("Extra[%q] = %v, want %v", unit, r.Extra[unit], v)
+		}
+	}
+	if len(r.Extra) != len(want) {
+		t.Errorf("Extra = %v", r.Extra)
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
 	got, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok qpiad 1s\n")))
 	if err != nil {

@@ -6,7 +6,9 @@
 //	GET  /sources
 //	GET  /knowledge?source=cars
 //	GET  /metrics
-//	POST /query   {"sql": "SELECT * FROM cars WHERE body_style = 'Convt'"}
+//	POST /query            {"sql": "SELECT * FROM cars WHERE body_style = 'Convt'"}
+//	POST /query?stream=1   the same selection streamed as NDJSON; add
+//	                       "top_n": N to stop once N possible answers are out
 //
 // Flaky-source simulation: -error-rate/-timeout-rate/-latency-jitter attach
 // a deterministic fault injector to every source (seeded by -fault-seed);
@@ -48,6 +50,7 @@ func main() {
 		alpha    = flag.Float64("alpha", 0, "default F-measure alpha")
 		k        = flag.Int("k", 10, "default rewritten-query budget")
 		parallel = flag.Int("parallel", 4, "concurrent rewrite issuing")
+		top      = flag.Int("top", 0, "default top-N early-stop bound for streamed queries (0 = off; per-request top_n overrides)")
 
 		mineWorkers = flag.Int("mine-workers", 0, "worker goroutines for knowledge mining (0 = GOMAXPROCS)")
 		noCache     = flag.Bool("no-cache", false, "disable the mediator answer cache")
@@ -62,7 +65,7 @@ func main() {
 	flag.Parse()
 
 	ccfg := core.Config{
-		Alpha: *alpha, K: *k, Parallel: *parallel,
+		Alpha: *alpha, K: *k, Parallel: *parallel, TopN: *top,
 		Retry: core.RetryPolicy{MaxAttempts: *retries, AttemptTimeout: *attemptTO},
 	}
 	if *noCache {

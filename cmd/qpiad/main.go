@@ -13,10 +13,13 @@
 //	qpiad -csv mycars.csv -attr body_style -value Coupe
 //	qpiad -attr model -value Accord -where "year=2003"
 //	qpiad -sql "SELECT * FROM db WHERE body_style = 'Convt' AND year >= 2002"
+//	qpiad -attr body_style -value Convt -stream
+//	qpiad -attr body_style -value Convt -stream -top 5
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +28,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"qpiad"
 	"qpiad/internal/datagen"
@@ -51,6 +55,9 @@ func main() {
 		mineWorkers = flag.Int("mine-workers", 0, "worker goroutines for knowledge mining (0 = GOMAXPROCS)")
 		noCache     = flag.Bool("no-cache", false, "disable the mediator answer cache")
 
+		stream = flag.Bool("stream", false, "stream answers as they arrive instead of waiting for the full result")
+		top    = flag.Int("top", 0, "with -stream: stop querying once this many possible answers are delivered (0 = no early stop)")
+
 		errRate     = flag.Float64("error-rate", 0, "injected transient-error rate per query attempt (deterministic per -fault-seed)")
 		timeoutRate = flag.Float64("timeout-rate", 0, "injected timeout rate per query attempt")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
@@ -63,12 +70,21 @@ func main() {
 		stats:       *stats,
 		mineWorkers: *mineWorkers,
 		noCache:     *noCache,
+		topN:        *top,
 		faults: qpiad.FaultProfile{
 			Seed:          *faultSeed,
 			TransientRate: *errRate,
 			TimeoutRate:   *timeoutRate,
 		},
 		retry: qpiad.RetryPolicy{MaxAttempts: *retries, AttemptTimeout: *attemptTO},
+	}
+
+	if *stream {
+		if err := runStream(*csvPath, *n, *seed, *incmp, *smplFrac, *attr, *value, *where, *sql, *alpha, *k, *limit, *explain, res); err != nil {
+			fmt.Fprintln(os.Stderr, "qpiad:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *replMode {
@@ -93,6 +109,7 @@ type resilience struct {
 	stats       bool
 	mineWorkers int
 	noCache     bool
+	topN        int
 	faults      qpiad.FaultProfile
 	retry       qpiad.RetryPolicy
 }
@@ -116,7 +133,7 @@ func setup(csvPath string, n int, seed int64, incmp, smplFrac, alpha float64, k 
 
 	sys := qpiad.New(qpiad.Config{
 		Alpha: alpha, K: k, Retry: res.retry,
-		MineWorkers: res.mineWorkers, NoCache: res.noCache,
+		MineWorkers: res.mineWorkers, NoCache: res.noCache, TopN: res.topN,
 	})
 	if err := sys.AddSource("db", db, qpiad.Capabilities{}); err != nil {
 		return nil, nil, err
@@ -232,6 +249,117 @@ func run(csvPath string, n int, seed int64, incmp, smplFrac float64, attr, value
 	}
 	if st, ok := sys.SourceStats("db"); ok {
 		fmt.Printf("\nsource accounting: %d queries, %d tuples transferred\n", st.Queries, st.TuplesReturned)
+	}
+	if res.stats {
+		printMetrics(sys, "db")
+	}
+	return nil
+}
+
+// runStream executes the query through the streaming executor, printing
+// answers the moment they arrive and a savings summary at the end. With
+// -top N the mediator stops querying the source once N possible answers
+// are delivered (the confidence bound makes the delivered prefix exact).
+func runStream(csvPath string, n int, seed int64, incmp, smplFrac float64, attr, value, where, sql string, alpha float64, k, limit int, explain bool, res resilience) error {
+	sys, db, err := setup(csvPath, n, seed, incmp, smplFrac, alpha, k, res)
+	if err != nil {
+		return err
+	}
+
+	var q qpiad.Query
+	if sql != "" {
+		st, err := qpiad.ParseSQL(sql)
+		if err != nil {
+			return err
+		}
+		if err := st.CoerceTypes(db.Schema); err != nil {
+			return err
+		}
+		switch {
+		case st.Query.Agg != nil:
+			return fmt.Errorf("-stream does not support aggregate queries")
+		case len(st.Order) > 0 || st.Limit > 0:
+			return fmt.Errorf("-stream does not support ORDER BY / LIMIT: answers arrive in confidence rank order")
+		}
+		q = st.Query
+		q.Relation = "db"
+	} else {
+		q, err = buildQuery(db.Schema, attr, value, where)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nquery (streaming): %s\n", q)
+
+	start := time.Now()
+	events, err := sys.QueryStream(context.Background(), "db", q)
+	if err != nil {
+		return err
+	}
+	var (
+		firstAnswer time.Duration
+		answers     int
+		printed     int
+		sum         *qpiad.StreamSummary
+	)
+	for ev := range events {
+		switch ev.Kind {
+		case qpiad.StreamEventAnswer:
+			if answers == 0 {
+				firstAnswer = time.Since(start)
+			}
+			answers++
+			if printed < limit {
+				printed++
+				tag := "possible"
+				switch {
+				case ev.Answer.Certain:
+					tag = "certain"
+				case ev.Unranked:
+					tag = "unranked"
+				}
+				fmt.Printf("  [%s %.3f] %s\n", tag, ev.Answer.Confidence, ev.Answer.Tuple)
+				if explain && !ev.Answer.Certain && ev.Answer.Explanation != "" {
+					fmt.Printf("          because: %s\n", ev.Answer.Explanation)
+				}
+			} else if printed == limit {
+				printed++
+				fmt.Println("  ... (further answers not shown)")
+			}
+		case qpiad.StreamEventRewrite:
+			rq := ev.Rewrite
+			switch {
+			case rq.Err == nil:
+				fmt.Printf("  -- rewrite %s: %d transferred, %d kept (precision %.3f)\n",
+					rq.Query, rq.Transferred, rq.Kept, rq.Precision)
+			case rq.Err == qpiad.ErrEarlyStop && rq.Attempts == 0:
+				fmt.Printf("  -- rewrite %s: skipped (top-N bound met)\n", rq.Query)
+			case rq.Err == qpiad.ErrEarlyStop:
+				fmt.Printf("  -- rewrite %s: cancelled (top-N bound met)\n", rq.Query)
+			default:
+				fmt.Printf("  -- rewrite %s: FAILED after %d attempts: %v\n", rq.Query, rq.Attempts, rq.Err)
+			}
+		case qpiad.StreamEventSummary:
+			sum = ev.Summary
+		}
+	}
+	total := time.Since(start)
+	if sum == nil {
+		return fmt.Errorf("stream ended without a summary")
+	}
+	rs := sum.Result
+	fmt.Printf("\n%d certain, %d possible, %d unranked answers; %d of %d generated rewrites issued\n",
+		len(rs.Certain), len(rs.Possible), len(rs.Unranked), len(rs.Issued), rs.Generated)
+	fmt.Printf("time to first answer: %v (total %v)\n", firstAnswer.Round(time.Microsecond), total.Round(time.Microsecond))
+	if sum.EarlyStopped {
+		fmt.Printf("early stop: %d rewrites skipped, %d cancelled, ~%.0f tuples not transferred\n",
+			sum.SkippedRewrites, sum.CancelledRewrites, sum.EstSavedTuples)
+	}
+	if rs.Degraded {
+		fmt.Println("WARNING: result degraded — some rewrites failed; possible answers may be incomplete")
+	}
+	if st, ok := sys.SourceStats("db"); ok {
+		fmt.Printf("source accounting: %d queries, %d tuples transferred\n", st.Queries, st.TuplesReturned)
 	}
 	if res.stats {
 		printMetrics(sys, "db")

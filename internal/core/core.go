@@ -83,6 +83,15 @@ type Config struct {
 	// with a small exponential backoff and no deadlines — inert against
 	// reliable sources, since capability and budget refusals never retry.
 	Retry RetryPolicy
+	// TopN, when > 0, arms the streaming executor's confidence-bound early
+	// termination (SelectStream): once TopN possible answers have been
+	// emitted, no unissued rewrite — every one of which has estimated
+	// precision at most that of the answers already out — can improve the
+	// top-N, so the remaining rewrites are skipped and in-flight ones are
+	// cancelled. 0 disables the bound; the batch Select path ignores TopN
+	// entirely. Certain answers are always all returned and do not count
+	// against TopN.
+	TopN int
 	// NoCache bypasses the mediator answer cache for calls made under this
 	// config: the query runs the full pipeline and its result is not stored.
 	// Per-request bypass (the HTTP "no_cache" field, the CLI -no-cache flag)

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"qpiad/internal/relation"
+	"qpiad/internal/source"
 )
 
 // QuerySelect runs the full QPIAD selection algorithm (Section 4.2) against
@@ -115,12 +116,22 @@ func (m *Mediator) querySelectUncached(cfg Config, srcName string, q relation.Qu
 		seen[t.Key()] = true
 	}
 	constrained := q.ConstrainedAttrs()
-	// Step 2(e) is conditional: when the source refuses null bindings (the
-	// web-form norm), rewrites are issued as-is and the mediator filters
-	// client-side; when null bindings ARE allowed, the rewrite binds
-	// TargetAttr IS NULL so only candidate incomplete tuples are
-	// transferred — this is what lets QPIAD beat AllRanked on transfer
-	// cost even on sources where AllRanked is feasible (Figure 8).
+	issueQs := issueQueries(src, chosen)
+	results := fetchAll(src, issueQs, cfg.Parallel, cfg.Retry)
+	for i, rq := range chosen {
+		foldRewriteResult(rs, src.Schema(), constrained, seen, rq, results[i])
+	}
+	return rs, nil
+}
+
+// issueQueries materializes the wire form of the chosen rewrites. Step 2(e)
+// is conditional: when the source refuses null bindings (the web-form norm),
+// rewrites are issued as-is and the mediator filters client-side; when null
+// bindings ARE allowed, the rewrite binds TargetAttr IS NULL so only
+// candidate incomplete tuples are transferred — this is what lets QPIAD beat
+// AllRanked on transfer cost even on sources where AllRanked is feasible
+// (Figure 8).
+func issueQueries(src *source.Source, chosen []RewrittenQuery) []relation.Query {
 	bindNulls := src.Capabilities().AllowNullBinding
 	issueQs := make([]relation.Query, len(chosen))
 	for i, rq := range chosen {
@@ -129,53 +140,61 @@ func (m *Mediator) querySelectUncached(cfg Config, srcName string, q relation.Qu
 			issueQs[i] = issueQs[i].With(relation.IsNull(rq.TargetAttr))
 		}
 	}
-	results := fetchAll(src, issueQs, cfg.Parallel, cfg.Retry)
-	for i, rq := range chosen {
-		rq.Attempts = results[i].attempts
-		if err := results[i].err; err != nil {
-			// A rewrite that failed (after retries) or was skipped on budget
-			// exhaustion degrades the result instead of failing it — and is
-			// still accounted in Issued so cost analysis sees it.
-			rq.Err = err
-			rs.Degraded = true
-			rs.Issued = append(rs.Issued, rq)
-			continue
-		}
-		rows := results[i].rows
-		rq.Transferred = len(rows)
-		tcol, ok := src.Schema().Index(rq.TargetAttr)
-		if !ok {
-			rs.Issued = append(rs.Issued, rq)
-			continue
-		}
-		for _, t := range rows {
-			// Post-filtering: keep only tuples whose target attribute is
-			// null — others are either already certain answers or certain
-			// non-answers (Step 2e).
-			if !t[tcol].IsNull() {
-				continue
-			}
-			key := t.Key()
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			rq.Kept++
-			ans := Answer{
-				Tuple:       t,
-				Confidence:  rq.Precision,
-				FromQuery:   rq.Query,
-				Explanation: rq.Explanation,
-			}
-			if t.NullCountOn(src.Schema(), constrained) > 1 {
-				rs.Unranked = append(rs.Unranked, ans)
-			} else {
-				rs.Possible = append(rs.Possible, ans)
-			}
-		}
+	return issueQs
+}
+
+// foldRewriteResult folds one issued rewrite's fetch outcome into the result
+// set — the shared assembly step of the batch and streaming executors. On
+// success the transferred rows are post-filtered (keep only target-null
+// tuples, Step 2e), deduplicated against everything already answered, and
+// appended to Possible or Unranked; the answers appended are returned so the
+// streaming executor can emit exactly them. A failed or budget-skipped
+// rewrite degrades the result instead of failing it, and is still accounted
+// in Issued so cost analysis sees it.
+func foldRewriteResult(rs *ResultSet, schema *relation.Schema, constrained []string, seen map[string]bool, rq RewrittenQuery, res fetchResult) (possible, unranked []Answer) {
+	rq.Attempts = res.attempts
+	if err := res.err; err != nil {
+		rq.Err = err
+		rs.Degraded = true
 		rs.Issued = append(rs.Issued, rq)
+		return nil, nil
 	}
-	return rs, nil
+	rows := res.rows
+	rq.Transferred = len(rows)
+	tcol, ok := schema.Index(rq.TargetAttr)
+	if !ok {
+		rs.Issued = append(rs.Issued, rq)
+		return nil, nil
+	}
+	for _, t := range rows {
+		// Post-filtering: keep only tuples whose target attribute is
+		// null — others are either already certain answers or certain
+		// non-answers (Step 2e).
+		if !t[tcol].IsNull() {
+			continue
+		}
+		key := t.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rq.Kept++
+		ans := Answer{
+			Tuple:       t,
+			Confidence:  rq.Precision,
+			FromQuery:   rq.Query,
+			Explanation: rq.Explanation,
+		}
+		if t.NullCountOn(schema, constrained) > 1 {
+			unranked = append(unranked, ans)
+		} else {
+			possible = append(possible, ans)
+		}
+	}
+	rs.Possible = append(rs.Possible, possible...)
+	rs.Unranked = append(rs.Unranked, unranked...)
+	rs.Issued = append(rs.Issued, rq)
+	return possible, unranked
 }
 
 // AllAnswers returns certain answers followed by ranked possible answers

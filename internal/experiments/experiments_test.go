@@ -61,7 +61,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation-agg-rule", "ablation-akey-pruning", "ablation-base-vs-sample",
 		"ablation-ordering", "classifiers", "ext-multijoin", "ext-parallel",
-		"ext-resilience", "fig10", "fig11", "fig12", "fig13",
+		"ext-resilience", "ext-stream", "fig10", "fig11", "fig12", "fig13",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"table1", "table3",
 	}
@@ -484,6 +484,38 @@ func TestExtResilienceShape(t *testing.T) {
 		if possible(i) > possible(0) {
 			t.Errorf("rate %s found more answers (%d) than fault-free (%d)", rows[i][0], possible(i), possible(0))
 		}
+	}
+}
+
+func TestExtStreamShape(t *testing.T) {
+	rep, err := ExtStream(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	queries := func(i int) int {
+		n, _ := strconv.Atoi(rows[i][1])
+		return n
+	}
+	tuples := func(i int) int {
+		n, _ := strconv.Atoi(rows[i][2])
+		return n
+	}
+	// Batch and unbounded stream do exactly the same source work.
+	if queries(0) != queries(1) || tuples(0) != tuples(1) {
+		t.Errorf("batch (%d q, %d t) != unbounded stream (%d q, %d t)",
+			queries(0), tuples(0), queries(1), tuples(1))
+	}
+	// The tightest bound issues strictly fewer queries than batch.
+	last := len(rows) - 1
+	if queries(last) >= queries(0) {
+		t.Errorf("top-1 stream used %d queries, batch %d — no savings", queries(last), queries(0))
+	}
+	if tuples(last) >= tuples(0) {
+		t.Errorf("top-1 stream transferred %d tuples, batch %d — no savings", tuples(last), tuples(0))
 	}
 }
 

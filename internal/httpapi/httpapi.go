@@ -10,6 +10,9 @@
 //	POST /query              {"sql": "SELECT ..."} → certain + ranked
 //	                         possible answers (or the aggregate result),
 //	                         with confidences and AFD explanations
+//	POST /query?stream=1     the same selection, streamed as NDJSON: one
+//	                         answer/rewrite event per line as results
+//	                         arrive, closed by a summary line
 //
 // The FROM clause of the SQL names the source to query. Query handling is
 // fully concurrent: per-request α/K overrides are applied through the
@@ -19,9 +22,11 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"qpiad/internal/core"
@@ -33,6 +38,11 @@ import (
 type Server struct {
 	med *core.Mediator
 	mux *http.ServeMux
+
+	// Streaming accounting, exposed under /metrics.
+	streamRequests atomic.Int64 // stream=1 requests accepted
+	streamEvents   atomic.Int64 // NDJSON lines written
+	streamStops    atomic.Int64 // streams that early-stopped on the top-N bound
 }
 
 // New builds the handler around a configured mediator.
@@ -175,10 +185,18 @@ type cacheMetrics struct {
 	Entries   int    `json:"entries"`
 }
 
+// streamMetrics is the streaming section of the /metrics payload.
+type streamMetrics struct {
+	Requests   int64 `json:"requests"`
+	Events     int64 `json:"events"`
+	EarlyStops int64 `json:"early_stops"`
+}
+
 // metricsResponse is the full /metrics payload.
 type metricsResponse struct {
-	Sources []sourceMetrics `json:"sources"`
-	Cache   cacheMetrics    `json:"cache"`
+	Sources   []sourceMetrics `json:"sources"`
+	Cache     cacheMetrics    `json:"cache"`
+	Streaming streamMetrics   `json:"streaming"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -210,6 +228,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Coalesced: cs.Coalesced,
 		Entries:   cs.Entries,
 	}
+	out.Streaming = streamMetrics{
+		Requests:   s.streamRequests.Load(),
+		Events:     s.streamEvents.Load(),
+		EarlyStops: s.streamStops.Load(),
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -223,6 +246,10 @@ type queryRequest struct {
 	// NoCache bypasses the mediator answer cache for this request: the
 	// query runs the full pipeline and the result is not stored.
 	NoCache bool `json:"no_cache,omitempty"`
+	// TopN arms confidence-bound early termination on streaming requests:
+	// once TopN possible answers are out, remaining rewrites are skipped or
+	// cancelled. Ignored (with no effect) on non-streaming requests.
+	TopN int `json:"top_n,omitempty"`
 }
 
 // answerJSON is one returned tuple.
@@ -300,6 +327,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		cfg.NoCache = true
 	}
 
+	if streamParam := r.URL.Query().Get("stream"); streamParam != "" && streamParam != "0" && streamParam != "false" {
+		s.handleQueryStream(w, r, cfg, req, st, srcName, src.Schema())
+		return
+	}
+
 	if st.Query.Agg != nil {
 		ans, err := s.med.QueryAggregateWith(cfg, srcName, st.Query, core.AggOptions{
 			IncludePossible: true,
@@ -375,6 +407,187 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Rewrites = append(resp.Rewrites, fmt.Sprintf("%s (precision %.3f)", rq.Query, rq.Precision))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamEventJSON is one NDJSON line of a streamed query. Event is "answer",
+// "rewrite" or "summary"; exactly the matching field is set.
+type streamEventJSON struct {
+	Event    string         `json:"event"`
+	Answer   *answerJSON    `json:"answer,omitempty"`
+	Unranked bool           `json:"unranked,omitempty"`
+	Rewrite  *rewriteJSON   `json:"rewrite,omitempty"`
+	Summary  *streamSumJSON `json:"summary,omitempty"`
+}
+
+// rewriteJSON reports one chosen rewrite's outcome on the stream.
+type rewriteJSON struct {
+	Query       string  `json:"query"`
+	Precision   float64 `json:"precision"`
+	Attempts    int     `json:"attempts"`
+	Transferred int     `json:"transferred"`
+	Kept        int     `json:"kept"`
+	// Status is "ok", "failed", "skipped" (never issued: early stop) or
+	// "cancelled" (in flight when the top-N bound tripped).
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// streamSumJSON is the final summary line of a streamed query.
+type streamSumJSON struct {
+	Query             string  `json:"query"`
+	Source            string  `json:"source"`
+	Certain           int     `json:"certain"`
+	Possible          int     `json:"possible"`
+	Unranked          int     `json:"unranked"`
+	Generated         int     `json:"rewrites_generated"`
+	Issued            int     `json:"rewrites_issued"`
+	Degraded          bool    `json:"degraded,omitempty"`
+	EarlyStopped      bool    `json:"early_stopped,omitempty"`
+	SkippedRewrites   int     `json:"skipped_rewrites,omitempty"`
+	CancelledRewrites int     `json:"cancelled_rewrites,omitempty"`
+	EstSavedTuples    float64 `json:"est_saved_tuples,omitempty"`
+}
+
+// handleQueryStream serves POST /query?stream=1: the selection pipeline's
+// events re-encoded as NDJSON, one line per event, flushed as they happen.
+// Headers go out before the first event, so mid-stream failures are reported
+// as an error event rather than a status change.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, cfg core.Config, req queryRequest, st *sqlish.Statement, srcName string, schema *relation.Schema) {
+	// A stream emits answers in rank order as they arrive; ORDER BY and
+	// LIMIT would require the full set first, which is the batch endpoint's
+	// job. Aggregates have a single scalar result — nothing to stream.
+	if st.Query.Agg != nil {
+		writeErr(w, http.StatusBadRequest, "aggregate queries cannot be streamed")
+		return
+	}
+	if len(st.Order) > 0 || st.Limit > 0 {
+		writeErr(w, http.StatusBadRequest, "ORDER BY / LIMIT are not supported on streams: answers arrive in confidence rank order")
+		return
+	}
+	if req.TopN > 0 {
+		cfg.TopN = req.TopN
+	}
+
+	// Per-event projection: compute the column map once.
+	outSchema := schema
+	var projCols []int
+	if len(st.Projection) > 0 {
+		ps, err := schema.Project(st.Projection...)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		outSchema = ps
+		projCols = make([]int, len(st.Projection))
+		for i, a := range st.Projection {
+			projCols[i] = schema.MustIndex(a)
+		}
+	}
+
+	events, err := s.med.SelectStreamWith(r.Context(), cfg, srcName, st.Query)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.streamRequests.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeEvent := func(ev streamEventJSON) bool {
+		if err := enc.Encode(ev); err != nil {
+			// Client gone: r.Context() is cancelled by the server when the
+			// connection drops, which aborts the pipeline; just stop writing
+			// and drain the channel so the producer can close it.
+			return false
+		}
+		s.streamEvents.Add(1)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	live := true
+	for ev := range events {
+		if !live {
+			continue // drain after a write failure
+		}
+		switch ev.Kind {
+		case core.StreamEventAnswer:
+			a := toStreamAnswer(schema, outSchema, projCols, *ev.Answer)
+			live = writeEvent(streamEventJSON{Event: "answer", Answer: &a, Unranked: ev.Unranked})
+		case core.StreamEventRewrite:
+			rw := toStreamRewrite(*ev.Rewrite)
+			live = writeEvent(streamEventJSON{Event: "rewrite", Rewrite: &rw})
+		case core.StreamEventSummary:
+			sum := ev.Summary
+			if sum.EarlyStopped {
+				s.streamStops.Add(1)
+			}
+			live = writeEvent(streamEventJSON{Event: "summary", Summary: &streamSumJSON{
+				Query:             sum.Result.Query.String(),
+				Source:            sum.Result.Source,
+				Certain:           len(sum.Result.Certain),
+				Possible:          len(sum.Result.Possible),
+				Unranked:          len(sum.Result.Unranked),
+				Generated:         sum.Result.Generated,
+				Issued:            len(sum.Result.Issued),
+				Degraded:          sum.Result.Degraded,
+				EarlyStopped:      sum.EarlyStopped,
+				SkippedRewrites:   sum.SkippedRewrites,
+				CancelledRewrites: sum.CancelledRewrites,
+				EstSavedTuples:    sum.EstSavedTuples,
+			}})
+		}
+	}
+}
+
+// toStreamAnswer renders one answer for the wire, applying the request's
+// projection if any.
+func toStreamAnswer(schema, outSchema *relation.Schema, projCols []int, a core.Answer) answerJSON {
+	t := a.Tuple
+	if projCols != nil {
+		pt := make(relation.Tuple, len(projCols))
+		for i, c := range projCols {
+			pt[i] = t[c]
+		}
+		t = pt
+	}
+	vals := make(map[string]any, outSchema.Len())
+	for c := 0; c < outSchema.Len(); c++ {
+		vals[outSchema.Attr(c).Name] = valueJSON(t[c])
+	}
+	return answerJSON{
+		Values:      vals,
+		Certain:     a.Certain,
+		Confidence:  a.Confidence,
+		Explanation: a.Explanation,
+	}
+}
+
+// toStreamRewrite renders one rewrite outcome for the wire.
+func toStreamRewrite(rq core.RewrittenQuery) rewriteJSON {
+	out := rewriteJSON{
+		Query:       rq.Query.String(),
+		Precision:   rq.Precision,
+		Attempts:    rq.Attempts,
+		Transferred: rq.Transferred,
+		Kept:        rq.Kept,
+		Status:      "ok",
+	}
+	switch {
+	case rq.Err == nil:
+	case errors.Is(rq.Err, core.ErrEarlyStop) && rq.Attempts == 0:
+		out.Status, out.Error = "skipped", rq.Err.Error()
+	case errors.Is(rq.Err, core.ErrEarlyStop):
+		out.Status, out.Error = "cancelled", rq.Err.Error()
+	default:
+		out.Status, out.Error = "failed", rq.Err.Error()
+	}
+	return out
 }
 
 // sortAnswers stably orders answers by the tuple comparator.

@@ -60,6 +60,7 @@ func ReadCSV(name string, rd io.Reader) (*Relation, error) {
 		return nil, err
 	}
 	rel := New(name, schema)
+	var tuples []Tuple
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -79,9 +80,10 @@ func ReadCSV(name string, rd io.Reader) (*Relation, error) {
 			}
 			t[i] = v
 		}
-		if err := rel.Insert(t); err != nil {
-			return nil, fmt.Errorf("relation: csv line %d: %w", line, err)
-		}
+		tuples = append(tuples, t)
+	}
+	if err := rel.InsertAll(tuples); err != nil {
+		return nil, fmt.Errorf("relation: csv: %w", err)
 	}
 	return rel, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // Relation is an in-memory table: a schema plus tuples. Reads are safe for
@@ -16,6 +17,10 @@ type Relation struct {
 
 	mu      sync.Mutex
 	indexes map[string]map[string][]int // attr -> value key -> tuple positions
+	// indexed mirrors indexes != nil without the mutex, so the insert path
+	// (which must invalidate) stays lock-free during bulk loading, before
+	// any index has ever been built.
+	indexed atomic.Bool
 }
 
 // New creates an empty relation with the given name and schema.
@@ -26,6 +31,37 @@ func New(name string, schema *Schema) *Relation {
 // Insert appends a tuple after validating arity and kinds (null is valid for
 // every attribute). The relation takes ownership of the tuple.
 func (r *Relation) Insert(t Tuple) error {
+	if err := r.coerce(t); err != nil {
+		return err
+	}
+	r.tuples = append(r.tuples, t)
+	r.invalidateIndexes()
+	return nil
+}
+
+// InsertAll appends every tuple, validating each, and invalidates indexes at
+// most once — the bulk-load entry point for generators and CSV loading. On a
+// validation error the tuples before the bad one are already appended.
+func (r *Relation) InsertAll(ts []Tuple) error {
+	if cap(r.tuples)-len(r.tuples) < len(ts) {
+		grown := make([]Tuple, len(r.tuples), len(r.tuples)+len(ts))
+		copy(grown, r.tuples)
+		r.tuples = grown
+	}
+	for _, t := range ts {
+		if err := r.coerce(t); err != nil {
+			r.invalidateIndexes()
+			return err
+		}
+		r.tuples = append(r.tuples, t)
+	}
+	r.invalidateIndexes()
+	return nil
+}
+
+// coerce validates arity and kinds (null is valid for every attribute),
+// rewriting int constants destined for float columns in place.
+func (r *Relation) coerce(t Tuple) error {
 	if len(t) != r.Schema.Len() {
 		return fmt.Errorf("relation %s: tuple arity %d, schema arity %d", r.Name, len(t), r.Schema.Len())
 	}
@@ -44,8 +80,6 @@ func (r *Relation) Insert(t Tuple) error {
 				r.Name, r.Schema.Attr(i).Name, want, v.Kind())
 		}
 	}
-	r.tuples = append(r.tuples, t)
-	r.invalidateIndexes()
 	return nil
 }
 
@@ -76,8 +110,14 @@ func (r *Relation) Clone() *Relation {
 }
 
 func (r *Relation) invalidateIndexes() {
+	// The common case during bulk loading: no index has ever been built, so
+	// there is nothing to invalidate and no reason to touch the mutex.
+	if !r.indexed.Load() {
+		return
+	}
 	r.mu.Lock()
 	r.indexes = nil
+	r.indexed.Store(false)
 	r.mu.Unlock()
 }
 
@@ -87,6 +127,7 @@ func (r *Relation) index(attr string) map[string][]int {
 	defer r.mu.Unlock()
 	if r.indexes == nil {
 		r.indexes = make(map[string]map[string][]int)
+		r.indexed.Store(true)
 	}
 	if idx, ok := r.indexes[attr]; ok {
 		return idx
@@ -104,47 +145,67 @@ func (r *Relation) index(attr string) map[string][]int {
 	return idx
 }
 
-// Select returns the tuples satisfying the query's predicates, using a hash
-// index for the first equality predicate when available. The returned slice
-// aliases the relation's tuples.
+// Select returns the tuples satisfying the query's predicates, driven by the
+// smallest applicable index posting list. The returned slice aliases the
+// relation's tuples.
 func (r *Relation) Select(q Query) []Tuple {
-	// Pick an equality (or is-null) predicate to drive index lookup.
-	drive := -1
-	for i, p := range q.Preds {
-		if p.Op == OpEq || p.Op == OpIsNull {
-			if r.Schema.Has(p.Attr) {
-				drive = i
-				break
-			}
-		}
-	}
 	var out []Tuple
-	if drive >= 0 {
-		p := q.Preds[drive]
+	r.scan(q, func(t Tuple) { out = append(out, t) })
+	return out
+}
+
+// Count returns the number of tuples satisfying the query without
+// materializing them.
+func (r *Relation) Count(q Query) int {
+	n := 0
+	r.scan(q, func(Tuple) { n++ })
+	return n
+}
+
+// scan invokes fn for every tuple satisfying q, in tuple-position order.
+// All equality and is-null predicates are probed against their hash indexes
+// and the smallest posting list drives the scan — a rewrite binding several
+// determining attributes pays for the rarest one, not the first one written.
+// Queries with no indexable predicate fall back to a full scan. Posting
+// lists hold positions in insertion order, so the drive choice never changes
+// the output order.
+func (r *Relation) scan(q Query, fn func(Tuple)) {
+	driven := false
+	var drive []int
+	for _, p := range q.Preds {
+		if (p.Op != OpEq && p.Op != OpIsNull) || !r.Schema.Has(p.Attr) {
+			continue
+		}
+		idx := r.index(p.Attr)
+		if idx == nil {
+			continue
+		}
 		key := p.Value.Key()
 		if p.Op == OpIsNull {
 			key = Null().Key()
 		}
-		idx := r.index(p.Attr)
-		for _, pos := range idx[key] {
-			t := r.tuples[pos]
-			if q.Matches(r.Schema, t) {
-				out = append(out, t)
+		list := idx[key]
+		if !driven || len(list) < len(drive) {
+			driven, drive = true, list
+		}
+		if len(drive) == 0 {
+			// Some predicate matches nothing: the conjunction is empty.
+			return
+		}
+	}
+	if driven {
+		for _, pos := range drive {
+			if t := r.tuples[pos]; q.Matches(r.Schema, t) {
+				fn(t)
 			}
 		}
-		return out
+		return
 	}
 	for _, t := range r.tuples {
 		if q.Matches(r.Schema, t) {
-			out = append(out, t)
+			fn(t)
 		}
 	}
-	return out
-}
-
-// Count returns the number of tuples satisfying the query.
-func (r *Relation) Count(q Query) int {
-	return len(r.Select(q))
 }
 
 // Aggregate evaluates q's aggregate over the tuples selected by q's

@@ -114,6 +114,122 @@ func TestIndexInvalidationOnInsert(t *testing.T) {
 	}
 }
 
+func TestSelectDrivesFromSmallestPostingList(t *testing.T) {
+	r := paperFragment()
+	// make=BMW has 2 tuples, model=Boxster has 1: the conjunction must be
+	// driven from the Boxster list. Observable effect: the Porsche predicate's
+	// index decides, and the (contradictory) conjunction is empty.
+	got := r.Select(NewQuery("cars",
+		Eq("make", String("BMW")),
+		Eq("model", String("Boxster"))))
+	if len(got) != 0 {
+		t.Errorf("contradictory conjunction returned %d tuples", len(got))
+	}
+	// Consistent conjunction: both predicates indexed, either drive order
+	// must give the same single tuple.
+	got = r.Select(NewQuery("cars",
+		Eq("make", String("BMW")),
+		Eq("model", String("Z4")),
+		Eq("body_style", String("Convt"))))
+	if len(got) != 1 || got[0][0].IntVal() != 2 {
+		t.Errorf("conjunction = %v, want tuple 2", got)
+	}
+}
+
+func TestSelectEmptyPostingListShortCircuits(t *testing.T) {
+	r := paperFragment()
+	// A predicate matching nothing empties the conjunction regardless of the
+	// other predicates.
+	got := r.Select(NewQuery("cars",
+		Eq("make", String("Ferrari")),
+		Eq("body_style", String("Convt"))))
+	if len(got) != 0 {
+		t.Errorf("empty posting list should short-circuit, got %d tuples", len(got))
+	}
+}
+
+func TestSelectMultiPredicatePreservesOrder(t *testing.T) {
+	r := paperFragment()
+	// Whatever posting list drives, output must stay in tuple-position order.
+	got := r.Select(NewQuery("cars",
+		Eq("make", String("BMW")),
+		Eq("model", String("Z4"))))
+	if len(got) != 2 {
+		t.Fatalf("BMW Z4 count = %d, want 2", len(got))
+	}
+	if got[0][0].IntVal() != 2 || got[1][0].IntVal() != 4 {
+		t.Errorf("tuples out of position order: ids %v, %v", got[0][0], got[1][0])
+	}
+}
+
+func TestCountMatchesSelect(t *testing.T) {
+	r := paperFragment()
+	for _, q := range []Query{
+		NewQuery("cars", Eq("body_style", String("Convt"))),
+		NewQuery("cars", IsNull("body_style")),
+		NewQuery("cars", Between("year", Int(2002), Int(2003))),
+		NewQuery("cars", Eq("make", String("Ferrari"))),
+		NewQuery("cars"),
+	} {
+		if got, want := r.Count(q), len(r.Select(q)); got != want {
+			t.Errorf("Count(%v) = %d, Select len = %d", q, got, want)
+		}
+	}
+}
+
+func TestInsertAll(t *testing.T) {
+	r := paperFragment()
+	fresh := New("cars", r.Schema)
+	if err := fresh.InsertAll(r.Tuples()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != r.Len() {
+		t.Fatalf("InsertAll loaded %d tuples, want %d", fresh.Len(), r.Len())
+	}
+	for i := range r.Tuples() {
+		if !fresh.Tuple(i).Equal(r.Tuple(i)) {
+			t.Errorf("row %d differs after InsertAll", i)
+		}
+	}
+	// Queries over the bulk-loaded relation agree with the incrementally
+	// loaded one.
+	q := NewQuery("cars", Eq("make", String("BMW")))
+	if fresh.Count(q) != r.Count(q) {
+		t.Error("bulk-loaded relation answers queries differently")
+	}
+}
+
+func TestInsertAllValidationStopsAtBadTuple(t *testing.T) {
+	r := New("cars", paperFragment().Schema)
+	good := Tuple{Int(1), String("Audi"), String("A4"), Int(2001), String("Convt")}
+	bad := Tuple{Int(2)} // arity mismatch
+	if err := r.InsertAll([]Tuple{good, bad, good}); err == nil {
+		t.Fatal("bad tuple should error")
+	}
+	if r.Len() != 1 {
+		t.Errorf("tuples before the bad one should be kept: len = %d", r.Len())
+	}
+}
+
+func TestInsertAllInvalidatesIndexes(t *testing.T) {
+	r := paperFragment()
+	q := NewQuery("cars", Eq("make", String("BMW")))
+	if n := r.Count(q); n != 2 {
+		t.Fatalf("precondition: %d BMWs", n)
+	}
+	// Count built an index; InsertAll must invalidate it.
+	extra := []Tuple{
+		{Int(7), String("BMW"), String("M3"), Int(2004), String("Coupe")},
+		{Int(8), String("BMW"), String("M5"), Int(2005), String("Sedan")},
+	}
+	if err := r.InsertAll(extra); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Count(q); n != 4 {
+		t.Errorf("after InsertAll: %d BMWs, want 4 (stale index?)", n)
+	}
+}
+
 func TestDistinctOn(t *testing.T) {
 	r := paperFragment()
 	base := r.Select(NewQuery("cars", Eq("body_style", String("Convt"))))

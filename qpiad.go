@@ -27,6 +27,7 @@
 package qpiad
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -165,6 +166,14 @@ type (
 	ResultSet = core.ResultSet
 	// RewrittenQuery is one issued rewrite with its ranking statistics.
 	RewrittenQuery = core.RewrittenQuery
+	// StreamEvent is one message from the streaming executor: an answer, a
+	// rewrite outcome, or the final summary.
+	StreamEvent = core.StreamEvent
+	// StreamEventKind enumerates streaming event types.
+	StreamEventKind = core.StreamEventKind
+	// StreamSummary ends a stream with the reassembled ResultSet and the
+	// early-termination savings accounting.
+	StreamSummary = core.StreamSummary
 	// AggAnswer is the outcome of an aggregate query.
 	AggAnswer = core.AggAnswer
 	// AggOptions tunes aggregate processing.
@@ -191,6 +200,20 @@ type (
 	AFD = afd.AFD
 )
 
+// Streaming event kinds.
+const (
+	// StreamEventAnswer carries one answer (certain, possible, or unranked).
+	StreamEventAnswer = core.StreamEventAnswer
+	// StreamEventRewrite reports one chosen rewrite's final outcome.
+	StreamEventRewrite = core.StreamEventRewrite
+	// StreamEventSummary is the final event before the channel closes.
+	StreamEventSummary = core.StreamEventSummary
+)
+
+// ErrEarlyStop marks a rewrite skipped or cancelled by the top-N confidence
+// bound; it never degrades the result set.
+var ErrEarlyStop = core.ErrEarlyStop
+
 // Aggregate inclusion rules (Section 4.4).
 const (
 	// RuleArgmax includes a rewrite's whole aggregate iff the predicted
@@ -209,6 +232,12 @@ type Config struct {
 	// K caps the rewritten queries issued per user query. Default 10;
 	// K < 0 means unlimited.
 	K int
+	// TopN, when > 0, arms the streaming executor's confidence-bound early
+	// termination (QueryStream): once TopN possible answers have been
+	// delivered, the remaining rewrites are provably unable to improve the
+	// top-N and are skipped or cancelled, saving source queries and tuple
+	// transfer. 0 streams everything; batch Query ignores TopN.
+	TopN int
 	// AFD tunes dependency mining (zero value = paper defaults: β=0.5,
 	// δ=0.3, determining sets up to 3 attributes).
 	AFD afd.Config
@@ -257,6 +286,7 @@ func New(cfg Config) *System {
 	ccfg := core.Config{
 		Alpha:     cfg.Alpha,
 		K:         k,
+		TopN:      cfg.TopN,
 		Parallel:  cfg.Parallel,
 		Retry:     cfg.Retry,
 		CacheSize: cfg.CacheSize,
@@ -353,6 +383,17 @@ func (s *System) LearnByProbing(name string, cfg ProbeConfig, seed int64) error 
 // relevant possible answers (Section 4.2).
 func (s *System) Query(sourceName string, q Query) (*ResultSet, error) {
 	return s.med.QuerySelect(sourceName, q)
+}
+
+// QueryStream runs the QPIAD selection algorithm as a stream: certain
+// answers are delivered as soon as the base query returns, possible answers
+// incrementally in rank order as each rewritten query completes, and a final
+// summary carries the reassembled ResultSet. With Config.TopN > 0 the
+// executor stops issuing rewrites once the top-N possible answers are
+// provably in hand, saving source queries and tuple transfer. Cancelling ctx
+// aborts the stream.
+func (s *System) QueryStream(ctx context.Context, sourceName string, q Query) (<-chan StreamEvent, error) {
+	return s.med.SelectStream(ctx, sourceName, q)
 }
 
 // QueryCorrelated answers a query whose constrained attribute the target
