@@ -1,11 +1,12 @@
 # QPIAD build/test targets. `make tier1` is the gate CI runs: build, vet,
-# and the full test suite under the race detector.
+# the project's own analyzers (lint), and the full test suite under the
+# race detector.
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-json clean
+.PHONY: tier1 build vet lint test race vuln bench bench-json clean
 
-tier1: build vet race
+tier1: build vet lint race
 
 build:
 	$(GO) build ./...
@@ -13,11 +14,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the project's custom analyzers (nodeterm, ctxflow, locksafe,
+# nakedgoroutine) over the whole module through the standard vet driver.
+# Exits non-zero on any finding; see DESIGN.md "Enforced invariants".
+lint: bin/qpiad-vet
+	$(GO) vet -vettool=bin/qpiad-vet ./...
+
+bin/qpiad-vet: FORCE
+	$(GO) build -o bin/qpiad-vet ./cmd/qpiad-vet
+
+.PHONY: FORCE
+FORCE:
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# vuln scans dependencies for known vulnerabilities. govulncheck is not
+# vendored; install it where network is available:
+#   go install golang.org/x/vuln/cmd/govulncheck@latest
+vuln:
+	govulncheck ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildVet compiles the qpiad-vet binary once per test run.
+func buildVet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "qpiad-vet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building qpiad-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module in dir.
+func writeModule(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	files["go.mod"] = "module throwaway\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runVet executes the binary in dir against ./... and returns combined
+// output and exit code.
+func runVet(t *testing.T, bin, dir string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running qpiad-vet: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestStandaloneExitCodes pins the contract `make lint` depends on: a tree
+// with a deliberate violation makes qpiad-vet exit non-zero and name the
+// analyzer; a clean tree exits 0.
+func TestStandaloneExitCodes(t *testing.T) {
+	bin := buildVet(t)
+
+	t.Run("violation", func(t *testing.T) {
+		dir := t.TempDir()
+		writeModule(t, dir, map[string]string{
+			"internal/afd/afd.go": `package afd
+
+import "time"
+
+func Mine() int64 { return time.Now().Unix() }
+`,
+		})
+		out, code := runVet(t, bin, dir)
+		if code == 0 {
+			t.Fatalf("deliberate nodeterm violation must exit non-zero; output:\n%s", out)
+		}
+		if !strings.Contains(out, "nodeterm") || !strings.Contains(out, "time.Now") {
+			t.Errorf("diagnostic should name the analyzer and the offense, got:\n%s", out)
+		}
+	})
+
+	t.Run("clean", func(t *testing.T) {
+		dir := t.TempDir()
+		writeModule(t, dir, map[string]string{
+			"internal/afd/afd.go": `package afd
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`,
+		})
+		out, code := runVet(t, bin, dir)
+		if code != 0 {
+			t.Fatalf("clean tree must exit 0, got %d; output:\n%s", code, out)
+		}
+	})
+
+	t.Run("suppressed", func(t *testing.T) {
+		dir := t.TempDir()
+		writeModule(t, dir, map[string]string{
+			"internal/afd/afd.go": `package afd
+
+import "time"
+
+func Mine() int64 {
+	//lint:allow nodeterm timing is observability-only here
+	return time.Now().Unix()
+}
+`,
+		})
+		out, code := runVet(t, bin, dir)
+		if code != 0 {
+			t.Fatalf("allow-suppressed violation must exit 0, got %d; output:\n%s", code, out)
+		}
+	})
+}

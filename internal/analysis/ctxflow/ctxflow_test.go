@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"qpiad/internal/analysis"
+	"qpiad/internal/analysis/analysistest"
+	"qpiad/internal/analysis/ctxflow"
+)
+
+// TestCtxflow covers rooted Background/TODO in library code, calls that
+// drop an in-scope context (directly or via a no-context wrapper method),
+// and the allowed patterns: cmd/ main packages, _test.go files, properly
+// threaded contexts, and //lint:allow'd wrappers.
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{ctxflow.Analyzer},
+		"ctxlib", "cmd/ctxmain")
+}

@@ -1,0 +1,139 @@
+// Package load type-checks this module's packages for analysis without any
+// dependency on golang.org/x/tools/go/packages.
+//
+// It shells out to `go list -export -deps -json`, which (offline) compiles
+// the requested packages into the build cache and reports an export-data
+// file per package. Target packages are then re-parsed from source (with
+// comments, for //lint:allow) and type-checked against their dependencies'
+// export data via the stdlib gc importer's lookup hook — the same scheme
+// x/tools' unitchecker uses under `go vet`.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"qpiad/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Incomplete bool
+	DepsErrors []struct{ Err string }
+	Error      *struct{ Err string }
+}
+
+// Module loads the packages matched by patterns (e.g. "./...") in the
+// module rooted at or above dir, returning one analysis unit per non-test
+// package. The tree must compile: `make lint` runs after `make build`.
+func Module(dir string, patterns ...string) ([]*analysis.Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// One -deps pass for export data, one plain pass for the target set.
+	deps, err := goList(dir, append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (is the tree built?)", path)
+		}
+		return os.Open(f)
+	})
+
+	var units []*analysis.Unit
+	for _, p := range targets {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		unit, err := Check(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, unit)
+	}
+	return units, nil
+}
+
+// Check parses the given files (absolute, or relative to dir) and
+// type-checks them as one package using imp for all imports.
+func Check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*analysis.Unit, error) {
+	var files []*ast.File
+	for _, gf := range goFiles {
+		if !filepath.IsAbs(gf) {
+			gf = filepath.Join(dir, gf)
+		}
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", gf, err)
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// goList runs `go list -json` with the given extra arguments in dir and
+// decodes the JSON stream.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,439 @@
+// Package locksafe enforces the lock and atomic discipline the concurrent
+// layers (qcache, faults, source, relation, core) rely on.
+//
+// Three checks, all module-wide:
+//
+//   - lock-by-value: a function parameter, receiver, or assignment copies a
+//     value whose type contains a sync.Mutex/RWMutex/WaitGroup/Once/Cond.
+//     A copied lock guards nothing.
+//
+//   - held-across: between mu.Lock() and mu.Unlock() (or after a deferred
+//     Unlock) the function performs a channel send or calls a Query* method.
+//     Source round-trips retry and back off for up to the whole query
+//     deadline (PR 1); holding a mutex across one serializes every peer.
+//
+//   - atomic-mixed: a field or package variable is passed by address to a
+//     sync/atomic function in one place and read or written plainly in
+//     another. Mixed access is a data race the typed atomic.* wrappers
+//     exist to prevent.
+//
+// The pass is intentionally flow-insensitive where it can afford to be;
+// deliberate exceptions (e.g. a plain read that is provably under the same
+// mutex as the atomic fast-path) carry //lint:allow locksafe comments.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"qpiad/internal/analysis"
+)
+
+// Analyzer is the locksafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "flag copied locks, mutexes held across channel sends or Query* calls, and mixed atomic/plain field access",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	lc := &lockChecker{pass: pass, cache: make(map[types.Type]bool)}
+	for _, f := range pass.Files {
+		lc.checkCopies(f)
+		lc.checkHeldAcross(f)
+	}
+	checkAtomicMixed(pass)
+	return nil
+}
+
+type lockChecker struct {
+	pass  *analysis.Pass
+	cache map[types.Type]bool
+}
+
+// syncLockTypes are the sync types that must never be copied once used.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// containsLock reports whether t embeds a sync lock by value (pointers are
+// fine — that is the cure).
+func (lc *lockChecker) containsLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := lc.cache[t]; ok {
+		return v
+	}
+	lc.cache[t] = false // cut recursion on self-referential types
+	res := false
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			res = true
+		} else {
+			res = lc.containsLock(u.Underlying())
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lc.containsLock(u.Field(i).Type()) {
+				res = true
+				break
+			}
+		}
+	case *types.Array:
+		res = lc.containsLock(u.Elem())
+	}
+	lc.cache[t] = res
+	return res
+}
+
+// checkCopies flags by-value lock parameters/receivers and assignments that
+// copy an existing lock-bearing value.
+func (lc *lockChecker) checkCopies(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Recv != nil {
+				lc.checkFieldList(v.Recv, "receiver")
+			}
+			lc.checkFieldList(v.Type.Params, "parameter")
+		case *ast.FuncLit:
+			lc.checkFieldList(v.Type.Params, "parameter")
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				if i >= len(v.Lhs) || isBlank(v.Lhs[i]) {
+					continue // `_ = x` uses the value without keeping a copy
+				}
+				if lc.copiesLockValue(rhs) {
+					lc.pass.Reportf(v.Pos(), "assignment copies a value containing a sync lock (%s)",
+						lc.pass.Info.TypeOf(rhs))
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range v.Values {
+				if i < len(v.Names) && v.Names[i].Name == "_" {
+					continue
+				}
+				if lc.copiesLockValue(rhs) {
+					lc.pass.Reportf(v.Pos(), "declaration copies a value containing a sync lock (%s)",
+						lc.pass.Info.TypeOf(rhs))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (lc *lockChecker) checkFieldList(fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, fld := range fl.List {
+		t := lc.pass.Info.TypeOf(fld.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if lc.containsLock(t) {
+			lc.pass.Reportf(fld.Pos(), "%s passes a lock by value (%s): use a pointer", kind, t)
+		}
+	}
+}
+
+// copiesLockValue reports whether rhs copies an *existing* lock-bearing
+// value. Composite literals and function calls construct fresh values and
+// are fine; reading a variable, field, element, or dereference is a copy.
+func (lc *lockChecker) copiesLockValue(rhs ast.Expr) bool {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return false
+	}
+	t := lc.pass.Info.TypeOf(rhs)
+	if t == nil {
+		return false
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return false
+	}
+	return lc.containsLock(t)
+}
+
+// ---- held-across ----
+
+// checkHeldAcross runs the linear lock-state scan over every function body.
+func (lc *lockChecker) checkHeldAcross(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil {
+			held := make(map[string]bool)
+			lc.scanStmts(body.List, held)
+		}
+		return true
+	})
+}
+
+// scanStmts walks a statement list in order, tracking which mutexes are
+// held. The model is deliberately linear: branches are scanned with a copy
+// of the current state, and lock-state changes inside them do not propagate
+// out. That trades a little precision for predictability — and every
+// exception is one //lint:allow away.
+func (lc *lockChecker) scanStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		lc.scanStmt(st, held)
+	}
+}
+
+func (lc *lockChecker) scanStmt(st ast.Stmt, held map[string]bool) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, op := lc.lockOp(call); key != "" {
+				switch op {
+				case "lock":
+					held[key] = true
+				case "unlock":
+					delete(held, key)
+				}
+				return
+			}
+		}
+		lc.checkExprWhileHeld(s.X, held)
+	case *ast.DeferStmt:
+		if key, op := lc.lockOp(s.Call); key != "" && op == "unlock" {
+			// Deferred unlock: the lock stays held for the remainder of the
+			// function, which is exactly when held-across matters most.
+			return
+		}
+		lc.checkExprWhileHeld(s.Call, held)
+	case *ast.SendStmt:
+		lc.reportIfHeld(held, s.Arrow, "channel send")
+		lc.checkExprWhileHeld(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lc.checkExprWhileHeld(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lc.checkExprWhileHeld(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.scanStmt(s.Init, held)
+		}
+		lc.checkExprWhileHeld(s.Cond, held)
+		lc.scanStmts(s.Body.List, copyState(held))
+		if s.Else != nil {
+			lc.scanStmt(s.Else, copyState(held))
+		}
+	case *ast.ForStmt:
+		lc.scanStmts(s.Body.List, copyState(held))
+	case *ast.RangeStmt:
+		lc.scanStmts(s.Body.List, copyState(held))
+	case *ast.BlockStmt:
+		lc.scanStmts(s.List, held)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lc.scanStmts(cc.Body, copyState(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lc.scanStmts(cc.Body, copyState(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					lc.reportIfHeld(held, send.Arrow, "channel send")
+				}
+				lc.scanStmts(cc.Body, copyState(held))
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs later, under no lock we can model here.
+	}
+}
+
+func copyState(m map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
+// checkExprWhileHeld looks for Query* calls inside an expression while any
+// mutex is held. Function literals are skipped: they execute later.
+func (lc *lockChecker) checkExprWhileHeld(e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = fn.Sel.Name
+		case *ast.Ident:
+			name = fn.Name
+		}
+		if strings.HasPrefix(name, "Query") {
+			lc.reportIfHeld(held, call.Pos(), name+" call")
+		}
+		return true
+	})
+}
+
+func (lc *lockChecker) reportIfHeld(held map[string]bool, pos token.Pos, what string) {
+	for key := range held {
+		lc.pass.Reportf(pos, "%s while %s is held: a blocking operation under a mutex serializes every peer", what, key)
+		return // one report per site is enough
+	}
+}
+
+// lockOp classifies call as a sync.Mutex/RWMutex Lock/Unlock on some
+// receiver expression, returning a stable key for that receiver.
+func (lc *lockChecker) lockOp(call *ast.CallExpr) (key, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	// Require the method to come from sync (directly or via embedding) so a
+	// user-defined Lock() is not misread.
+	if s, ok := lc.pass.Info.Selections[sel]; ok {
+		fn, ok := s.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return "", ""
+		}
+	} else if t := lc.pass.Info.TypeOf(sel.X); t != nil && !lc.containsLock(t) {
+		return "", ""
+	}
+	return types.ExprString(sel.X), op
+}
+
+// ---- atomic-mixed ----
+
+// checkAtomicMixed cross-references sync/atomic call targets with plain
+// accesses of the same variable across the whole package.
+func checkAtomicMixed(pass *analysis.Pass) {
+	atomicVars := make(map[types.Object]bool)
+	atomicNodes := make(map[ast.Expr]bool) // &x or x inside an atomic call
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, _, ok := analysis.PkgFunc(pass.Info, call)
+			if !ok || pkg != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := addressableObj(pass.Info, un.X); obj != nil {
+					atomicVars[obj] = true
+					atomicNodes[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		// Idents that are the .Sel of a selector or the key of a composite
+		// literal resolve to the field object too; the selector (or the
+		// literal, which initializes before publication) is the real access
+		// site, so they must not be double-counted.
+		skip := make(map[*ast.Ident]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var obj types.Object
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				skip[v.Sel] = true
+				if atomicNodes[v] {
+					return false // the sanctioned &x.f inside an atomic call
+				}
+				if s, ok := pass.Info.Selections[v]; ok && s.Kind() == types.FieldVal {
+					obj = s.Obj()
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := v.Key.(*ast.Ident); ok {
+					skip[id] = true
+				}
+				return true
+			case *ast.Ident:
+				if skip[v] {
+					return true
+				}
+				obj = pass.Info.Uses[v]
+			default:
+				return true
+			}
+			if obj == nil || !atomicVars[obj] {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"%s is accessed with sync/atomic elsewhere but plainly here: use the atomic API (or a typed atomic.*) everywhere",
+				obj.Name())
+			return false
+		})
+	}
+}
+
+// addressableObj resolves &x / &s.f to the variable object being taken.
+func addressableObj(info *types.Info, e ast.Expr) types.Object {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[v].(*types.Var); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[v]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	}
+	return nil
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,19 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"qpiad/internal/analysis"
+	"qpiad/internal/analysis/analysistest"
+	"qpiad/internal/analysis/locksafe"
+)
+
+// TestLocksafe covers lock-by-value copies, locks held across channel
+// sends and Query* calls, mixed atomic/plain field access, and the clean
+// counterparts (pointer passing, unlock-before-send, typed atomics,
+// //lint:allow'd exceptions).
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{locksafe.Analyzer},
+		"internal/locks")
+}

@@ -1,0 +1,90 @@
+// Package nakedgoroutine flags untracked goroutines in internal packages.
+//
+// Every goroutine the library spawns must be stoppable or joinable:
+// context-aware (it receives or closes over a context.Context, so PR 3's
+// stream cancellation reaches it) or WaitGroup-tracked (a wg.Done() —
+// possibly deferred — ties it to a join point, so shutdown and tests can
+// wait for it). A `go func(){...}()` with neither is a leak: it outlives
+// its request, holds its captures alive, and races teardown.
+package nakedgoroutine
+
+import (
+	"go/ast"
+	"strings"
+
+	"qpiad/internal/analysis"
+)
+
+// Analyzer is the nakedgoroutine pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nakedgoroutine",
+	Doc:  "flag goroutines in internal packages that are neither context-aware nor WaitGroup-tracked",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !(strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !tracked(pass, g) {
+				pass.Reportf(g.Pos(),
+					"goroutine is neither context-aware nor WaitGroup-tracked: it cannot be cancelled or joined")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// tracked reports whether the go statement's function is context-aware or
+// WaitGroup-tracked.
+func tracked(pass *analysis.Pass, g *ast.GoStmt) bool {
+	// Context passed as an argument (go f(ctx, ...) or go fn(ctx)(...)).
+	for _, arg := range g.Call.Args {
+		if t := pass.Info.TypeOf(arg); t != nil && analysis.IsContext(t) {
+			return true
+		}
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		// go name(...) with no context argument: accept a *sync.WaitGroup
+		// argument as tracking; otherwise flag.
+		for _, arg := range g.Call.Args {
+			if t := pass.Info.TypeOf(arg); t != nil && analysis.IsNamed(t, "sync", "WaitGroup") {
+				return true
+			}
+		}
+		return false
+	}
+	// A closure is fine if its body uses a context (param or capture) or
+	// calls Done() on a sync.WaitGroup (typically `defer wg.Done()`).
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.Ident:
+			if t := pass.Info.TypeOf(v); t != nil && analysis.IsContext(t) {
+				found = true
+			}
+		case *ast.CallExpr:
+			sel, ok := v.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Done" {
+				return true
+			}
+			if t := pass.Info.TypeOf(sel.X); t != nil && analysis.IsNamed(t, "sync", "WaitGroup") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

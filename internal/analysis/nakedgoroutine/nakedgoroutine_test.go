@@ -1,0 +1,19 @@
+package nakedgoroutine_test
+
+import (
+	"testing"
+
+	"qpiad/internal/analysis"
+	"qpiad/internal/analysis/analysistest"
+	"qpiad/internal/analysis/nakedgoroutine"
+)
+
+// TestNakedGoroutine covers untracked goroutines (closures and named
+// functions) and every sanctioned launch shape: WaitGroup-joined (local
+// and through a struct field), context-parameterized, context-capturing,
+// and //lint:allow'd.
+func TestNakedGoroutine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{nakedgoroutine.Analyzer},
+		"internal/spawn")
+}

@@ -1,0 +1,19 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"qpiad/internal/analysis"
+	"qpiad/internal/analysis/analysistest"
+	"qpiad/internal/analysis/nodeterm"
+)
+
+// TestNodeterm covers the flagged patterns (wall clock, global rand,
+// unsorted map-range accumulation), the deliberately-allowed ones
+// (seeded rand, sorted-after-range, loop-local slices, _test.go files,
+// //lint:allow), and the package scoping (outscope is clean).
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{nodeterm.Analyzer},
+		"internal/afd", "outscope")
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked package ready for analysis, however it was
+// loaded (from `go list -export` in standalone mode, from a vet.cfg in
+// vettool mode, or from testdata fixtures in analysistest).
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewInfo allocates a types.Info with every map analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run applies the analyzers to one unit and returns the surviving
+// diagnostics in stable (file, line, column, analyzer) order.
+//
+// Two filters run after the passes:
+//
+//   - //lint:allow suppressions (see BuildSuppressions) are honored;
+//   - diagnostics positioned in *_test.go files are dropped. The enforced
+//     invariants are about production code — tests exercise nondeterminism
+//     and context.Background() deliberately — but test files still
+//     participate in type checking so analyzers see complete packages.
+func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     u.Fset,
+			Files:    u.Files,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+			Report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+
+	sup := BuildSuppressions(u.Fset, u.Files)
+	kept := diags[:0]
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		p := u.Fset.Position(d.Pos)
+		if strings.HasSuffix(p.Filename, "_test.go") {
+			continue
+		}
+		if sup.Allows(d.Analyzer, d.Pos) {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, d)
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		pi, pj := u.Fset.Position(kept[i].Pos), u.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// Format renders one diagnostic as "path:line:col: [analyzer] message",
+// the shape both drivers print and go vet forwards verbatim.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: [%s] %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression-comment support. A diagnostic is suppressed when the line it
+// is reported on, or the line immediately above it, carries a comment of
+// the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// in the same file. The reason is mandatory: an allow without one does not
+// suppress anything, so every exception in the tree is auditable. The
+// analyzer field must match the reporting analyzer's name exactly (no
+// wildcards) — allowing one pass never silences another.
+
+// allowRe matches a well-formed suppression comment. The directive must be
+// the start of the comment text ("// lint:allow" with a space also counts,
+// matching how people actually type directives).
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+(\S+)\s+(\S.*)$`)
+
+// allowKey identifies one (file, line, analyzer) suppression site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Suppressions indexes every well-formed //lint:allow comment in a set of
+// parsed files (files must have been parsed with parser.ParseComments).
+type Suppressions struct {
+	fset  *token.FileSet
+	sites map[allowKey]string // -> reason
+}
+
+// BuildSuppressions scans the files' comments for allow directives.
+func BuildSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{fset: fset, sites: make(map[allowKey]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				key := allowKey{file: pos.Filename, line: pos.Line, analyzer: m[1]}
+				s.sites[key] = strings.TrimSpace(m[2])
+			}
+		}
+	}
+	return s
+}
+
+// Allows reports whether a diagnostic from the named analyzer at pos is
+// suppressed: an allow for that analyzer sits on the same line or the line
+// directly above.
+func (s *Suppressions) Allows(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	if _, ok := s.sites[allowKey{p.Filename, p.Line, analyzer}]; ok {
+		return true
+	}
+	_, ok := s.sites[allowKey{p.Filename, p.Line - 1, analyzer}]
+	return ok
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseForSuppress parses one synthetic file with comments retained and
+// returns the fileset, the file, and a position on the given 1-based line.
+func parseForSuppress(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "suppress_fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// posOnLine fabricates a token.Pos on the given line of the parsed file.
+func posOnLine(t *testing.T, fset *token.FileSet, line int) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestSuppressionsSameLineAndLineAbove(t *testing.T) {
+	fset, f := parseForSuppress(t, `package p
+
+func a() {
+	//lint:allow nodeterm seeded jitter is fine here
+	_ = 1
+	_ = 2 //lint:allow ctxflow audited root wrapper
+}
+`)
+	s := BuildSuppressions(fset, []*ast.File{f})
+	if !s.Allows("nodeterm", posOnLine(t, fset, 5)) {
+		t.Error("line-above allow should suppress on the next line")
+	}
+	if !s.Allows("nodeterm", posOnLine(t, fset, 4)) {
+		t.Error("allow should suppress on its own line")
+	}
+	if !s.Allows("ctxflow", posOnLine(t, fset, 6)) {
+		t.Error("trailing same-line allow should suppress")
+	}
+	if s.Allows("nodeterm", posOnLine(t, fset, 6)) {
+		t.Error("allow for ctxflow must not suppress nodeterm")
+	}
+	if s.Allows("nodeterm", posOnLine(t, fset, 3)) {
+		t.Error("allow must not reach the line above itself")
+	}
+}
+
+func TestSuppressionsReasonMandatory(t *testing.T) {
+	fset, f := parseForSuppress(t, `package p
+
+func a() {
+	//lint:allow nodeterm
+	_ = 1
+}
+`)
+	s := BuildSuppressions(fset, []*ast.File{f})
+	if s.Allows("nodeterm", posOnLine(t, fset, 5)) {
+		t.Error("reasonless allow must not suppress")
+	}
+}
+
+func TestSuppressionsExactAnalyzerMatch(t *testing.T) {
+	fset, f := parseForSuppress(t, `package p
+
+func a() {
+	//lint:allow nodeter truncated-name typo
+	_ = 1
+	//lint:allow nodeterminism overlong-name typo
+	_ = 2
+}
+`)
+	s := BuildSuppressions(fset, []*ast.File{f})
+	if s.Allows("nodeterm", posOnLine(t, fset, 5)) {
+		t.Error("prefix analyzer name must not match")
+	}
+	if s.Allows("nodeterm", posOnLine(t, fset, 7)) {
+		t.Error("superstring analyzer name must not match")
+	}
+}
+
+func TestSuppressionsSpacedDirective(t *testing.T) {
+	fset, f := parseForSuppress(t, `package p
+
+func a() {
+	// lint:allow locksafe copy happens before first use
+	_ = 1
+}
+`)
+	s := BuildSuppressions(fset, []*ast.File{f})
+	if !s.Allows("locksafe", posOnLine(t, fset, 5)) {
+		t.Error("'// lint:allow' with a space should also suppress")
+	}
+}

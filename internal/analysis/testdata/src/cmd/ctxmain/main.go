@@ -1,0 +1,11 @@
+// Fixture proving ctxflow's scoping: cmd/ binaries are process roots, so
+// fabricating the root context here is exactly right. No want comments.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	_ = context.TODO()
+}

@@ -1,0 +1,68 @@
+// Fixture for the ctxflow analyzer: a library package (not cmd/, not a
+// harness), so context discipline is enforced.
+package ctxlib
+
+import "context"
+
+// Store offers the Query/QueryCtx pair that mirrors source.Source.
+type Store struct{}
+
+// QueryCtx is the context-aware entry point.
+func (s *Store) QueryCtx(ctx context.Context, q string) (string, error) {
+	return q, ctx.Err()
+}
+
+// Query is the compatibility wrapper library code must not call when it
+// has a context of its own.
+func (s *Store) Query(q string) (string, error) {
+	//lint:allow ctxflow public no-context convenience wrapper, the one sanctioned root
+	return s.QueryCtx(context.Background(), q)
+}
+
+// rootedBackground: no context in scope, still a library — must accept one
+// instead of fabricating it.
+func rootedBackground(s *Store) (string, error) {
+	ctx := context.Background() // want "detaches callees from cancellation"
+	return s.QueryCtx(ctx, "q")
+}
+
+// rootedTODO: TODO is no better.
+func rootedTODO() context.Context {
+	return context.TODO() // want "detaches callees from cancellation"
+}
+
+// dropsCtx fabricates a fresh context while one is in scope.
+func dropsCtx(ctx context.Context, s *Store) (string, error) {
+	return s.QueryCtx(context.Background(), "q") // want "drops the in-scope context parameter"
+}
+
+// dropsCtxViaWrapper calls the no-context method with a context in scope.
+func dropsCtxViaWrapper(ctx context.Context, s *Store) (string, error) {
+	return s.Query("q") // want "call to Query drops the in-scope context: use QueryCtx"
+}
+
+// threaded is the correct shape.
+func threaded(ctx context.Context, s *Store) (string, error) {
+	return s.QueryCtx(ctx, "q")
+}
+
+// closureInherits: a closure inside a context-bearing function still has
+// that context in scope.
+func closureInherits(ctx context.Context, s *Store) func() (string, error) {
+	return func() (string, error) {
+		return s.Query("q") // want "call to Query drops the in-scope context: use QueryCtx"
+	}
+}
+
+// wrapperNoCtx: calling Query from a function with no context in scope is
+// only the plain-Background diagnostic away (inside Query itself, allowed
+// above); the call site has nothing to thread, so no drop is reported.
+func wrapperNoCtx(s *Store) (string, error) {
+	return s.Query("q")
+}
+
+// allowedDrop documents an audited exception at a drop site.
+func allowedDrop(ctx context.Context, s *Store) (string, error) {
+	//lint:allow ctxflow detached audit write must survive request cancellation
+	return s.QueryCtx(context.Background(), "q")
+}

@@ -1,0 +1,9 @@
+// context.Background() in _test.go files is always clean: tests are
+// process roots. No want comments.
+package ctxlib
+
+import "context"
+
+func testHelperBackground(s *Store) (string, error) {
+	return s.QueryCtx(context.Background(), "q")
+}

@@ -1,0 +1,100 @@
+// Fixture for the nodeterm analyzer: package path "internal/afd" is inside
+// the mining/ranking scope.
+package afd
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock exercises the time.Now / time.Since checks.
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now in deterministic mining/ranking code"
+	return time.Since(start) // want "time.Since in deterministic mining/ranking code"
+}
+
+// timerOK: timers and durations that do not read the clock are fine.
+func timerOK() *time.Timer {
+	return time.NewTimer(time.Millisecond)
+}
+
+// globalRand exercises the math/rand checks.
+func globalRand() int {
+	return rand.Intn(10) // want "uses the process-global random source"
+}
+
+// seededRand: an explicitly seeded generator is the sanctioned form.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// unsortedKeys is the canonical bug: map iteration order leaks into a
+// returned slice.
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "accumulates map-range elements without a subsequent sort"
+	}
+	return out
+}
+
+// sortedKeys is the sanctioned sorted-after-range idiom.
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortSliceKeys: sort.Slice with the slice referenced inside a closure
+// argument also counts as a sort.
+func sortSliceKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// loopLocal: a slice scoped to the loop body cannot leak iteration order
+// out of the loop.
+func loopLocal(m map[string][]string, emit func([]string)) {
+	for _, vs := range m {
+		var batch []string
+		batch = append(batch, vs...)
+		emit(batch)
+	}
+}
+
+// sliceRange: ranging over a slice is deterministic and never flagged.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// allowedNow documents a justified exception via the suppression comment.
+func allowedNow() time.Time {
+	//lint:allow nodeterm fixture demonstrates an audited exception
+	return time.Now()
+}
+
+// reasonlessAllow shows that an allow without a reason suppresses nothing.
+func reasonlessAllow() time.Time {
+	//lint:allow nodeterm
+	return time.Now() // want "time.Now in deterministic mining/ranking code"
+}
+
+// wrongAnalyzerAllow shows that an allow for another analyzer does not
+// silence this one.
+func wrongAnalyzerAllow() time.Time {
+	//lint:allow ctxflow not the analyzer reporting here
+	return time.Now() // want "time.Now in deterministic mining/ranking code"
+}

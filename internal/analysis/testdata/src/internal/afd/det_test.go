@@ -1,0 +1,13 @@
+// Diagnostics in _test.go files are filtered out: tests may use the wall
+// clock and global randomness freely. No want comments — nothing may be
+// reported here.
+package afd
+
+import (
+	"math/rand"
+	"time"
+)
+
+func testClockAndRand() (time.Time, int) {
+	return time.Now(), rand.Intn(10)
+}

@@ -1,0 +1,135 @@
+// Fixture for the locksafe analyzer: lock copies, locks held across
+// blocking operations, and mixed atomic/plain field access.
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Guarded embeds a mutex by value, so copying a Guarded copies the lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// byValueParam receives the lock-bearing struct by value.
+func byValueParam(g Guarded) int { // want "parameter passes a lock by value"
+	return g.n
+}
+
+// byPointerParam is the cure.
+func byPointerParam(g *Guarded) int {
+	return g.n
+}
+
+// mutexParam passes a bare mutex by value.
+func mutexParam(mu sync.Mutex) { // want "parameter passes a lock by value"
+	mu.Lock()
+}
+
+// copyAssign copies an existing lock-bearing value.
+func copyAssign(g *Guarded) {
+	cp := *g // want "assignment copies a value containing a sync lock"
+	_ = cp
+}
+
+// copyDecl copies via a var declaration.
+func copyDecl(g Guarded) { // want "parameter passes a lock by value"
+	var cp = g // want "declaration copies a value containing a sync lock"
+	_ = cp
+}
+
+// freshValue constructs a new value: nothing is copied.
+func freshValue() *Guarded {
+	g := Guarded{}
+	return &g
+}
+
+// Client has a Query-shaped method, standing in for a source round-trip.
+type Client struct{}
+
+// QueryRows is a blocking round-trip (name triggers the Query* heuristic).
+func (c *Client) QueryRows(q string) []string { return []string{q} }
+
+// sendWhileHeld performs a channel send between Lock and Unlock.
+func sendWhileHeld(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.n // want "channel send while g.mu is held"
+	g.mu.Unlock()
+}
+
+// sendAfterUnlock releases first: clean.
+func sendAfterUnlock(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	ch <- n
+}
+
+// queryWhileHeld calls a Query* method under the lock.
+func queryWhileHeld(g *Guarded, c *Client) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return c.QueryRows("q") // want "QueryRows call while g.mu is held"
+}
+
+// queryOutsideLock snapshots under the lock, queries outside: clean.
+func queryOutsideLock(g *Guarded, c *Client) []string {
+	g.mu.Lock()
+	q := "q"
+	g.mu.Unlock()
+	return c.QueryRows(q)
+}
+
+// selectSendWhileHeld: sends inside select count too.
+func selectSendWhileHeld(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case ch <- g.n: // want "channel send while g.mu is held"
+	default:
+	}
+}
+
+// allowedSend documents an audited exception: the channel is buffered and
+// drained by the metrics goroutine, so the send cannot block.
+func allowedSend(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	//lint:allow locksafe buffered metrics channel, send cannot block
+	ch <- g.n
+	g.mu.Unlock()
+}
+
+// Counter mixes atomic and plain access to the same field.
+type Counter struct {
+	hits int64
+}
+
+// incr uses the atomic API.
+func (c *Counter) incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read uses a plain load of the same field: a data race.
+func (c *Counter) read() int64 {
+	return c.hits // want "hits is accessed with sync/atomic elsewhere but plainly here"
+}
+
+// TypedCounter uses the typed atomic wrapper, which cannot be accessed
+// plainly at all: clean.
+type TypedCounter struct {
+	hits atomic.Int64
+}
+
+func (c *TypedCounter) incr() { c.hits.Add(1) }
+
+func (c *TypedCounter) read() int64 { return c.hits.Load() }
+
+// PlainCounter is only ever accessed plainly: clean (races with it are the
+// race detector's department, not this pass's).
+type PlainCounter struct {
+	hits int64
+}
+
+func (c *PlainCounter) incr() { c.hits++ }

@@ -1,0 +1,85 @@
+// Fixture for the nakedgoroutine analyzer: goroutines in internal packages
+// must be context-aware or WaitGroup-tracked.
+package spawn
+
+import (
+	"context"
+	"sync"
+)
+
+// naked is the leak: no context, no join point.
+func naked() {
+	go func() { // want "neither context-aware nor WaitGroup-tracked"
+		_ = 1 + 1
+	}()
+}
+
+// nakedNamed launches a named function with nothing to track it.
+func nakedNamed() {
+	go work(1) // want "neither context-aware nor WaitGroup-tracked"
+}
+
+func work(n int) { _ = n }
+
+// wgTracked joins via a deferred wg.Done().
+func wgTracked() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = 1 + 1
+	}()
+	wg.Wait()
+}
+
+// fieldWgTracked joins via a WaitGroup reached through a struct field.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) spawn() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		_ = 1 + 1
+	}()
+}
+
+// ctxParam passes the context into the goroutine explicitly.
+func ctxParam(ctx context.Context) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(ctx)
+}
+
+// ctxCapture closes over an in-scope context.
+func ctxCapture(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// ctxNamed passes a context to a named function.
+func ctxNamed(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// wgNamed passes the WaitGroup to a named function.
+func wgNamed() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go drain(&wg)
+	wg.Wait()
+}
+
+func drain(wg *sync.WaitGroup) { defer wg.Done() }
+
+// allowedNaked documents an audited exception.
+func allowedNaked() {
+	//lint:allow nakedgoroutine fire-and-forget warmup, bounded by process lifetime
+	go func() {
+		_ = 1 + 1
+	}()
+}

@@ -1,0 +1,21 @@
+// Fixture proving nodeterm's scoping: this package path is not a
+// mining/ranking package, so wall-clock reads, global randomness and
+// unsorted map ranges are all fine here. No want comments.
+package outscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time { return time.Now() }
+
+func roll() int { return rand.Intn(6) }
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -80,13 +80,27 @@ type AggAnswer struct {
 // each rewrite whose predicted most-likely value satisfies the original
 // predicate (RuleArgmax) or a precision-weighted fraction (RuleFractional).
 func (m *Mediator) QueryAggregate(srcName string, q relation.Query, opts AggOptions) (*AggAnswer, error) {
-	return m.QueryAggregateWith(m.cfg, srcName, q, opts)
+	//lint:allow ctxflow audited root: context-free convenience wrapper over QueryAggregateCtx
+	return m.QueryAggregateCtx(context.Background(), srcName, q, opts)
+}
+
+// QueryAggregateCtx is QueryAggregate under a caller-supplied context:
+// cancelling ctx aborts in-flight source attempts and retry backoffs.
+func (m *Mediator) QueryAggregateCtx(ctx context.Context, srcName string, q relation.Query, opts AggOptions) (*AggAnswer, error) {
+	return m.QueryAggregateWithCtx(ctx, m.cfg, srcName, q, opts)
 }
 
 // QueryAggregateWith is QueryAggregate under an explicit per-call
 // configuration; it never touches the mediator's shared config, so
 // concurrent callers with different α/K settings cannot interfere.
 func (m *Mediator) QueryAggregateWith(cfg Config, srcName string, q relation.Query, opts AggOptions) (*AggAnswer, error) {
+	//lint:allow ctxflow audited root: context-free convenience wrapper over QueryAggregateWithCtx
+	return m.QueryAggregateWithCtx(context.Background(), cfg, srcName, q, opts)
+}
+
+// QueryAggregateWithCtx is QueryAggregateWith under a caller-supplied
+// context.
+func (m *Mediator) QueryAggregateWithCtx(ctx context.Context, cfg Config, srcName string, q relation.Query, opts AggOptions) (*AggAnswer, error) {
 	if q.Agg == nil {
 		return nil, fmt.Errorf("core: QueryAggregate needs an aggregate query")
 	}
@@ -103,7 +117,7 @@ func (m *Mediator) QueryAggregateWith(cfg Config, srcName string, q relation.Que
 		return nil, fmt.Errorf("core: aggregate attribute %q not in source %q", agg.Attr, srcName)
 	}
 
-	bres := fetchOne(context.Background(), src, q, cfg.Retry)
+	bres := fetchOne(ctx, src, q, cfg.Retry)
 	if bres.err != nil {
 		return nil, fmt.Errorf("core: base query: %w", bres.err)
 	}
@@ -135,7 +149,7 @@ func (m *Mediator) QueryAggregateWith(cfg Config, srcName string, q relation.Que
 				out.Degraded = true
 				continue
 			}
-			fres := fetchOne(context.Background(), src, rq.Query, cfg.Retry)
+			fres := fetchOne(ctx, src, rq.Query, cfg.Retry)
 			rq.Attempts = fres.attempts
 			if fres.err != nil {
 				rq.Err = fres.err

@@ -77,6 +77,14 @@ func (m *Mediator) FindCorrelatedSource(target, attr string) (CorrelatedPlan, bo
 // on a null we cannot see); tuples are ranked by their retrieving query's
 // precision as usual.
 func (m *Mediator) QuerySelectCorrelated(targetSrc string, q relation.Query) (*ResultSet, error) {
+	//lint:allow ctxflow audited root: context-free convenience wrapper over QuerySelectCorrelatedCtx
+	return m.QuerySelectCorrelatedCtx(context.Background(), targetSrc, q)
+}
+
+// QuerySelectCorrelatedCtx is QuerySelectCorrelated under a caller-supplied
+// context: cancelling ctx aborts in-flight source attempts and retry
+// backoffs promptly.
+func (m *Mediator) QuerySelectCorrelatedCtx(ctx context.Context, targetSrc string, q relation.Query) (*ResultSet, error) {
 	sk, ok := m.sources[targetSrc]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", targetSrc)
@@ -103,7 +111,7 @@ func (m *Mediator) QuerySelectCorrelated(targetSrc string, q relation.Query) (*R
 	k := m.knowledge[plan.Correlated]
 
 	// Step 1 (modified): base set from the correlated source.
-	bres := fetchOne(context.Background(), sc, q, m.cfg.Retry)
+	bres := fetchOne(ctx, sc, q, m.cfg.Retry)
 	if bres.err != nil {
 		return nil, fmt.Errorf("core: correlated base query: %w", bres.err)
 	}
@@ -126,7 +134,7 @@ func (m *Mediator) QuerySelectCorrelated(targetSrc string, q relation.Query) (*R
 	for i, rq := range chosen {
 		issueQs[i] = rq.Query
 	}
-	results := fetchAll(sk, issueQs, m.cfg.Parallel, m.cfg.Retry)
+	results := fetchAll(ctx, sk, issueQs, m.cfg.Parallel, m.cfg.Retry)
 	seen := make(map[string]bool)
 	for i, rq := range chosen {
 		rq.Attempts = results[i].attempts

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,6 +40,14 @@ type GlobalResult struct {
 // descending confidence. At least one source must succeed, otherwise an
 // error summarizing the per-source failures is returned.
 func (m *Mediator) QuerySelectGlobal(q relation.Query) (*GlobalResult, error) {
+	//lint:allow ctxflow audited root: context-free convenience wrapper over QuerySelectGlobalCtx
+	return m.QuerySelectGlobalCtx(context.Background(), q)
+}
+
+// QuerySelectGlobalCtx is QuerySelectGlobal under a caller-supplied context:
+// the context is threaded into every per-source selection, so cancelling it
+// stops the fan-out promptly.
+func (m *Mediator) QuerySelectGlobalCtx(ctx context.Context, q relation.Query) (*GlobalResult, error) {
 	out := &GlobalResult{
 		Query:     q,
 		PerSource: make(map[string]*ResultSet),
@@ -59,9 +68,9 @@ func (m *Mediator) QuerySelectGlobal(q relation.Query) (*GlobalResult, error) {
 			err error
 		)
 		if supportsAll && m.knowledge[name] != nil {
-			rs, err = m.QuerySelect(name, q)
+			rs, err = m.QuerySelectCtx(ctx, name, q)
 		} else if !supportsAll {
-			rs, err = m.QuerySelectCorrelated(name, q)
+			rs, err = m.QuerySelectCorrelatedCtx(ctx, name, q)
 		} else {
 			err = fmt.Errorf("core: source %q has no mined knowledge", name)
 		}

@@ -83,6 +83,13 @@ type JoinResult struct {
 // and join their results — predicting missing join values with the NBC
 // predictors.
 func (m *Mediator) QueryJoin(spec JoinSpec) (*JoinResult, error) {
+	//lint:allow ctxflow audited root: context-free convenience wrapper over QueryJoinCtx
+	return m.QueryJoinCtx(context.Background(), spec)
+}
+
+// QueryJoinCtx is QueryJoin under a caller-supplied context: cancelling ctx
+// aborts in-flight source attempts and retry backoffs promptly.
+func (m *Mediator) QueryJoinCtx(ctx context.Context, spec JoinSpec) (*JoinResult, error) {
 	ls, ok := m.sources[spec.LeftSource]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", spec.LeftSource)
@@ -102,12 +109,12 @@ func (m *Mediator) QueryJoin(spec JoinSpec) (*JoinResult, error) {
 
 	// Step 1: base sets (retried under the mediator's policy; the join
 	// cannot proceed without them).
-	lbres := fetchOne(context.Background(), ls, spec.LeftQuery, m.cfg.Retry)
+	lbres := fetchOne(ctx, ls, spec.LeftQuery, m.cfg.Retry)
 	if lbres.err != nil {
 		return nil, fmt.Errorf("core: left base query: %w", lbres.err)
 	}
 	lbase := lbres.rows
-	rbres := fetchOne(context.Background(), rsrc, spec.RightQuery, m.cfg.Retry)
+	rbres := fetchOne(ctx, rsrc, spec.RightQuery, m.cfg.Retry)
 	if rbres.err != nil {
 		return nil, fmt.Errorf("core: right base query: %w", rbres.err)
 	}
@@ -142,7 +149,7 @@ func (m *Mediator) QueryJoin(spec JoinSpec) (*JoinResult, error) {
 				sr.answers = append(sr.answers, Answer{Tuple: t, Certain: true, Confidence: 1, FromQuery: u.query})
 			}
 		} else {
-			fres := fetchOne(context.Background(), src, u.query, m.cfg.Retry)
+			fres := fetchOne(ctx, src, u.query, m.cfg.Retry)
 			if fres.err != nil {
 				// A component that stays unfetchable after retries degrades
 				// the join rather than failing it.

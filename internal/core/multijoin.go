@@ -58,6 +58,13 @@ type ChainResult struct {
 // with a hash join per adjacency, predicting missing join values with the
 // NBC predictors.
 func (m *Mediator) QueryJoinChain(spec ChainSpec) (*ChainResult, error) {
+	//lint:allow ctxflow audited root: context-free convenience wrapper over QueryJoinChainCtx
+	return m.QueryJoinChainCtx(context.Background(), spec)
+}
+
+// QueryJoinChainCtx is QueryJoinChain under a caller-supplied context:
+// cancelling ctx aborts in-flight source attempts and retry backoffs.
+func (m *Mediator) QueryJoinChainCtx(ctx context.Context, spec ChainSpec) (*ChainResult, error) {
 	n := len(spec.Sources)
 	if n < 2 {
 		return nil, fmt.Errorf("core: chain join needs at least 2 sources, got %d", n)
@@ -80,7 +87,7 @@ func (m *Mediator) QueryJoinChain(spec ChainSpec) (*ChainResult, error) {
 		if k == nil {
 			return nil, fmt.Errorf("core: no knowledge for source %q", name)
 		}
-		bres := fetchOne(context.Background(), src, spec.Queries[i], m.cfg.Retry)
+		bres := fetchOne(ctx, src, spec.Queries[i], m.cfg.Retry)
 		if bres.err != nil {
 			return nil, fmt.Errorf("core: base query on %q: %w", name, bres.err)
 		}
@@ -138,7 +145,7 @@ func (m *Mediator) QueryJoinChain(spec ChainSpec) (*ChainResult, error) {
 		sort.Strings(keys)
 		for _, key := range keys {
 			rq := selected[i][key]
-			fres := fetchOne(context.Background(), sides[i].src, rq.Query, m.cfg.Retry)
+			fres := fetchOne(ctx, sides[i].src, rq.Query, m.cfg.Retry)
 			if fres.err != nil {
 				res.Degraded = true
 				continue

@@ -135,7 +135,9 @@ func jitterSeed(seed int64, queryKey string) int64 {
 }
 
 // fetchAll issues the queries against the source, at most parallel at a
-// time (sequential when parallel <= 1), each under the retry policy.
+// time (sequential when parallel <= 1), each under the retry policy and
+// the caller's context — cancelling ctx stops in-flight attempts and
+// retry backoffs promptly.
 // Results are positional so callers process them in the original precision
 // order regardless of completion order.
 //
@@ -151,7 +153,7 @@ func jitterSeed(seed int64, queryKey string) int64 {
 // Note: when retries race with successors' admissions (faults + budget +
 // parallel combined), which attempt consumes the last budget slot is
 // scheduling-dependent; fault decisions themselves stay deterministic.
-func fetchAll(src queryable, queries []relation.Query, parallel int, pol RetryPolicy) []fetchResult {
+func fetchAll(ctx context.Context, src queryable, queries []relation.Query, parallel int, pol RetryPolicy) []fetchResult {
 	results := make([]fetchResult, len(queries))
 	if parallel <= 1 || len(queries) <= 1 {
 		budgetOut := false
@@ -160,7 +162,7 @@ func fetchAll(src queryable, queries []relation.Query, parallel int, pol RetryPo
 				results[i] = fetchResult{err: errSkippedBudget}
 				continue
 			}
-			results[i] = fetchOne(context.Background(), src, q, pol)
+			results[i] = fetchOne(ctx, src, q, pol)
 			if errors.Is(results[i].err, source.ErrQueryBudget) {
 				budgetOut = true
 			}
@@ -194,8 +196,8 @@ func fetchAll(src queryable, queries []relation.Query, parallel int, pol RetryPo
 				results[i] = fetchResult{err: errSkippedBudget}
 				return
 			}
-			ctx := source.WithAdmitSignal(context.Background(), open)
-			results[i] = fetchOne(ctx, src, q, pol)
+			qctx := source.WithAdmitSignal(ctx, open)
+			results[i] = fetchOne(qctx, src, q, pol)
 			if errors.Is(results[i].err, source.ErrQueryBudget) {
 				budgetOut.Store(true)
 			}

@@ -21,7 +21,14 @@ import (
 // Tuples with more than one null over the constrained attributes are
 // reported in ResultSet.Unranked, after the ranked answers.
 func (m *Mediator) QuerySelect(srcName string, q relation.Query) (*ResultSet, error) {
-	return m.QuerySelectWith(m.cfg, srcName, q)
+	//lint:allow ctxflow audited root: context-free convenience wrapper over QuerySelectCtx
+	return m.QuerySelectCtx(context.Background(), srcName, q)
+}
+
+// QuerySelectCtx is QuerySelect under a caller-supplied context: cancelling
+// ctx aborts in-flight source attempts and retry backoffs promptly.
+func (m *Mediator) QuerySelectCtx(ctx context.Context, srcName string, q relation.Query) (*ResultSet, error) {
+	return m.QuerySelectWithCtx(ctx, m.cfg, srcName, q)
 }
 
 // QuerySelectWith is QuerySelect under an explicit per-call configuration.
@@ -37,12 +44,24 @@ func (m *Mediator) QuerySelect(srcName string, q relation.Query) (*ResultSet, er
 // immediately — a later retry gets a chance at the complete answer set.
 // cfg.NoCache bypasses the cache for this call only.
 func (m *Mediator) QuerySelectWith(cfg Config, srcName string, q relation.Query) (*ResultSet, error) {
+	//lint:allow ctxflow audited root: context-free convenience wrapper over QuerySelectWithCtx
+	return m.QuerySelectWithCtx(context.Background(), cfg, srcName, q)
+}
+
+// QuerySelectWithCtx is QuerySelectWith under a caller-supplied context.
+//
+// Cache caveat: when concurrent identical misses are collapsed, the whole
+// pipeline runs under the *leader's* context. A follower that cancels its
+// own ctx still receives the leader's result; if the leader cancels, every
+// collapsed caller sees the leader's cancellation error (and the degraded
+// entry is evicted, so a retry starts fresh).
+func (m *Mediator) QuerySelectWithCtx(ctx context.Context, cfg Config, srcName string, q relation.Query) (*ResultSet, error) {
 	if m.cache == nil || cfg.NoCache {
-		return m.querySelectUncached(cfg, srcName, q)
+		return m.querySelectUncached(ctx, cfg, srcName, q)
 	}
 	key := answerKey(srcName, q, cfg)
 	v, err := m.cache.Do(key, func() (any, error) {
-		return m.querySelectUncached(cfg, srcName, q)
+		return m.querySelectUncached(ctx, cfg, srcName, q)
 	})
 	if err != nil {
 		return nil, err
@@ -78,7 +97,7 @@ func (rs *ResultSet) clone() *ResultSet {
 }
 
 // querySelectUncached runs the full selection pipeline against the source.
-func (m *Mediator) querySelectUncached(cfg Config, srcName string, q relation.Query) (*ResultSet, error) {
+func (m *Mediator) querySelectUncached(ctx context.Context, cfg Config, srcName string, q relation.Query) (*ResultSet, error) {
 	src, ok := m.sources[srcName]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", srcName)
@@ -90,7 +109,7 @@ func (m *Mediator) querySelectUncached(cfg Config, srcName string, q relation.Qu
 
 	// Step 1: certain answers. The base query is retried like any other;
 	// without it there is nothing to rewrite from, so failure is fatal.
-	bres := fetchOne(context.Background(), src, q, cfg.Retry)
+	bres := fetchOne(ctx, src, q, cfg.Retry)
 	if bres.err != nil {
 		return nil, fmt.Errorf("core: base query: %w", bres.err)
 	}
@@ -117,7 +136,7 @@ func (m *Mediator) querySelectUncached(cfg Config, srcName string, q relation.Qu
 	}
 	constrained := q.ConstrainedAttrs()
 	issueQs := issueQueries(src, chosen)
-	results := fetchAll(src, issueQs, cfg.Parallel, cfg.Retry)
+	results := fetchAll(ctx, src, issueQs, cfg.Parallel, cfg.Retry)
 	for i, rq := range chosen {
 		foldRewriteResult(rs, src.Schema(), constrained, seen, rq, results[i])
 	}

@@ -1,0 +1,59 @@
+package httpapi
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qpiad/internal/afd"
+	"qpiad/internal/core"
+	"qpiad/internal/datagen"
+	"qpiad/internal/faults"
+	"qpiad/internal/nbc"
+	"qpiad/internal/source"
+)
+
+// TestQueryHandlerHonorsRequestContext verifies the batch /query handler
+// threads r.Context() into the mediator: when the client goes away, the
+// handler must stop retrying the flaky source and return promptly instead
+// of running out a multi-second backoff schedule.
+func TestQueryHandlerHonorsRequestContext(t *testing.T) {
+	gd := datagen.Cars(2000, 1)
+	ed, _ := datagen.MakeIncomplete(gd, 0.10, 2)
+	src := source.New("cars", ed, source.Capabilities{})
+	src.SetFaults(faults.New(faults.Profile{Seed: 1, FailFirstAttempts: 1000}))
+	smpl := ed.Sample(400, rand.New(rand.NewSource(3)))
+	k, err := core.MineKnowledge("cars", smpl,
+		float64(ed.Len())/float64(smpl.Len()), smpl.IncompleteFraction(),
+		core.KnowledgeConfig{AFD: afd.Config{MinSupport: 5}, Predictor: nbc.PredictorConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := core.New(core.Config{Alpha: 0, K: 5, Retry: core.RetryPolicy{
+		MaxAttempts: 200,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+	}})
+	med.Register(src, k)
+	h := New(med)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest("POST", "/query",
+		strings.NewReader(`{"sql": "SELECT * FROM cars WHERE body_style = 'Convt'"}`)).
+		WithContext(ctx)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	h.ServeHTTP(rec, req)
+	elapsed := time.Since(start)
+	// The uncancelled schedule is 200 attempts × 50ms ≈ 10s per query.
+	if elapsed > 2*time.Second {
+		t.Fatalf("handler ignored request cancellation: ran %v", elapsed)
+	}
+	if rec.Code == 200 {
+		t.Errorf("expected an error status from the aborted query, got 200")
+	}
+}

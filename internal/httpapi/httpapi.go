@@ -333,7 +333,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if st.Query.Agg != nil {
-		ans, err := s.med.QueryAggregateWith(cfg, srcName, st.Query, core.AggOptions{
+		ans, err := s.med.QueryAggregateWithCtx(r.Context(), cfg, srcName, st.Query, core.AggOptions{
 			IncludePossible: true,
 			PredictMissing:  true,
 			Rule:            core.RuleArgmax,
@@ -357,7 +357,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rs, err := s.med.QuerySelectWith(cfg, srcName, st.Query)
+	rs, err := s.med.QuerySelectWithCtx(r.Context(), cfg, srcName, st.Query)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return

@@ -285,6 +285,7 @@ func signalAdmit(ctx context.Context) {
 // copies of the matching tuples (the "transferred" rows). It is QueryCtx
 // without deadline or cancellation.
 func (s *Source) Query(q relation.Query) ([]relation.Tuple, error) {
+	//lint:allow ctxflow audited root: context-free convenience wrapper over QueryCtx
 	return s.QueryCtx(context.Background(), q)
 }
 

@@ -385,6 +385,12 @@ func (s *System) Query(sourceName string, q Query) (*ResultSet, error) {
 	return s.med.QuerySelect(sourceName, q)
 }
 
+// QueryCtx is Query under a caller-supplied context: cancelling ctx aborts
+// in-flight source attempts and retry backoffs promptly.
+func (s *System) QueryCtx(ctx context.Context, sourceName string, q Query) (*ResultSet, error) {
+	return s.med.QuerySelectCtx(ctx, sourceName, q)
+}
+
 // QueryStream runs the QPIAD selection algorithm as a stream: certain
 // answers are delivered as soon as the base query returns, possible answers
 // incrementally in rank order as each rewritten query completes, and a final
