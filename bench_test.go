@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"qpiad/internal/afd"
+	"qpiad/internal/breaker"
 	"qpiad/internal/core"
 	"qpiad/internal/datagen"
 	"qpiad/internal/experiments"
@@ -212,6 +213,58 @@ func BenchmarkResilientFetch(b *testing.B) {
 		if len(rs.Certain) == 0 {
 			b.Fatal("no answers")
 		}
+	}
+}
+
+// BenchmarkBreakerFlap measures admission control against a flapping
+// source (2 queries served, then 8 failed, repeating): the retry-only
+// mediator pays the full retry budget for every planned rewrite of every
+// down-window query, while the breaker variant trips during the first down
+// window and sheds the rest at admission. queries/op is actual source
+// queries consumed per user query — the paper's first-class cost metric —
+// and the breaker variant should come in well over 5x lower.
+func BenchmarkBreakerFlap(b *testing.B) {
+	ed := benchSample(8000)
+	k := benchKnowledge(b, ed)
+	q := relation.NewQuery("cars", relation.Eq("body_style", relation.String("Convt")))
+	for _, variant := range []struct {
+		name    string
+		breaker *breaker.Config
+	}{
+		{"retry-only", nil},
+		{"breaker", &breaker.Config{
+			Window: 16, MinSamples: 8, ConsecutiveFailures: 3,
+			// Real but short open window: circuits re-probe during the run
+			// instead of staying open forever, so recovery cost is included.
+			OpenTimeout: 500 * time.Microsecond,
+		}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			med := core.New(core.Config{
+				Alpha: 0, K: 10, NoCache: true,
+				Retry: core.RetryPolicy{
+					MaxAttempts: 3,
+					BaseBackoff: 20 * time.Microsecond,
+					MaxBackoff:  200 * time.Microsecond,
+				},
+				Breaker: variant.breaker,
+			})
+			src := source.New("cars", ed, source.Capabilities{})
+			src.SetFaults(faults.New(faults.Profile{Seed: 1, FlapUp: 2, FlapDown: 8}))
+			med.Register(src, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Down-window failures and open-circuit rejections are the
+				// point of the workload, not benchmark errors.
+				_, _ = med.QuerySelect("cars", q)
+			}
+			b.StopTimer()
+			st := src.Stats()
+			b.ReportMetric(float64(st.Queries)/float64(b.N), "queries/op")
+			b.ReportMetric(float64(st.Retries)/float64(b.N), "retries/op")
+			b.ReportMetric(float64(st.BreakerRejected)/float64(b.N), "rejected/op")
+		})
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"net/http"
 
 	"qpiad/internal/afd"
+	"qpiad/internal/breaker"
 	"qpiad/internal/core"
 	"qpiad/internal/datagen"
 	"qpiad/internal/faults"
@@ -59,14 +60,28 @@ func main() {
 		timeoutRate = flag.Float64("timeout-rate", 0, "injected timeout rate per query attempt")
 		jitter      = flag.Duration("latency-jitter", 0, "injected per-query latency jitter upper bound")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
+		flapUp      = flag.Int("flap-up", 0, "scripted flap: queries served before each down window")
+		flapDown    = flag.Int("flap-down", 0, "scripted flap: queries failed per down window (0 = no flapping)")
 		retries     = flag.Int("retries", 0, "max attempts per query (0 = default of 3)")
 		attemptTO   = flag.Duration("attempt-timeout", 0, "per-attempt deadline (0 = none)")
+
+		useBreaker = flag.Bool("breaker", false, "attach per-source circuit breakers (open circuits skip planned rewrites)")
+		hedge      = flag.Bool("hedge", false, "hedge slow source queries once the attempt outlives the observed p95 (needs -breaker)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "answer-cache freshness bound (0 = never expires)")
+		staleTTL   = flag.Duration("stale-ttl", 0, "serve cached answers up to this old, flagged stale, when the circuit is open (0 = off)")
 	)
 	flag.Parse()
 
 	ccfg := core.Config{
 		Alpha: *alpha, K: *k, Parallel: *parallel, TopN: *top,
-		Retry: core.RetryPolicy{MaxAttempts: *retries, AttemptTimeout: *attemptTO},
+		Retry:    core.RetryPolicy{MaxAttempts: *retries, AttemptTimeout: *attemptTO},
+		CacheTTL: *cacheTTL, StaleTTL: *staleTTL,
+	}
+	if *useBreaker {
+		ccfg.Breaker = &breaker.Config{}
+	}
+	if *hedge {
+		ccfg.Retry.Hedge = core.HedgePolicy{Enabled: true}
 	}
 	if *noCache {
 		ccfg.NoCache = true
@@ -81,6 +96,8 @@ func main() {
 		TransientRate: *errRate,
 		TimeoutRate:   *timeoutRate,
 		LatencyJitter: *jitter,
+		FlapUp:        *flapUp,
+		FlapDown:      *flapDown,
 	}
 	if profile.Enabled() {
 		for _, name := range med.SourceNames() {

@@ -61,8 +61,15 @@ func main() {
 		errRate     = flag.Float64("error-rate", 0, "injected transient-error rate per query attempt (deterministic per -fault-seed)")
 		timeoutRate = flag.Float64("timeout-rate", 0, "injected timeout rate per query attempt")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for deterministic fault injection")
+		flapUp      = flag.Int("flap-up", 0, "scripted flap: queries served before each down window")
+		flapDown    = flag.Int("flap-down", 0, "scripted flap: queries failed per down window (0 = no flapping)")
 		retries     = flag.Int("retries", 0, "max attempts per query (0 = default of 3)")
 		attemptTO   = flag.Duration("attempt-timeout", 0, "per-attempt deadline (0 = none)")
+
+		useBreaker = flag.Bool("breaker", false, "attach per-source circuit breakers (open circuits skip planned rewrites)")
+		hedge      = flag.Bool("hedge", false, "hedge slow source queries once the attempt outlives the observed p95 (needs -breaker)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "answer-cache freshness bound (0 = never expires)")
+		staleTTL   = flag.Duration("stale-ttl", 0, "serve cached answers up to this old, flagged stale, when the circuit is open (0 = off)")
 	)
 	flag.Parse()
 
@@ -75,8 +82,18 @@ func main() {
 			Seed:          *faultSeed,
 			TransientRate: *errRate,
 			TimeoutRate:   *timeoutRate,
+			FlapUp:        *flapUp,
+			FlapDown:      *flapDown,
 		},
-		retry: qpiad.RetryPolicy{MaxAttempts: *retries, AttemptTimeout: *attemptTO},
+		retry:    qpiad.RetryPolicy{MaxAttempts: *retries, AttemptTimeout: *attemptTO},
+		cacheTTL: *cacheTTL,
+		staleTTL: *staleTTL,
+	}
+	if *useBreaker {
+		res.breaker = &qpiad.BreakerConfig{}
+	}
+	if *hedge {
+		res.retry.Hedge = qpiad.HedgePolicy{Enabled: true}
 	}
 
 	if *stream {
@@ -104,7 +121,7 @@ func main() {
 	}
 }
 
-// resilience bundles the fault-injection, retry and performance knobs.
+// resilience bundles the fault-injection, retry and admission-control knobs.
 type resilience struct {
 	stats       bool
 	mineWorkers int
@@ -112,6 +129,9 @@ type resilience struct {
 	topN        int
 	faults      qpiad.FaultProfile
 	retry       qpiad.RetryPolicy
+	breaker     *qpiad.BreakerConfig
+	cacheTTL    time.Duration
+	staleTTL    time.Duration
 }
 
 // setup builds the learned system over a loaded or generated database.
@@ -134,6 +154,7 @@ func setup(csvPath string, n int, seed int64, incmp, smplFrac, alpha float64, k 
 	sys := qpiad.New(qpiad.Config{
 		Alpha: alpha, K: k, Retry: res.retry,
 		MineWorkers: res.mineWorkers, NoCache: res.noCache, TopN: res.topN,
+		Breaker: res.breaker, CacheTTL: res.cacheTTL, StaleTTL: res.staleTTL,
 	})
 	if err := sys.AddSource("db", db, qpiad.Capabilities{}); err != nil {
 		return nil, nil, err
@@ -199,6 +220,9 @@ func run(csvPath string, n int, seed int64, incmp, smplFrac float64, attr, value
 	if err != nil {
 		return err
 	}
+	if rs.Stale {
+		fmt.Printf("NOTE: circuit open — serving STALE cached answers (age %v)\n", rs.StaleAge.Round(time.Millisecond))
+	}
 	if stmt != nil {
 		if len(stmt.Order) > 0 {
 			cmp, err := stmt.Comparator(db.Schema)
@@ -243,6 +267,9 @@ func run(csvPath string, n int, seed int64, incmp, smplFrac float64, attr, value
 			continue
 		}
 		fmt.Printf("  %-60s precision=%.3f estSel=%.1f F=%.3f\n", rq.Query, rq.Precision, rq.EstSel, rq.F)
+	}
+	if rs.EstSavedTuples > 0 {
+		fmt.Printf("open-circuit skips saved ~%.0f tuples of transfer\n", rs.EstSavedTuples)
 	}
 	if rs.Degraded {
 		fmt.Println("\nWARNING: result degraded — some rewrites failed; possible answers may be incomplete")
@@ -318,6 +345,9 @@ func runStream(csvPath string, n int, seed int64, incmp, smplFrac float64, attr,
 				case ev.Unranked:
 					tag = "unranked"
 				}
+				if ev.Stale {
+					tag += " STALE"
+				}
 				fmt.Printf("  [%s %.3f] %s\n", tag, ev.Answer.Confidence, ev.Answer.Tuple)
 				if explain && !ev.Answer.Certain && ev.Answer.Explanation != "" {
 					fmt.Printf("          because: %s\n", ev.Answer.Explanation)
@@ -355,6 +385,9 @@ func runStream(csvPath string, n int, seed int64, incmp, smplFrac float64, attr,
 		fmt.Printf("early stop: %d rewrites skipped, %d cancelled, ~%.0f tuples not transferred\n",
 			sum.SkippedRewrites, sum.CancelledRewrites, sum.EstSavedTuples)
 	}
+	if rs.Stale {
+		fmt.Printf("NOTE: circuit open — served STALE cached answers (age %v)\n", rs.StaleAge.Round(time.Millisecond))
+	}
 	if rs.Degraded {
 		fmt.Println("WARNING: result degraded — some rewrites failed; possible answers may be incomplete")
 	}
@@ -374,17 +407,25 @@ func printMetrics(sys *qpiad.System, name string) {
 		return
 	}
 	fmt.Printf("\nsource metrics (%s):\n", name)
-	fmt.Printf("  queries=%d retries=%d errors=%d rejected=%d tuples=%d\n",
-		mt.Queries, mt.Retries, mt.Errors, mt.Rejected, mt.TuplesReturned)
+	fmt.Printf("  queries=%d retries=%d hedged=%d errors=%d rejected=%d breaker-rejected=%d tuples=%d\n",
+		mt.Queries, mt.Retries, mt.Hedged, mt.Errors, mt.Rejected, mt.BreakerRejected, mt.TuplesReturned)
 	fmt.Printf("  latency: n=%d p50<=%v p90<=%v p99<=%v\n",
 		mt.Latency.Count, mt.Latency.Percentile(0.50), mt.Latency.Percentile(0.90), mt.Latency.Percentile(0.99))
+	if bs, ok := sys.BreakerSnapshot(name); ok {
+		fmt.Printf("  breaker: state=%s health=%.3f window-fail=%.2f trips=%d rejections=%d probes=%d\n",
+			bs.State, bs.Health, bs.WindowFailRate, bs.Trips, bs.Rejections, bs.Probes)
+		fmt.Printf("  hedging: launched=%d wins=%d losses=%d (p95<=%v)\n",
+			bs.HedgesLaunched, bs.HedgeWins, bs.HedgeLosses, bs.P95)
+	}
 	if fs, ok := sys.FaultStats(name); ok {
-		fmt.Printf("  faults dealt: %d transient, %d timeout, %d truncation (%d decisions)\n",
-			fs.Transients, fs.Timeouts, fs.Truncations, fs.Decisions)
+		fmt.Printf("  faults dealt: %d transient (%d flap), %d timeout, %d truncation (%d decisions)\n",
+			fs.Transients, fs.FlapFailures, fs.Timeouts, fs.Truncations, fs.Decisions)
 	}
 	cs := sys.CacheStats()
 	fmt.Printf("  answer cache: %d hits, %d misses, %d evictions, %d coalesced (%d entries)\n",
 		cs.Hits, cs.Misses, cs.Evictions, cs.Coalesced, cs.Entries)
+	fmt.Printf("  staleness: %d expired, %d stale hits, %d stale answers served\n",
+		cs.Expired, cs.StaleHits, sys.StaleServed())
 }
 
 // repl reads SQL statements line by line and executes each against the

@@ -33,6 +33,7 @@ var MiningPackages = []string{
 	"internal/bayesnet",
 	"internal/selectivity",
 	"internal/core",
+	"internal/breaker",
 }
 
 // Analyzer is the nodeterm pass.

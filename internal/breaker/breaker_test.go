@@ -1,0 +1,374 @@
+package breaker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a settable test clock.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Unix(0, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testConfig(clk *manualClock) Config {
+	return Config{
+		Window:              8,
+		TripRate:            0.5,
+		MinSamples:          4,
+		ConsecutiveFailures: 3,
+		OpenTimeout:         100 * time.Millisecond,
+		HalfOpenProbes:      1,
+		CloseAfter:          2,
+		Clock:               clk.Now,
+	}
+}
+
+// settle admits one call and observes the outcome, failing the test when
+// admission is refused.
+func settle(t *testing.T, b *Breaker, lat time.Duration, class Class) {
+	t.Helper()
+	c, err := b.Allow()
+	if err != nil {
+		t.Fatalf("Allow: unexpected rejection in state %v: %v", b.State(), err)
+	}
+	c.Observe(lat, class)
+}
+
+func TestConsecutiveFailuresTrip(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk))
+	settle(t, b, time.Millisecond, ClassSuccess)
+	for i := 0; i < 3; i++ {
+		if got := b.State(); got != StateClosed {
+			t.Fatalf("state before failure %d = %v, want closed", i, got)
+		}
+		settle(t, b, time.Millisecond, ClassFailure)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", got)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow while open: err = %v, want ErrOpen", err)
+	}
+	snap := b.Snapshot()
+	if snap.Trips != 1 || snap.Rejections != 1 {
+		t.Fatalf("snapshot = %+v, want Trips=1 Rejections=1", snap)
+	}
+}
+
+func TestWindowRateTrip(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk))
+	// Alternate success/failure: consec never reaches 3, but the window
+	// fill reaches MinSamples=4 at 50% failures >= TripRate.
+	settle(t, b, time.Millisecond, ClassSuccess)
+	settle(t, b, time.Millisecond, ClassFailure)
+	settle(t, b, time.Millisecond, ClassSuccess)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state with 3 samples = %v, want closed", got)
+	}
+	settle(t, b, time.Millisecond, ClassFailure)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state at 2/4 failures = %v, want open", got)
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	clk := newManualClock()
+	cfg := testConfig(clk)
+	cfg.ConsecutiveFailures = 100 // only the window can trip
+	b := New("s", cfg)
+	// Fill the 8-slot window with successes, then old failures must age out:
+	// 3 failures in a full window of 8 = 37.5% < 50%, stays closed.
+	for i := 0; i < 8; i++ {
+		settle(t, b, time.Millisecond, ClassSuccess)
+	}
+	for i := 0; i < 3; i++ {
+		settle(t, b, time.Millisecond, ClassFailure)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state at 3/8 failures = %v, want closed", got)
+	}
+	settle(t, b, time.Millisecond, ClassFailure)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state at 4/8 failures = %v, want open", got)
+	}
+}
+
+func TestHalfOpenProbeAndClose(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk))
+	for i := 0; i < 3; i++ {
+		settle(t, b, time.Millisecond, ClassFailure)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	// Not yet aged out.
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow before OpenTimeout: err = %v, want ErrOpen", err)
+	}
+	clk.Advance(100 * time.Millisecond)
+	// First admitted call is a probe; a second concurrent one is rejected.
+	probe, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe Allow: %v", err)
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second probe Allow: err = %v, want ErrOpen (probes busy)", err)
+	}
+	probe.Observe(time.Millisecond, ClassSuccess)
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %v, want half-open", got)
+	}
+	settle(t, b, time.Millisecond, ClassSuccess)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after CloseAfter probe successes = %v, want closed", got)
+	}
+	// The window restarts clean: one failure must not re-trip.
+	settle(t, b, time.Millisecond, ClassFailure)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after close + 1 failure = %v, want closed", got)
+	}
+}
+
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk))
+	for i := 0; i < 3; i++ {
+		settle(t, b, time.Millisecond, ClassFailure)
+	}
+	clk.Advance(100 * time.Millisecond)
+	probe, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe Allow: %v", err)
+	}
+	probe.Observe(time.Millisecond, ClassFailure)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// Open period restarts from the probe failure.
+	clk.Advance(50 * time.Millisecond)
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow 50ms after reopen: err = %v, want ErrOpen", err)
+	}
+	snap := b.Snapshot()
+	if snap.Trips != 2 || snap.ProbeFailures != 1 {
+		t.Fatalf("snapshot = %+v, want Trips=2 ProbeFailures=1", snap)
+	}
+}
+
+func TestNeutralOutcomesDoNotTrip(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk))
+	for i := 0; i < 20; i++ {
+		settle(t, b, time.Millisecond, ClassNeutral)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 20 neutrals = %v, want closed", got)
+	}
+	snap := b.Snapshot()
+	if snap.Neutrals != 20 || snap.Failures != 0 || snap.WindowFailRate != 0 {
+		t.Fatalf("snapshot = %+v, want 20 neutrals, no failures", snap)
+	}
+	if h := b.Health(); h != 1 {
+		t.Fatalf("health after neutrals only = %v, want 1 (no evidence)", h)
+	}
+	// A neutral probe must release the probe slot without closing/reopening.
+	for i := 0; i < 3; i++ {
+		settle(t, b, time.Millisecond, ClassFailure)
+	}
+	clk.Advance(100 * time.Millisecond)
+	probe, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe Allow: %v", err)
+	}
+	probe.Observe(0, ClassNeutral)
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after neutral probe = %v, want half-open", got)
+	}
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("probe slot not released after neutral observe: %v", err)
+	}
+}
+
+func TestObserveIdempotentAndNilSafe(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk))
+	c, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Observe(time.Millisecond, ClassFailure)
+	c.Observe(time.Millisecond, ClassFailure) // double-settle: no-op
+	c.Observe(time.Millisecond, ClassSuccess)
+	snap := b.Snapshot()
+	if snap.Failures != 1 || snap.Successes != 0 {
+		t.Fatalf("snapshot = %+v, want exactly 1 failure", snap)
+	}
+	var nilCall *Call
+	nilCall.Observe(time.Millisecond, ClassSuccess) // must not panic
+}
+
+func TestHealthDegradesWithFailures(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk))
+	settle(t, b, time.Millisecond, ClassSuccess)
+	healthy := b.Health()
+	if healthy != 1 {
+		t.Fatalf("health after one success = %v, want 1", healthy)
+	}
+	settle(t, b, time.Millisecond, ClassFailure)
+	settle(t, b, time.Millisecond, ClassFailure)
+	if h := b.Health(); h >= healthy {
+		t.Fatalf("health after failures = %v, want < %v", h, healthy)
+	}
+}
+
+func TestHealthPenalizesLatencyRegression(t *testing.T) {
+	clk := newManualClock()
+	cfg := testConfig(clk)
+	cfg.ConsecutiveFailures = 1000
+	cfg.TripRate = 1.1 // never trip; isolate the latency signal
+	b := New("s", cfg)
+	for i := 0; i < 50; i++ {
+		settle(t, b, time.Millisecond, ClassSuccess)
+	}
+	fast := b.Health()
+	for i := 0; i < 10; i++ {
+		settle(t, b, 100*time.Millisecond, ClassSuccess)
+	}
+	slow := b.Health()
+	if slow >= fast {
+		t.Fatalf("health after latency regression = %v, want < %v", slow, fast)
+	}
+}
+
+func TestHedgeDelay(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk)) // MinSamples = 4
+	if d := b.HedgeDelay(0, 0); d != 0 {
+		t.Fatalf("cold HedgeDelay = %v, want 0", d)
+	}
+	for i := 0; i < 10; i++ {
+		settle(t, b, 3*time.Millisecond, ClassSuccess)
+	}
+	d := b.HedgeDelay(0, 0)
+	// p95 of uniform ~3ms observations lands in the bucket bounded above
+	// 3ms; the histogram over-estimates by at most one bucket width.
+	if d < 3*time.Millisecond || d > 8*time.Millisecond {
+		t.Fatalf("HedgeDelay = %v, want within (3ms, 8ms]", d)
+	}
+	if got := b.HedgeDelay(10*time.Millisecond, 0); got != 10*time.Millisecond {
+		t.Fatalf("HedgeDelay with min clamp = %v, want 10ms", got)
+	}
+	if got := b.HedgeDelay(0, time.Millisecond); got != time.Millisecond {
+		t.Fatalf("HedgeDelay with max clamp = %v, want 1ms", got)
+	}
+}
+
+func TestRecordHedge(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk))
+	b.RecordHedge(true)
+	b.RecordHedge(false)
+	b.RecordHedge(false)
+	snap := b.Snapshot()
+	if snap.HedgesLaunched != 3 || snap.HedgeWins != 1 || snap.HedgeLosses != 2 {
+		t.Fatalf("snapshot = %+v, want 3 launched / 1 win / 2 losses", snap)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{
+		StateClosed:   "closed",
+		StateOpen:     "open",
+		StateHalfOpen: "half-open",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestDefaultsResolved(t *testing.T) {
+	b := New("s", Config{})
+	if b.cfg.Window != 16 || b.cfg.TripRate != 0.5 || b.cfg.MinSamples != 8 ||
+		b.cfg.ConsecutiveFailures != 5 || b.cfg.OpenTimeout != 500*time.Millisecond ||
+		b.cfg.HalfOpenProbes != 1 || b.cfg.CloseAfter != 2 || b.cfg.Alpha != 0.2 ||
+		b.cfg.Clock == nil {
+		t.Fatalf("defaults not resolved: %+v", b.cfg)
+	}
+}
+
+// TestConcurrentUse hammers the breaker from many goroutines under -race.
+func TestConcurrentUse(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c, err := b.Allow()
+				if err != nil {
+					clk.Advance(time.Millisecond)
+					continue
+				}
+				class := ClassSuccess
+				if (g+i)%3 == 0 {
+					class = ClassFailure
+				}
+				c.Observe(time.Duration(i%5)*time.Millisecond, class)
+				_ = b.Health()
+				_ = b.Snapshot()
+				b.RecordHedge(i%2 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := b.Snapshot()
+	if snap.Successes+snap.Failures+snap.Rejections == 0 {
+		t.Fatal("no outcomes recorded")
+	}
+}
+
+func TestErrOpenWrapping(t *testing.T) {
+	clk := newManualClock()
+	b := New("db", testConfig(clk))
+	for i := 0; i < 3; i++ {
+		settle(t, b, time.Millisecond, ClassFailure)
+	}
+	_, err := b.Allow()
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want wraps ErrOpen", err)
+	}
+	if want := fmt.Sprintf("breaker %s", "db"); err == nil || len(err.Error()) == 0 {
+		t.Fatalf("error should carry the source name %q: %v", want, err)
+	}
+}

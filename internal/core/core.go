@@ -24,8 +24,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"qpiad/internal/afd"
+	"qpiad/internal/breaker"
 	"qpiad/internal/nbc"
 	"qpiad/internal/qcache"
 	"qpiad/internal/relation"
@@ -101,6 +104,26 @@ type Config struct {
 	// default (1024); negative disables the cache entirely — unlike NoCache
 	// this also turns off singleflight collapsing of concurrent duplicates.
 	CacheSize int
+	// Breaker, when non-nil, attaches a per-source circuit breaker with
+	// this configuration to every registered source: open circuits reject
+	// queries at admission (no budget consumed), remaining plan rewrites
+	// are skipped with their selectivity accounted as saved tuples, and
+	// every attempt outcome feeds the source's health score. nil disables
+	// admission control entirely.
+	Breaker *breaker.Config
+	// CacheTTL bounds how long a cached answer counts as fresh (qcache
+	// FreshTTL). 0 means cached answers never expire — the pre-TTL
+	// behavior. Entries past CacheTTL are recomputed on access but remain
+	// readable by the stale fallback below.
+	CacheTTL time.Duration
+	// StaleTTL arms the stale-cache fallback: when a source's circuit
+	// breaker rejects the base query, the mediator serves the last cached
+	// answer up to StaleTTL old, marked ResultSet.Stale, instead of
+	// failing. 0 disables the fallback (open circuits fail the query).
+	StaleTTL time.Duration
+	// Clock injects the time base for the answer cache's TTLs and newly
+	// attached breakers (deterministic tests). nil means the wall clock.
+	Clock func() time.Time
 }
 
 // DefaultConfig matches the paper's experimental defaults (α = 0, K = 10).
@@ -276,6 +299,17 @@ type ResultSet struct {
 	// skipped: the answer set is complete over the queries that succeeded
 	// but may be missing possible answers (see Issued for which and why).
 	Degraded bool
+	// Stale reports the result was served from the answer cache past its
+	// freshness bound because the source's circuit breaker was open (the
+	// stale-cache fallback). The answer sections are byte-identical to the
+	// cached entry; StaleAge is how old it was when served.
+	Stale    bool
+	StaleAge time.Duration
+	// EstSavedTuples estimates the tuples not transferred because rewrites
+	// were rejected or skipped while the source's circuit was open (the sum
+	// of their selectivity estimates) — the admission-control analogue of
+	// the streaming executor's early-stop savings.
+	EstSavedTuples float64
 }
 
 // Mediator coordinates sources and their mined knowledge.
@@ -287,6 +321,8 @@ type Mediator struct {
 	// config fingerprint) with singleflight collapsing of concurrent
 	// identical queries. nil when Config.CacheSize < 0.
 	cache *qcache.Cache
+	// staleServed counts answers served by the stale-cache fallback.
+	staleServed atomic.Int64
 }
 
 // New creates a mediator.
@@ -304,7 +340,24 @@ func newAnswerCache(cfg Config) *qcache.Cache {
 	if cfg.CacheSize < 0 {
 		return nil
 	}
-	return qcache.New(qcache.Config{Capacity: cfg.CacheSize})
+	return qcache.New(qcache.Config{
+		Capacity: cfg.CacheSize,
+		FreshTTL: cfg.CacheTTL,
+		Clock:    cfg.Clock,
+	})
+}
+
+// newBreaker builds the per-source breaker for cfg, or nil when admission
+// control is disabled.
+func newBreaker(cfg Config, name string) *breaker.Breaker {
+	if cfg.Breaker == nil {
+		return nil
+	}
+	bc := *cfg.Breaker
+	if bc.Clock == nil {
+		bc.Clock = cfg.Clock
+	}
+	return breaker.New(name, bc)
 }
 
 // Config returns the mediator's configuration.
@@ -314,9 +367,14 @@ func (m *Mediator) Config() Config { return m.cfg }
 // user- and source-dependent knobs; see Section 4.1). The answer cache is
 // rebuilt: entries are keyed by config fingerprint so stale reuse cannot
 // happen either way, but a fresh cache also applies a changed CacheSize.
+// Per-source breakers are likewise rebuilt (or detached when cfg.Breaker
+// is nil), starting every source closed with an empty failure window.
 func (m *Mediator) SetConfig(cfg Config) {
 	m.cfg = cfg
 	m.cache = newAnswerCache(cfg)
+	for name, src := range m.sources {
+		src.SetBreaker(newBreaker(cfg, name))
+	}
 }
 
 // Register adds a source with its mined knowledge. Knowledge may be nil for
@@ -332,6 +390,27 @@ func (m *Mediator) Register(src *source.Source, k *Knowledge) {
 	if m.cache != nil {
 		m.cache.DeletePrefix(src.Name() + "\x1e")
 	}
+	if m.cfg.Breaker != nil && src.Breaker() == nil {
+		src.SetBreaker(newBreaker(m.cfg, src.Name()))
+	}
+}
+
+// StaleServed returns the number of answers served by the stale-cache
+// fallback since the mediator was built.
+func (m *Mediator) StaleServed() int64 { return m.staleServed.Load() }
+
+// BreakerSnapshot returns the named source's breaker accounting; ok is
+// false when the source is unknown or carries no breaker.
+func (m *Mediator) BreakerSnapshot(name string) (breaker.Snapshot, bool) {
+	src, found := m.sources[name]
+	if !found {
+		return breaker.Snapshot{}, false
+	}
+	br := src.Breaker()
+	if br == nil {
+		return breaker.Snapshot{}, false
+	}
+	return br.Snapshot(), true
 }
 
 // CacheStats snapshots the answer-cache counters (all zero when the cache

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qpiad/internal/breaker"
 	"qpiad/internal/faults"
 	"qpiad/internal/relation"
 	"qpiad/internal/source"
@@ -38,6 +39,24 @@ type RetryPolicy struct {
 	// JitterSeed seeds the backoff jitter, keyed per query, so sleep
 	// schedules are reproducible run to run.
 	JitterSeed int64
+	// Hedge arms hedged requests on sources guarded by a circuit breaker.
+	Hedge HedgePolicy
+}
+
+// HedgePolicy tunes hedged requests: when an attempt against a
+// breaker-guarded source is still in flight past the source's observed p95
+// service time, a second attempt is raced against it and the first success
+// wins; the loser is cancelled through its context. The hedge leg is
+// tagged (faults.WithHedge) so the source accounts it under Stats.Hedged,
+// and the breaker records wins/losses — source-load numbers stay honest.
+type HedgePolicy struct {
+	// Enabled arms hedging. Sources without a breaker (no p95 signal) are
+	// never hedged.
+	Enabled bool
+	// MinDelay / MaxDelay clamp the p95-derived hedge delay; <= 0 leaves
+	// the corresponding bound unset.
+	MinDelay time.Duration
+	MaxDelay time.Duration
 }
 
 // DefaultRetryPolicy is the resolved zero-value policy.
@@ -75,10 +94,20 @@ type fetchResult struct {
 // that triggered them.
 var errSkippedBudget = fmt.Errorf("core: rewrite not issued: %w", source.ErrQueryBudget)
 
+// errSkippedOpen marks a query the mediator never sent because the source's
+// circuit breaker had already rejected an earlier query in the same plan.
+// errors.Is(err, breaker.ErrOpen) holds, so callers classify skips like the
+// rejection that triggered them, and the skipped rewrites' selectivity
+// estimates are accounted as saved tuples (ResultSet.EstSavedTuples).
+var errSkippedOpen = fmt.Errorf("core: rewrite not issued: %w", breaker.ErrOpen)
+
 // fetchOne issues q with bounded retries: exponential backoff with seeded
 // jitter between attempts, per-attempt and per-query deadlines from the
 // policy. Only retryable errors (transient faults, timeouts) are retried;
-// capability refusals and budget exhaustion return immediately.
+// deterministic refusals — capability rejections (ErrUnsupportedAttr,
+// ErrNullBinding, ErrRangeBinding), budget exhaustion, and open-circuit
+// admission rejections (breaker.ErrOpen) — return immediately: retrying a
+// source that refused on principle only wastes its budget.
 func fetchOne(ctx context.Context, src queryable, q relation.Query, pol RetryPolicy) fetchResult {
 	pol = pol.withDefaults()
 	if pol.QueryDeadline > 0 {
@@ -95,7 +124,7 @@ func fetchOne(ctx context.Context, src queryable, q relation.Query, pol RetryPol
 		if pol.AttemptTimeout > 0 {
 			actx, cancel = context.WithTimeout(actx, pol.AttemptTimeout)
 		}
-		res.rows, res.err = src.QueryCtx(actx, q)
+		res.rows, res.err = attemptQuery(actx, src, q, pol)
 		cancel()
 		if res.err == nil || !faults.Retryable(res.err) ||
 			attempt >= pol.MaxAttempts || ctx.Err() != nil {
@@ -134,6 +163,115 @@ func jitterSeed(seed int64, queryKey string) int64 {
 	return int64(h.Sum64())
 }
 
+// breakered is the optional slice of the source API the hedging path needs:
+// *source.Source implements it; bare test queryables do not and are simply
+// never hedged.
+type breakered interface {
+	Breaker() *breaker.Breaker
+}
+
+// hedgeAttemptOffset displaces the hedge leg's fault-decision coordinate so
+// the seeded injector deals it independent dice: a primary doomed by an
+// injected fault does not deterministically doom its hedge. The offset is
+// far above any real retry count, so the two coordinate spaces never
+// collide.
+const hedgeAttemptOffset = 1 << 16
+
+// attemptQuery is one attempt of fetchOne: a plain QueryCtx unless hedging
+// is armed, the source carries a breaker, and that breaker has observed
+// enough outcomes to publish a p95 — in which case the attempt is raced
+// against a delayed hedge.
+func attemptQuery(ctx context.Context, src queryable, q relation.Query, pol RetryPolicy) ([]relation.Tuple, error) {
+	if !pol.Hedge.Enabled {
+		return src.QueryCtx(ctx, q)
+	}
+	bs, ok := src.(breakered)
+	if !ok {
+		return src.QueryCtx(ctx, q)
+	}
+	br := bs.Breaker()
+	if br == nil {
+		return src.QueryCtx(ctx, q)
+	}
+	delay := br.HedgeDelay(pol.Hedge.MinDelay, pol.Hedge.MaxDelay)
+	if delay <= 0 {
+		return src.QueryCtx(ctx, q)
+	}
+	return hedgedQuery(ctx, src, q, br, delay)
+}
+
+// hedgeLeg is one raced attempt's outcome.
+type hedgeLeg struct {
+	rows  []relation.Tuple
+	err   error
+	hedge bool // true for the second (hedge) leg
+}
+
+// hedgedQuery races the primary attempt against a hedge attempt launched
+// after delay (the source's observed p95): the first success wins and the
+// loser is cancelled through the shared context. The hedge leg is tagged
+// with faults.WithHedge (for honest source accounting) and a displaced
+// attempt coordinate (for independent fault dice). The loser is always
+// drained before returning, so accounting is settled — and no goroutine
+// outlives the call — by the time the caller sees the result. When both
+// legs fail, the primary's error is returned (it reflects the undisturbed
+// retry classification).
+func hedgedQuery(ctx context.Context, src queryable, q relation.Query, br *breaker.Breaker, delay time.Duration) ([]relation.Tuple, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	legs := make(chan hedgeLeg, 2) // buffered: a cancelled loser never blocks
+	launch := func(lctx context.Context, hedge bool) {
+		go func() {
+			rows, err := src.QueryCtx(lctx, q)
+			legs <- hedgeLeg{rows: rows, err: err, hedge: hedge}
+		}()
+	}
+	launch(hctx, false)
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	hedged := false
+	var firstFail *hedgeLeg
+	for {
+		select {
+		case leg := <-legs:
+			switch {
+			case leg.err == nil:
+				if hedged {
+					br.RecordHedge(leg.hedge)
+					cancel()
+					if firstFail == nil {
+						<-legs // drain the loser: accounting settles before return
+					}
+				}
+				return leg.rows, nil
+			case !hedged:
+				// The primary failed before the hedge fired: a plain failed
+				// attempt, classified by the retry loop as usual.
+				return leg.rows, leg.err
+			case firstFail == nil:
+				// One of two racing legs failed; the other may still win.
+				l := leg
+				firstFail = &l
+			default:
+				// Both legs failed: the hedge bought nothing.
+				br.RecordHedge(false)
+				if firstFail.hedge {
+					return leg.rows, leg.err
+				}
+				return firstFail.rows, firstFail.err
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				attempt := faults.Attempt(ctx)
+				lctx := faults.WithHedge(faults.WithAttempt(hctx, attempt+hedgeAttemptOffset))
+				launch(lctx, true)
+			}
+		}
+	}
+}
+
 // fetchAll issues the queries against the source, at most parallel at a
 // time (sequential when parallel <= 1), each under the retry policy and
 // the caller's context — cancelling ctx stops in-flight attempts and
@@ -150,21 +288,34 @@ func jitterSeed(seed int64, queryKey string) int64 {
 // (budget consumed, via source.WithAdmitSignal) or finished, while
 // execution itself still overlaps up to the parallelism bound.
 //
+// Breaker-aware early stop mirrors the budget behavior: once the source's
+// circuit breaker rejects a query (breaker.ErrOpen), the remaining queries
+// resolve to errSkippedOpen without being issued. One rejection per plan is
+// enough evidence — hammering an open circuit with the rest of the top-K
+// would only inflate BreakerRejected without retrieving anything.
+//
 // Note: when retries race with successors' admissions (faults + budget +
 // parallel combined), which attempt consumes the last budget slot is
 // scheduling-dependent; fault decisions themselves stay deterministic.
 func fetchAll(ctx context.Context, src queryable, queries []relation.Query, parallel int, pol RetryPolicy) []fetchResult {
 	results := make([]fetchResult, len(queries))
 	if parallel <= 1 || len(queries) <= 1 {
-		budgetOut := false
+		budgetOut, openOut := false, false
 		for i, q := range queries {
-			if budgetOut {
+			switch {
+			case openOut:
+				results[i] = fetchResult{err: errSkippedOpen}
+				continue
+			case budgetOut:
 				results[i] = fetchResult{err: errSkippedBudget}
 				continue
 			}
 			results[i] = fetchOne(ctx, src, q, pol)
 			if errors.Is(results[i].err, source.ErrQueryBudget) {
 				budgetOut = true
+			}
+			if errors.Is(results[i].err, breaker.ErrOpen) {
+				openOut = true
 			}
 		}
 		return results
@@ -178,7 +329,7 @@ func fetchAll(ctx context.Context, src queryable, queries []relation.Query, para
 		gates[i] = make(chan struct{})
 	}
 	close(gates[0])
-	var budgetOut atomic.Bool
+	var budgetOut, openOut atomic.Bool
 	var wg sync.WaitGroup
 	for i, q := range queries {
 		wg.Add(1)
@@ -192,6 +343,10 @@ func fetchAll(ctx context.Context, src queryable, queries []relation.Query, para
 			<-gates[i]
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if openOut.Load() {
+				results[i] = fetchResult{err: errSkippedOpen}
+				return
+			}
 			if budgetOut.Load() {
 				results[i] = fetchResult{err: errSkippedBudget}
 				return
@@ -200,6 +355,9 @@ func fetchAll(ctx context.Context, src queryable, queries []relation.Query, para
 			results[i] = fetchOne(qctx, src, q, pol)
 			if errors.Is(results[i].err, source.ErrQueryBudget) {
 				budgetOut.Store(true)
+			}
+			if errors.Is(results[i].err, breaker.ErrOpen) {
+				openOut.Store(true)
 			}
 		}(i, q)
 	}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 
+	"qpiad/internal/breaker"
 	"qpiad/internal/relation"
 	"qpiad/internal/source"
 )
@@ -64,6 +66,9 @@ func (m *Mediator) QuerySelectWithCtx(ctx context.Context, cfg Config, srcName s
 		return m.querySelectUncached(ctx, cfg, srcName, q)
 	})
 	if err != nil {
+		if rs, ok := m.staleFallback(key, cfg, err); ok {
+			return rs, nil
+		}
 		return nil, err
 	}
 	rs := v.(*ResultSet)
@@ -71,6 +76,28 @@ func (m *Mediator) QuerySelectWithCtx(ctx context.Context, cfg Config, srcName s
 		m.cache.Delete(key)
 	}
 	return rs.clone(), nil
+}
+
+// staleFallback serves the last cached answer for key when the pipeline
+// failed because the source's circuit breaker rejected the base query
+// (errors.Is(err, breaker.ErrOpen)) and cfg.StaleTTL arms the fallback.
+// The returned clone shares the cached entry's answer sections untouched —
+// byte-identical to what a fresh hit would have served — and is flagged
+// Stale with its age. The cached master is never mutated and the stale
+// serve is never re-cached.
+func (m *Mediator) staleFallback(key string, cfg Config, err error) (*ResultSet, bool) {
+	if cfg.StaleTTL <= 0 || !errors.Is(err, breaker.ErrOpen) {
+		return nil, false
+	}
+	v, age, ok := m.cache.GetStale(key, cfg.StaleTTL)
+	if !ok {
+		return nil, false
+	}
+	rs := v.(*ResultSet).clone()
+	rs.Stale = true
+	rs.StaleAge = age
+	m.staleServed.Add(1)
+	return rs, true
 }
 
 // answerKey is the cache key for one selection call. The fingerprint covers
@@ -175,6 +202,12 @@ func foldRewriteResult(rs *ResultSet, schema *relation.Schema, constrained []str
 	if err := res.err; err != nil {
 		rq.Err = err
 		rs.Degraded = true
+		if errors.Is(err, breaker.ErrOpen) {
+			// Rewrites rejected or skipped while the circuit was open never
+			// touched the source: their selectivity estimate is tuples (and
+			// queries) saved, mirroring the streaming early-stop accounting.
+			rs.EstSavedTuples += rq.EstSel
+		}
 		rs.Issued = append(rs.Issued, rq)
 		return nil, nil
 	}

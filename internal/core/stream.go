@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"qpiad/internal/breaker"
 	"qpiad/internal/relation"
 	"qpiad/internal/source"
 )
@@ -79,6 +80,10 @@ type StreamEvent struct {
 	// Unranked marks an answer belonging to the unranked multi-null tail
 	// rather than the ranked possible section.
 	Unranked bool
+	// Stale marks an answer replayed from the answer cache by the
+	// stale-cache fallback (the source's circuit breaker was open). The
+	// final summary's Result.Stale is set accordingly.
+	Stale bool
 	// Rewrite is set on StreamRewrite events.
 	Rewrite *RewrittenQuery
 	// Summary is set on the single StreamSummary event that ends a healthy
@@ -131,9 +136,13 @@ func (m *Mediator) SelectStream(ctx context.Context, srcName string, q relation.
 // comment above). Cancelling ctx aborts the stream: in-flight source queries
 // are cancelled and the channel closes without a summary.
 //
-// The streaming path never consults the mediator answer cache: it exists to
-// cut time-to-first-answer and source traffic on fresh queries; repeated
-// identical queries are the batch path's territory.
+// The streaming path never consults the mediator answer cache for fresh
+// answers: it exists to cut time-to-first-answer and source traffic on new
+// queries; repeated identical queries are the batch path's territory. The
+// one exception is the stale-cache fallback: when the source's circuit
+// breaker rejects the base query and cfg.StaleTTL arms the fallback, the
+// last cached answer within the staleness bound is replayed as a stream —
+// every answer event flagged Stale — instead of failing.
 func (m *Mediator) SelectStreamWith(ctx context.Context, cfg Config, srcName string, q relation.Query) (<-chan StreamEvent, error) {
 	src, ok := m.sources[srcName]
 	if !ok {
@@ -145,11 +154,50 @@ func (m *Mediator) SelectStreamWith(ctx context.Context, cfg Config, srcName str
 	}
 	bres := fetchOne(ctx, src, q, cfg.Retry)
 	if bres.err != nil {
-		return nil, fmt.Errorf("core: base query: %w", bres.err)
+		err := fmt.Errorf("core: base query: %w", bres.err)
+		if m.cache != nil && !cfg.NoCache {
+			if rs, ok := m.staleFallback(answerKey(srcName, q, cfg), cfg, err); ok {
+				events := make(chan StreamEvent)
+				go streamStale(ctx, rs, events)
+				return events, nil
+			}
+		}
+		return nil, err
 	}
 	events := make(chan StreamEvent)
 	go m.streamRun(ctx, cfg, src, k, q, bres.rows, events)
 	return events, nil
+}
+
+// streamStale replays a stale cached result as a stream: answers in their
+// cached rank order, each flagged Stale, then the summary carrying the
+// stale-marked result set. No rewrite events are emitted — nothing was
+// issued to the source.
+func streamStale(ctx context.Context, rs *ResultSet, events chan<- StreamEvent) {
+	defer close(events)
+	emit := func(ev StreamEvent) bool {
+		select {
+		case events <- ev:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	emitAnswers := func(answers []Answer, unranked bool) bool {
+		for _, a := range answers {
+			a := a
+			if !emit(StreamEvent{Kind: StreamEventAnswer, Answer: &a, Unranked: unranked, Stale: true}) {
+				return false
+			}
+		}
+		return true
+	}
+	if !emitAnswers(rs.Certain, false) ||
+		!emitAnswers(rs.Possible, false) ||
+		!emitAnswers(rs.Unranked, true) {
+		return
+	}
+	emit(StreamEvent{Kind: StreamEventSummary, Summary: &StreamSummary{Result: rs}})
 }
 
 // streamRun is the streaming executor body: emit certain answers, generate
@@ -274,17 +322,22 @@ func startStreamFetch(ctx context.Context, cancel context.CancelFunc, src querya
 		f.wg.Add(1)
 		go func() {
 			defer f.wg.Done()
-			budgetOut := false
+			budgetOut, openOut := false, false
 			for i, q := range queries {
 				switch {
 				case f.stop.Load():
 					f.results[i] = fetchResult{err: ErrEarlyStop}
+				case openOut:
+					f.results[i] = fetchResult{err: errSkippedOpen}
 				case budgetOut:
 					f.results[i] = fetchResult{err: errSkippedBudget}
 				default:
 					f.results[i] = fetchOne(ctx, src, q, pol)
 					if errors.Is(f.results[i].err, source.ErrQueryBudget) {
 						budgetOut = true
+					}
+					if errors.Is(f.results[i].err, breaker.ErrOpen) {
+						openOut = true
 					}
 				}
 				close(f.ready[i])
@@ -301,7 +354,7 @@ func startStreamFetch(ctx context.Context, cancel context.CancelFunc, src querya
 		gates[i] = make(chan struct{})
 	}
 	close(gates[0])
-	var budgetOut atomic.Bool
+	var budgetOut, openOut atomic.Bool
 	for i, q := range queries {
 		f.wg.Add(1)
 		go func(i int, q relation.Query) {
@@ -319,6 +372,10 @@ func startStreamFetch(ctx context.Context, cancel context.CancelFunc, src querya
 				f.results[i] = fetchResult{err: ErrEarlyStop}
 				return
 			}
+			if openOut.Load() {
+				f.results[i] = fetchResult{err: errSkippedOpen}
+				return
+			}
 			if budgetOut.Load() {
 				f.results[i] = fetchResult{err: errSkippedBudget}
 				return
@@ -327,6 +384,9 @@ func startStreamFetch(ctx context.Context, cancel context.CancelFunc, src querya
 			f.results[i] = fetchOne(qctx, src, q, pol)
 			if errors.Is(f.results[i].err, source.ErrQueryBudget) {
 				budgetOut.Store(true)
+			}
+			if errors.Is(f.results[i].err, breaker.ErrOpen) {
+				openOut.Store(true)
 			}
 		}(i, q)
 	}

@@ -67,12 +67,22 @@ type Profile struct {
 	// attempts with ErrTransient, regardless of TransientRate — the knob
 	// retry tests use to exercise the backoff path without probability.
 	FailFirstAttempts int
+	// FlapUp / FlapDown script a deterministic flap schedule: the source
+	// serves FlapUp accepted attempts normally, then fails the next
+	// FlapDown attempts with ErrTransient, repeating. The window position
+	// is keyed by the injector's attempt ordinal (the number of Decide
+	// calls so far), so a sequentially-issued workload sees the exact same
+	// up/down pattern every run — the reproducibility knob behind breaker
+	// open/half-open/close transition tests and the ext-resilience flap
+	// experiment. FlapDown <= 0 disables the schedule.
+	FlapUp   int
+	FlapDown int
 }
 
 // Enabled reports whether the profile can inject anything at all.
 func (p Profile) Enabled() bool {
 	return p.TransientRate > 0 || p.TimeoutRate > 0 || p.LatencyJitter > 0 ||
-		p.TruncateRate > 0 || p.FailFirstAttempts > 0
+		p.TruncateRate > 0 || p.FailFirstAttempts > 0 || p.FlapDown > 0
 }
 
 // Outcome is one attempt's fault decision.
@@ -94,10 +104,15 @@ type Stats struct {
 	Transients  int
 	Timeouts    int
 	Truncations int
+	// FlapFailures counts attempts failed by the scripted flap schedule
+	// (a subset of Transients).
+	FlapFailures int
 }
 
 // Injector deals faults per an immutable Profile and counts what it dealt.
-// It is safe for concurrent use.
+// It is safe for concurrent use. When the profile scripts a flap schedule,
+// the Decisions counter doubles as the attempt ordinal that positions each
+// attempt in the up/down cycle.
 type Injector struct {
 	p  Profile
 	mu sync.Mutex
@@ -129,9 +144,12 @@ func (in *Injector) ResetStats() {
 	in.mu.Unlock()
 }
 
-// Decide returns the fault outcome for one query attempt. The decision is a
-// pure function of (profile seed, source, queryKey, attempt); only the
-// counters mutate.
+// Decide returns the fault outcome for one query attempt. The seeded
+// decision is a pure function of (profile seed, source, queryKey, attempt).
+// A scripted flap schedule (FlapUp/FlapDown) is additionally keyed by the
+// attempt ordinal — the injector's Decide count — and overrides the seeded
+// draws during down windows; it is exactly reproducible for sequentially
+// issued workloads.
 func (in *Injector) Decide(source, queryKey string, attempt int) Outcome {
 	rng := rand.New(rand.NewSource(subSeed(in.p.Seed, source, queryKey, attempt)))
 	// Draw in a fixed order so adding a fault kind never reshuffles the
@@ -145,7 +163,21 @@ func (in *Injector) Decide(source, queryKey string, attempt int) Outcome {
 	if in.p.LatencyJitter > 0 {
 		out.Latency = time.Duration(uJitter * float64(in.p.LatencyJitter))
 	}
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ord := in.st.Decisions
+	in.st.Decisions++
+
+	flapDown := false
+	if in.p.FlapDown > 0 {
+		period := in.p.FlapUp + in.p.FlapDown
+		flapDown = ord%period >= in.p.FlapUp
+	}
 	switch {
+	case flapDown:
+		out.Err = fmt.Errorf("%w (source %s, attempt %d, flap down)", ErrTransient, source, attempt)
+		in.st.FlapFailures++
 	case attempt <= in.p.FailFirstAttempts:
 		out.Err = fmt.Errorf("%w (source %s, attempt %d, forced)", ErrTransient, source, attempt)
 	case uTransient < in.p.TransientRate:
@@ -156,8 +188,6 @@ func (in *Injector) Decide(source, queryKey string, attempt int) Outcome {
 		out.TruncateTo = in.p.TruncateTo
 	}
 
-	in.mu.Lock()
-	in.st.Decisions++
 	switch {
 	case errors.Is(out.Err, ErrTransient):
 		in.st.Transients++
@@ -166,7 +196,6 @@ func (in *Injector) Decide(source, queryKey string, attempt int) Outcome {
 	case out.TruncateTo > 0:
 		in.st.Truncations++
 	}
-	in.mu.Unlock()
 	return out
 }
 
@@ -204,4 +233,20 @@ func Attempt(ctx context.Context) int {
 		return n
 	}
 	return 1
+}
+
+// hedgeKey marks an attempt as a hedge (the second leg of a raced pair).
+type hedgeKey struct{}
+
+// WithHedge tags ctx as a hedged attempt. The source accounts it under
+// Stats.Hedged rather than Retries, so source-load numbers distinguish
+// "asked again because it failed" from "asked twice to cut tail latency".
+func WithHedge(ctx context.Context) context.Context {
+	return context.WithValue(ctx, hedgeKey{}, true)
+}
+
+// IsHedge reports whether ctx marks a hedged attempt.
+func IsHedge(ctx context.Context) bool {
+	b, _ := ctx.Value(hedgeKey{}).(bool)
+	return b
 }

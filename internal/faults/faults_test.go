@@ -158,3 +158,71 @@ func TestResetStats(t *testing.T) {
 		t.Fatalf("stats after reset = %+v", in.Stats())
 	}
 }
+
+// TestFlapSchedule verifies the scripted up/down windows: FlapUp attempts
+// succeed, FlapDown attempts fail with ErrTransient, repeating, keyed by
+// the injector's attempt ordinal.
+func TestFlapSchedule(t *testing.T) {
+	in := New(Profile{FlapUp: 3, FlapDown: 2})
+	var pattern []bool
+	for i := 0; i < 12; i++ {
+		out := in.Decide("cars", fmt.Sprintf("q-%d", i), 1)
+		pattern = append(pattern, out.Err != nil)
+		if out.Err != nil && !errors.Is(out.Err, ErrTransient) {
+			t.Fatalf("flap failure %d is %v, want ErrTransient", i, out.Err)
+		}
+	}
+	want := []bool{false, false, false, true, true,
+		false, false, false, true, true, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("flap pattern = %v, want %v", pattern, want)
+		}
+	}
+	st := in.Stats()
+	if st.FlapFailures != 4 || st.Transients != 4 {
+		t.Fatalf("stats = %+v, want 4 flap failures counted as transients", st)
+	}
+}
+
+// TestFlapScheduleDeterministic replays the same schedule on two injectors.
+func TestFlapScheduleDeterministic(t *testing.T) {
+	p := Profile{Seed: 9, FlapUp: 2, FlapDown: 3, TransientRate: 0.2}
+	a, b := New(p), New(p)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("q-%d", i)
+		oa, ob := a.Decide("s", key, 1), b.Decide("s", key, 1)
+		if (oa.Err == nil) != (ob.Err == nil) {
+			t.Fatalf("attempt %d diverged: %v vs %v", i, oa.Err, ob.Err)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestFlapEnabled confirms a flap-only profile counts as enabled.
+func TestFlapEnabled(t *testing.T) {
+	if !(Profile{FlapUp: 1, FlapDown: 1}).Enabled() {
+		t.Fatal("flap-only profile should be Enabled")
+	}
+	if (Profile{FlapUp: 5}).Enabled() {
+		t.Fatal("FlapUp without FlapDown must not enable injection")
+	}
+}
+
+// TestHedgeContext round-trips the hedge tag.
+func TestHedgeContext(t *testing.T) {
+	ctx := context.Background()
+	if IsHedge(ctx) {
+		t.Fatal("plain context must not read as hedged")
+	}
+	if !IsHedge(WithHedge(ctx)) {
+		t.Fatal("WithHedge tag lost")
+	}
+	// The hedge tag must not disturb the attempt number.
+	ctx = WithHedge(WithAttempt(ctx, 2))
+	if Attempt(ctx) != 2 || !IsHedge(ctx) {
+		t.Fatal("hedge tag and attempt number must compose")
+	}
+}

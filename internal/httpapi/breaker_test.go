@@ -1,0 +1,244 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qpiad/internal/afd"
+	"qpiad/internal/breaker"
+	"qpiad/internal/core"
+	"qpiad/internal/datagen"
+	"qpiad/internal/faults"
+	"qpiad/internal/nbc"
+	"qpiad/internal/source"
+)
+
+// apiClock is a settable clock for breaker/cache determinism over HTTP.
+type apiClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *apiClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *apiClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// breakerServer builds a server whose source carries an aggressive breaker,
+// TTL'd answer cache, and stale fallback, plus the source handle and clock
+// so tests can script an outage.
+func breakerServer(t *testing.T) (*httptest.Server, *source.Source, *apiClock) {
+	t.Helper()
+	gd := datagen.Cars(4000, 1)
+	ed, _ := datagen.MakeIncomplete(gd, 0.10, 2)
+	src := source.New("cars", ed, source.Capabilities{})
+	smpl := ed.Sample(500, rand.New(rand.NewSource(3)))
+	k, err := core.MineKnowledge("cars", smpl,
+		float64(ed.Len())/float64(smpl.Len()), smpl.IncompleteFraction(),
+		core.KnowledgeConfig{AFD: afd.Config{MinSupport: 5}, Predictor: nbc.PredictorConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &apiClock{now: time.Unix(0, 0)}
+	med := core.New(core.Config{
+		Alpha: 0, K: 10,
+		Retry: core.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond},
+		Breaker: &breaker.Config{
+			Window: 8, MinSamples: 4, ConsecutiveFailures: 2, OpenTimeout: time.Hour,
+		},
+		CacheTTL: time.Second,
+		StaleTTL: time.Hour,
+		Clock:    clk.Now,
+	})
+	med.Register(src, k)
+	srv := httptest.NewServer(New(med))
+	t.Cleanup(srv.Close)
+	return srv, src, clk
+}
+
+const convtSQL = `{"sql": "SELECT * FROM cars WHERE body_style = 'Convt'"}`
+
+// tripCircuit warms the cache with one clean query, ages it past freshness,
+// takes the source down, and fails one query so the breaker opens.
+func tripCircuit(t *testing.T, srv *httptest.Server, src *source.Source, clk *apiClock) {
+	t.Helper()
+	if resp, _ := postQuery(t, srv, convtSQL); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm query status = %d", resp.StatusCode)
+	}
+	clk.Advance(2 * time.Second)
+	src.SetFaults(faults.New(faults.Profile{FlapDown: 1}))
+	if resp, _ := postQuery(t, srv, convtSQL); resp.StatusCode == http.StatusOK {
+		t.Fatal("recompute against a down source should fail")
+	}
+	if st := src.Breaker().State(); st != breaker.StateOpen {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+}
+
+// TestHealthzBreakerStates verifies /healthz reports closed/ok before the
+// outage and open/degraded after.
+func TestHealthzBreakerStates(t *testing.T) {
+	srv, src, clk := breakerServer(t)
+
+	getHealth := func() healthResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hr healthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+			t.Fatal(err)
+		}
+		return hr
+	}
+
+	hr := getHealth()
+	if hr.Status != "ok" || len(hr.Sources) != 1 || hr.Sources[0].BreakerState != "closed" {
+		t.Fatalf("healthy: %+v", hr)
+	}
+	tripCircuit(t, srv, src, clk)
+	hr = getHealth()
+	if hr.Status != "degraded" {
+		t.Errorf("status = %q, want degraded with an open circuit", hr.Status)
+	}
+	if hr.Sources[0].BreakerState != "open" || hr.Sources[0].Trips != 1 {
+		t.Errorf("source health: %+v", hr.Sources[0])
+	}
+}
+
+// TestMetricsBreakerSection verifies /metrics carries the breaker snapshot
+// and the staleness counters.
+func TestMetricsBreakerSection(t *testing.T) {
+	srv, src, clk := breakerServer(t)
+	tripCircuit(t, srv, src, clk)
+	// Stale serve: circuit open, aged cache entry available.
+	resp, body := postQuery(t, srv, convtSQL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale serve status = %d: %s", resp.StatusCode, body)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mr metricsResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Sources) != 1 || mr.Sources[0].Breaker == nil {
+		t.Fatalf("metrics missing breaker section: %+v", mr.Sources)
+	}
+	br := mr.Sources[0].Breaker
+	if br.State != "open" || br.Trips != 1 {
+		t.Errorf("breaker metrics: %+v", br)
+	}
+	if mr.Sources[0].BreakerRejected == 0 {
+		t.Error("breaker_rejected should count the open-circuit rejection")
+	}
+	if mr.Cache.Expired == 0 || mr.Cache.StaleHits == 0 || mr.Cache.StaleServed != 1 {
+		t.Errorf("staleness counters: %+v", mr.Cache)
+	}
+}
+
+// TestQueryStaleResponse verifies the batch endpoint flags a stale serve
+// and returns the same answers the fresh query produced.
+func TestQueryStaleResponse(t *testing.T) {
+	srv, src, clk := breakerServer(t)
+	_, freshBody := postQuery(t, srv, convtSQL)
+	var fresh queryResponse
+	if err := json.Unmarshal(freshBody, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	src.SetFaults(faults.New(faults.Profile{FlapDown: 1}))
+	if resp, _ := postQuery(t, srv, convtSQL); resp.StatusCode == http.StatusOK {
+		t.Fatal("recompute against a down source should fail")
+	}
+
+	resp, body := postQuery(t, srv, convtSQL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale serve status = %d: %s", resp.StatusCode, body)
+	}
+	var stale queryResponse
+	if err := json.Unmarshal(body, &stale); err != nil {
+		t.Fatal(err)
+	}
+	if !stale.Stale {
+		t.Error("response not flagged stale")
+	}
+	if stale.StaleAgeMicros != int64(2*time.Second/time.Microsecond) {
+		t.Errorf("stale_age_micros = %d, want 2s", stale.StaleAgeMicros)
+	}
+	if len(stale.Certain) != len(fresh.Certain) || len(stale.Possible) != len(fresh.Possible) {
+		t.Errorf("stale sections %d/%d differ from fresh %d/%d",
+			len(stale.Certain), len(stale.Possible), len(fresh.Certain), len(fresh.Possible))
+	}
+}
+
+// TestStreamStaleNDJSON verifies the NDJSON stream marks every replayed
+// answer line and the summary as stale.
+func TestStreamStaleNDJSON(t *testing.T) {
+	srv, src, clk := breakerServer(t)
+	tripCircuit(t, srv, src, clk)
+
+	resp, err := http.Post(srv.URL+"/query?stream=1", "application/json", bytes.NewBufferString(convtSQL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	var answers, staleAnswers int
+	var sum *streamSumJSON
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev streamEventJSON
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch ev.Event {
+		case "answer":
+			answers++
+			if ev.Stale {
+				staleAnswers++
+			}
+		case "rewrite":
+			t.Error("stale replay must not emit rewrite events")
+		case "summary":
+			sum = ev.Summary
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if answers == 0 || staleAnswers != answers {
+		t.Errorf("answers=%d stale=%d, want all answer lines stale-flagged", answers, staleAnswers)
+	}
+	if sum == nil || !sum.Stale || sum.StaleAgeMicros == 0 {
+		t.Fatalf("summary = %+v, want stale-marked with age", sum)
+	}
+}

@@ -2,11 +2,14 @@
 // service — the deployment shape of the paper's system, which ran as a
 // live web demo with a form-based interface. Endpoints:
 //
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness plus per-source admission state: each
+//	                         source's circuit-breaker state and health score;
+//	                         overall status degrades when any circuit is open
 //	GET  /sources            registered sources, schemas, accounting
 //	GET  /knowledge?source=S mined AFDs / AKeys / pruned AFDs for S
 //	GET  /metrics            per-source query/retry/error counters with
-//	                         latency percentiles, plus answer-cache counters
+//	                         latency percentiles, breaker/hedge counters,
+//	                         plus answer-cache and staleness counters
 //	POST /query              {"sql": "SELECT ..."} → certain + ranked
 //	                         possible answers (or the aggregate result),
 //	                         with confidences and AFD explanations
@@ -29,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qpiad/internal/breaker"
 	"qpiad/internal/core"
 	"qpiad/internal/relation"
 	"qpiad/internal/sqlish"
@@ -78,8 +82,40 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// sourceHealth is one source's admission state in the /healthz payload.
+type sourceHealth struct {
+	Source string `json:"source"`
+	// BreakerState is "closed", "open" or "half-open"; empty when no
+	// breaker is attached to the source.
+	BreakerState string  `json:"breaker_state,omitempty"`
+	Health       float64 `json:"health,omitempty"`
+	Trips        uint64  `json:"trips,omitempty"`
+	Rejections   uint64  `json:"rejections,omitempty"`
+}
+
+// healthResponse is the /healthz payload. Status is "ok" while every
+// circuit admits queries and "degraded" when any circuit is open.
+type healthResponse struct {
+	Status  string         `json:"status"`
+	Sources []sourceHealth `json:"sources,omitempty"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := healthResponse{Status: "ok"}
+	for _, name := range s.med.SourceNames() {
+		sh := sourceHealth{Source: name}
+		if snap, ok := s.med.BreakerSnapshot(name); ok {
+			sh.BreakerState = snap.State.String()
+			sh.Health = snap.Health
+			sh.Trips = snap.Trips
+			sh.Rejections = snap.Rejections
+			if snap.State == breaker.StateOpen {
+				resp.Status = "degraded"
+			}
+		}
+		resp.Sources = append(resp.Sources, sh)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // sourceInfo describes one registered source.
@@ -165,24 +201,45 @@ type latencyJSON struct {
 	P99Micros int64 `json:"p99_micros"`
 }
 
+// breakerJSON is one source's circuit-breaker snapshot in /metrics.
+type breakerJSON struct {
+	State          string  `json:"state"`
+	Health         float64 `json:"health"`
+	WindowFailRate float64 `json:"window_fail_rate"`
+	Trips          uint64  `json:"trips"`
+	Rejections     uint64  `json:"rejections"`
+	Probes         uint64  `json:"probes"`
+	ProbeFailures  uint64  `json:"probe_failures"`
+	HedgesLaunched uint64  `json:"hedges_launched"`
+	HedgeWins      uint64  `json:"hedge_wins"`
+	HedgeLosses    uint64  `json:"hedge_losses"`
+	P95Micros      int64   `json:"p95_micros"`
+}
+
 // sourceMetrics is one source's accounting in the /metrics payload.
 type sourceMetrics struct {
-	Source         string      `json:"source"`
-	Queries        int         `json:"queries"`
-	TuplesReturned int         `json:"tuples_returned"`
-	Rejected       int         `json:"rejected"`
-	Errors         int         `json:"errors"`
-	Retries        int         `json:"retries"`
-	Latency        latencyJSON `json:"latency"`
+	Source          string       `json:"source"`
+	Queries         int          `json:"queries"`
+	TuplesReturned  int          `json:"tuples_returned"`
+	Rejected        int          `json:"rejected"`
+	BreakerRejected int          `json:"breaker_rejected,omitempty"`
+	Errors          int          `json:"errors"`
+	Retries         int          `json:"retries"`
+	Hedged          int          `json:"hedged,omitempty"`
+	Latency         latencyJSON  `json:"latency"`
+	Breaker         *breakerJSON `json:"breaker,omitempty"`
 }
 
 // cacheMetrics is the mediator answer-cache section of the /metrics payload.
 type cacheMetrics struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Coalesced uint64 `json:"coalesced"`
-	Entries   int    `json:"entries"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Evictions   uint64 `json:"evictions"`
+	Coalesced   uint64 `json:"coalesced"`
+	Entries     int    `json:"entries"`
+	Expired     uint64 `json:"expired,omitempty"`
+	StaleHits   uint64 `json:"stale_hits,omitempty"`
+	StaleServed int64  `json:"stale_served,omitempty"`
 }
 
 // streamMetrics is the streaming section of the /metrics payload.
@@ -204,13 +261,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, name := range s.med.SourceNames() {
 		src, _ := s.med.Source(name)
 		mt := src.Metrics()
-		out.Sources = append(out.Sources, sourceMetrics{
-			Source:         name,
-			Queries:        mt.Queries,
-			TuplesReturned: mt.TuplesReturned,
-			Rejected:       mt.Rejected,
-			Errors:         mt.Errors,
-			Retries:        mt.Retries,
+		sm := sourceMetrics{
+			Source:          name,
+			Queries:         mt.Queries,
+			TuplesReturned:  mt.TuplesReturned,
+			Rejected:        mt.Rejected,
+			BreakerRejected: mt.BreakerRejected,
+			Errors:          mt.Errors,
+			Retries:         mt.Retries,
+			Hedged:          mt.Hedged,
 			Latency: latencyJSON{
 				Count:     mt.Latency.Count,
 				SumMicros: int64(mt.Latency.Sum / time.Microsecond),
@@ -218,15 +277,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 				P90Micros: int64(mt.Latency.Percentile(0.90) / time.Microsecond),
 				P99Micros: int64(mt.Latency.Percentile(0.99) / time.Microsecond),
 			},
-		})
+		}
+		if snap, ok := s.med.BreakerSnapshot(name); ok {
+			sm.Breaker = &breakerJSON{
+				State:          snap.State.String(),
+				Health:         snap.Health,
+				WindowFailRate: snap.WindowFailRate,
+				Trips:          snap.Trips,
+				Rejections:     snap.Rejections,
+				Probes:         snap.Probes,
+				ProbeFailures:  snap.ProbeFailures,
+				HedgesLaunched: snap.HedgesLaunched,
+				HedgeWins:      snap.HedgeWins,
+				HedgeLosses:    snap.HedgeLosses,
+				P95Micros:      int64(snap.P95 / time.Microsecond),
+			}
+		}
+		out.Sources = append(out.Sources, sm)
 	}
 	cs := s.med.CacheStats()
 	out.Cache = cacheMetrics{
-		Hits:      cs.Hits,
-		Misses:    cs.Misses,
-		Evictions: cs.Evictions,
-		Coalesced: cs.Coalesced,
-		Entries:   cs.Entries,
+		Hits:        cs.Hits,
+		Misses:      cs.Misses,
+		Evictions:   cs.Evictions,
+		Coalesced:   cs.Coalesced,
+		Entries:     cs.Entries,
+		Expired:     cs.Expired,
+		StaleHits:   cs.StaleHits,
+		StaleServed: s.med.StaleServed(),
 	}
 	out.Streaming = streamMetrics{
 		Requests:   s.streamRequests.Load(),
@@ -273,6 +351,11 @@ type queryResponse struct {
 	// possible answers may be incomplete (failures are annotated in
 	// rewrites_issued).
 	Degraded bool `json:"degraded,omitempty"`
+	// Stale reports the answers were served from the answer cache past
+	// their freshness bound because the source's circuit was open;
+	// StaleAgeMicros is the entry's age.
+	Stale          bool  `json:"stale,omitempty"`
+	StaleAgeMicros int64 `json:"stale_age_micros,omitempty"`
 }
 
 // aggResponse is the /query output for aggregates.
@@ -390,13 +473,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rs, schema = projected, ps
 	}
 	resp := queryResponse{
-		Query:     st.Query.String(),
-		Source:    srcName,
-		Certain:   toJSONAnswers(schema, rs.Certain),
-		Possible:  toJSONAnswers(schema, rs.Possible),
-		Unranked:  toJSONAnswers(schema, rs.Unranked),
-		Generated: rs.Generated,
-		Degraded:  rs.Degraded,
+		Query:          st.Query.String(),
+		Source:         srcName,
+		Certain:        toJSONAnswers(schema, rs.Certain),
+		Possible:       toJSONAnswers(schema, rs.Possible),
+		Unranked:       toJSONAnswers(schema, rs.Unranked),
+		Generated:      rs.Generated,
+		Degraded:       rs.Degraded,
+		Stale:          rs.Stale,
+		StaleAgeMicros: int64(rs.StaleAge / time.Microsecond),
 	}
 	for _, rq := range rs.Issued {
 		if rq.Err != nil {
@@ -412,11 +497,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // streamEventJSON is one NDJSON line of a streamed query. Event is "answer",
 // "rewrite" or "summary"; exactly the matching field is set.
 type streamEventJSON struct {
-	Event    string         `json:"event"`
-	Answer   *answerJSON    `json:"answer,omitempty"`
-	Unranked bool           `json:"unranked,omitempty"`
-	Rewrite  *rewriteJSON   `json:"rewrite,omitempty"`
-	Summary  *streamSumJSON `json:"summary,omitempty"`
+	Event    string      `json:"event"`
+	Answer   *answerJSON `json:"answer,omitempty"`
+	Unranked bool        `json:"unranked,omitempty"`
+	// Stale marks an answer replayed from the cache past its freshness
+	// bound because the source's circuit was open.
+	Stale   bool           `json:"stale,omitempty"`
+	Rewrite *rewriteJSON   `json:"rewrite,omitempty"`
+	Summary *streamSumJSON `json:"summary,omitempty"`
 }
 
 // rewriteJSON reports one chosen rewrite's outcome on the stream.
@@ -446,6 +534,8 @@ type streamSumJSON struct {
 	SkippedRewrites   int     `json:"skipped_rewrites,omitempty"`
 	CancelledRewrites int     `json:"cancelled_rewrites,omitempty"`
 	EstSavedTuples    float64 `json:"est_saved_tuples,omitempty"`
+	Stale             bool    `json:"stale,omitempty"`
+	StaleAgeMicros    int64   `json:"stale_age_micros,omitempty"`
 }
 
 // handleQueryStream serves POST /query?stream=1: the selection pipeline's
@@ -518,7 +608,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, cfg c
 		switch ev.Kind {
 		case core.StreamEventAnswer:
 			a := toStreamAnswer(schema, outSchema, projCols, *ev.Answer)
-			live = writeEvent(streamEventJSON{Event: "answer", Answer: &a, Unranked: ev.Unranked})
+			live = writeEvent(streamEventJSON{Event: "answer", Answer: &a, Unranked: ev.Unranked, Stale: ev.Stale})
 		case core.StreamEventRewrite:
 			rw := toStreamRewrite(*ev.Rewrite)
 			live = writeEvent(streamEventJSON{Event: "rewrite", Rewrite: &rw})
@@ -540,6 +630,8 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, cfg c
 				SkippedRewrites:   sum.SkippedRewrites,
 				CancelledRewrites: sum.CancelledRewrites,
 				EstSavedTuples:    sum.EstSavedTuples,
+				Stale:             sum.Result.Stale,
+				StaleAgeMicros:    int64(sum.Result.StaleAge / time.Microsecond),
 			}})
 		}
 	}

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Config tunes a Cache.
@@ -41,6 +42,16 @@ type Config struct {
 	// Shards is the number of independent lock domains, rounded up to a
 	// power of two. <= 0 means the default of 8.
 	Shards int
+	// FreshTTL bounds how long an entry answers Get/Do. Older entries are
+	// treated as misses (counted under Expired) but are NOT deleted: they
+	// remain readable through GetStale until evicted, which is what the
+	// mediator's stale-cache fallback serves when a source's circuit
+	// breaker is open. 0 means entries never expire (the pre-TTL behavior).
+	FreshTTL time.Duration
+	// Clock supplies the time entries are stamped and aged with. Nil means
+	// the wall clock; tests inject a manual clock for deterministic
+	// expiry.
+	Clock func() time.Time
 }
 
 // Stats is a point-in-time snapshot of the cache counters.
@@ -55,6 +66,12 @@ type Stats struct {
 	// Coalesced counts Do callers that waited on another caller's
 	// in-flight computation instead of running their own.
 	Coalesced uint64
+	// Expired counts Get/Do calls that found an entry older than FreshTTL
+	// (treated as misses; the entry stays readable via GetStale).
+	Expired uint64
+	// StaleHits counts GetStale calls answered by an entry within the
+	// caller's staleness bound.
+	StaleHits uint64
 	// Entries is the current number of cached entries.
 	Entries int
 }
@@ -63,6 +80,7 @@ type Stats struct {
 type entry struct {
 	key string
 	val any
+	at  time.Time // when the value was stored (per the cache clock)
 }
 
 // call is one in-flight singleflight computation.
@@ -86,11 +104,15 @@ type Cache struct {
 	shards   []shard
 	mask     uint32
 	capShard int
+	freshTTL time.Duration
+	clock    func() time.Time
 
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
 	coalesced atomic.Uint64
+	expired   atomic.Uint64
+	staleHits atomic.Uint64
 }
 
 // New builds a cache. Zero-value config fields resolve to the documented
@@ -110,7 +132,11 @@ func New(cfg Config) *Cache {
 	if capShard < 1 {
 		capShard = 1
 	}
-	c := &Cache{shards: make([]shard, n), mask: uint32(n - 1), capShard: capShard}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint32(n - 1), capShard: capShard,
+		freshTTL: cfg.FreshTTL, clock: cfg.Clock}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*list.Element)
 		c.shards[i].lru = list.New()
@@ -133,13 +159,31 @@ func (c *Cache) shardFor(key string) *shard {
 	return &c.shards[h&c.mask]
 }
 
+// fresh reports whether e is within FreshTTL at time now (always true when
+// the cache has no TTL).
+func (c *Cache) fresh(e *entry, now time.Time) bool {
+	return c.freshTTL <= 0 || now.Sub(e.at) <= c.freshTTL
+}
+
 // Get returns the cached value for key, marking it most recently used.
+// Entries older than FreshTTL are misses (counted under Expired) but stay
+// in place for GetStale readers.
 func (c *Cache) Get(key string) (any, bool) {
 	s := c.shardFor(key)
+	now := c.clock()
 	s.mu.Lock()
 	el, ok := s.entries[key]
+	var val any
 	if ok {
+		e := el.Value.(*entry)
+		if !c.fresh(e, now) {
+			s.mu.Unlock()
+			c.expired.Add(1)
+			c.misses.Add(1)
+			return nil, false
+		}
 		s.lru.MoveToFront(el)
+		val = e.val
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -147,26 +191,60 @@ func (c *Cache) Get(key string) (any, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*entry).val, true
+	return val, true
+}
+
+// GetStale returns the cached value for key regardless of FreshTTL, as
+// long as its age (per the cache clock) is within maxAge; maxAge <= 0
+// means any age. It returns the value, its age, and whether it was found.
+// This is the mediator's stale-cache fallback read: when a source's
+// circuit breaker is open, an expired answer within the relaxed staleness
+// bound beats no answer.
+func (c *Cache) GetStale(key string, maxAge time.Duration) (any, time.Duration, bool) {
+	s := c.shardFor(key)
+	now := c.clock()
+	s.mu.Lock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, 0, false
+	}
+	e := el.Value.(*entry)
+	age := now.Sub(e.at)
+	if maxAge > 0 && age > maxAge {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, 0, false
+	}
+	s.lru.MoveToFront(el)
+	val := e.val
+	s.mu.Unlock()
+	c.staleHits.Add(1)
+	return val, age, true
 }
 
 // Put inserts or replaces the value for key, evicting the shard's least
 // recently used entry when over capacity.
 func (c *Cache) Put(key string, val any) {
 	s := c.shardFor(key)
+	now := c.clock()
 	s.mu.Lock()
-	c.putLocked(s, key, val)
+	c.putLocked(s, key, val, now)
 	s.mu.Unlock()
 }
 
-// putLocked inserts under the shard lock.
-func (c *Cache) putLocked(s *shard, key string, val any) {
+// putLocked inserts under the shard lock, stamping the entry with the
+// cache clock. now is read by the caller before taking the lock.
+func (c *Cache) putLocked(s *shard, key string, val any, now time.Time) {
 	if el, ok := s.entries[key]; ok {
-		el.Value.(*entry).val = val
+		e := el.Value.(*entry)
+		e.val = val
+		e.at = now
 		s.lru.MoveToFront(el)
 		return
 	}
-	s.entries[key] = s.lru.PushFront(&entry{key: key, val: val})
+	s.entries[key] = s.lru.PushFront(&entry{key: key, val: val, at: now})
 	for s.lru.Len() > c.capShard {
 		oldest := s.lru.Back()
 		if oldest == nil {
@@ -181,17 +259,27 @@ func (c *Cache) putLocked(s *shard, key string, val any) {
 // Do returns the cached value for key, or computes it with fn. Concurrent
 // Do calls for the same key are collapsed: one caller runs fn, the rest
 // wait and share its result (counted as Coalesced). A successful result is
-// cached; an error is propagated to every waiter and nothing is cached, so
-// a later call retries.
+// cached; an error is propagated to every waiter and nothing is cached —
+// any pre-existing (expired) entry stays in place for GetStale readers —
+// so a later call retries. Entries older than FreshTTL do not answer Do;
+// they count under Expired and fn recomputes.
 func (c *Cache) Do(key string, fn func() (any, error)) (any, error) {
 	s := c.shardFor(key)
 	for {
+		now := c.clock()
 		s.mu.Lock()
 		if el, ok := s.entries[key]; ok {
-			s.lru.MoveToFront(el)
-			s.mu.Unlock()
-			c.hits.Add(1)
-			return el.Value.(*entry).val, nil
+			e := el.Value.(*entry)
+			if c.fresh(e, now) {
+				s.lru.MoveToFront(el)
+				val := e.val
+				s.mu.Unlock()
+				c.hits.Add(1)
+				return val, nil
+			}
+			c.expired.Add(1)
+			// fall through: recompute, leaving the stale entry readable
+			// until the fresh value replaces it.
 		}
 		if cl, ok := s.inflight[key]; ok {
 			s.mu.Unlock()
@@ -209,10 +297,11 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, error) {
 
 		cl.val, cl.err = fn()
 
+		now = c.clock()
 		s.mu.Lock()
 		delete(s.inflight, key)
 		if cl.err == nil {
-			c.putLocked(s, key, cl.val)
+			c.putLocked(s, key, cl.val, now)
 		}
 		s.mu.Unlock()
 		close(cl.done)
@@ -285,6 +374,8 @@ func (c *Cache) Stats() Stats {
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
 		Coalesced: c.coalesced.Load(),
+		Expired:   c.expired.Load(),
+		StaleHits: c.staleHits.Load(),
 		Entries:   c.Len(),
 	}
 }

@@ -1,0 +1,160 @@
+package qcache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ttlClock is a settable test clock.
+type ttlClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTTLClock() *ttlClock { return &ttlClock{now: time.Unix(0, 0)} }
+
+func (c *ttlClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *ttlClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func ttlCache(ttl time.Duration) (*Cache, *ttlClock) {
+	clk := newTTLClock()
+	return New(Config{Capacity: 16, Shards: 1, FreshTTL: ttl, Clock: clk.Now}), clk
+}
+
+// TestFreshTTLExpiry verifies Get stops answering past FreshTTL but the
+// entry stays readable via GetStale.
+func TestFreshTTLExpiry(t *testing.T) {
+	c, clk := ttlCache(time.Second)
+	c.Put("k", 42)
+
+	if v, ok := c.Get("k"); !ok || v != 42 {
+		t.Fatalf("fresh Get = %v, %v", v, ok)
+	}
+	clk.Advance(time.Second) // exactly at the bound: still fresh
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry at exactly FreshTTL must still be fresh")
+	}
+	clk.Advance(time.Nanosecond)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry past FreshTTL answered Get")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("expired entry was deleted, Len = %d", c.Len())
+	}
+	v, age, ok := c.GetStale("k", 0)
+	if !ok || v != 42 {
+		t.Fatalf("GetStale = %v, %v", v, ok)
+	}
+	if age != time.Second+time.Nanosecond {
+		t.Fatalf("age = %v, want 1.000000001s", age)
+	}
+
+	st := c.Stats()
+	if st.Expired != 1 || st.StaleHits != 1 {
+		t.Fatalf("stats = %+v, want Expired=1 StaleHits=1", st)
+	}
+}
+
+// TestGetStaleBound verifies the caller's maxAge bound.
+func TestGetStaleBound(t *testing.T) {
+	c, clk := ttlCache(time.Second)
+	c.Put("k", "v")
+	clk.Advance(10 * time.Second)
+
+	if _, _, ok := c.GetStale("k", 5*time.Second); ok {
+		t.Fatal("GetStale beyond maxAge must miss")
+	}
+	if _, _, ok := c.GetStale("k", 10*time.Second); !ok {
+		t.Fatal("GetStale within maxAge must hit")
+	}
+	if _, _, ok := c.GetStale("k", 0); !ok {
+		t.Fatal("GetStale with maxAge<=0 must accept any age")
+	}
+	if _, _, ok := c.GetStale("absent", 0); ok {
+		t.Fatal("GetStale on a missing key must miss")
+	}
+}
+
+// TestZeroTTLNeverExpires pins the pre-TTL behavior: FreshTTL=0 entries
+// answer Get forever.
+func TestZeroTTLNeverExpires(t *testing.T) {
+	c, clk := ttlCache(0)
+	c.Put("k", 1)
+	clk.Advance(1000 * time.Hour)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("FreshTTL=0 entry expired")
+	}
+	if st := c.Stats(); st.Expired != 0 {
+		t.Fatalf("Expired = %d, want 0", st.Expired)
+	}
+}
+
+// TestDoRecomputesExpired verifies Do treats an expired entry as a miss,
+// recomputes, and the fresh value replaces (not duplicates) the stale one.
+func TestDoRecomputesExpired(t *testing.T) {
+	c, clk := ttlCache(time.Second)
+	calls := 0
+	fn := func() (any, error) { calls++; return calls, nil }
+
+	v, err := c.Do("k", fn)
+	if err != nil || v != 1 {
+		t.Fatalf("first Do = %v, %v", v, err)
+	}
+	if v, _ := c.Do("k", fn); v != 1 {
+		t.Fatalf("fresh Do recomputed: %v", v)
+	}
+	clk.Advance(2 * time.Second)
+	v, err = c.Do("k", fn)
+	if err != nil || v != 2 {
+		t.Fatalf("expired Do = %v, %v, want recompute to 2", v, err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (replaced in place)", c.Len())
+	}
+	// Refreshed: fresh again.
+	if v, _ := c.Do("k", fn); v != 2 {
+		t.Fatalf("refreshed Do = %v", v)
+	}
+}
+
+// TestDoErrorKeepsStaleEntry verifies a failed recompute leaves the
+// expired entry readable for stale fallback.
+func TestDoErrorKeepsStaleEntry(t *testing.T) {
+	c, clk := ttlCache(time.Second)
+	c.Put("k", "old")
+	clk.Advance(2 * time.Second)
+
+	if _, err := c.Do("k", func() (any, error) { return nil, errors.New("source down") }); err == nil {
+		t.Fatal("Do should propagate the error")
+	}
+	v, age, ok := c.GetStale("k", 0)
+	if !ok || v != "old" {
+		t.Fatalf("stale entry lost after failed recompute: %v, %v", v, ok)
+	}
+	if age != 2*time.Second {
+		t.Fatalf("age = %v, want 2s", age)
+	}
+}
+
+// TestPutRefreshesTimestamp verifies overwriting a key restarts its TTL.
+func TestPutRefreshesTimestamp(t *testing.T) {
+	c, clk := ttlCache(time.Second)
+	c.Put("k", 1)
+	clk.Advance(900 * time.Millisecond)
+	c.Put("k", 2)
+	clk.Advance(900 * time.Millisecond)
+	if v, ok := c.Get("k"); !ok || v != 2 {
+		t.Fatalf("Get = %v, %v, want refreshed value 2", v, ok)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"qpiad/internal/breaker"
 	"qpiad/internal/faults"
 	"qpiad/internal/relation"
 )
@@ -88,8 +89,19 @@ type Stats struct {
 	// injected transient errors, timeouts, context cancellation.
 	Errors int
 	// Retries is the number of accepted attempts beyond each query's first
-	// (attempt number > 1, as tagged by the mediator's retry loop).
+	// (attempt number > 1, as tagged by the mediator's retry loop). Hedged
+	// attempts are counted separately under Hedged.
 	Retries int
+	// BreakerRejected is the number of queries refused at admission by an
+	// attached circuit breaker (circuit open / probes busy). These never
+	// reach the source: no budget is consumed and no latency is paid, so
+	// they are accounted apart from capability Rejected.
+	BreakerRejected int
+	// Hedged is the number of accepted attempts that were the hedge leg of
+	// a raced pair (tagged by the mediator's hedging path). Kept apart from
+	// Retries so source-load numbers distinguish "asked again because it
+	// failed" from "asked twice to cut tail latency".
+	Hedged int
 }
 
 // latencyBuckets is the histogram resolution: bucket i holds observations
@@ -177,6 +189,7 @@ type Source struct {
 	stats   Stats
 	latency LatencyStats
 	faults  *faults.Injector
+	breaker *breaker.Breaker
 }
 
 // New wraps rel as an autonomous source with the given capabilities.
@@ -216,6 +229,26 @@ func (s *Source) Faults() *faults.Injector {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.faults
+}
+
+// SetBreaker attaches (or, with nil, detaches) a circuit breaker. Every
+// QueryCtx then passes through its admission check: open-circuit
+// rejections return an error wrapping breaker.ErrOpen without consuming
+// budget or touching the backing relation, and every admitted attempt's
+// outcome feeds the breaker's failure window and health score. The breaker
+// itself is concurrency-safe.
+func (s *Source) SetBreaker(b *breaker.Breaker) {
+	s.mu.Lock()
+	s.breaker = b
+	s.mu.Unlock()
+}
+
+// Breaker returns the attached circuit breaker, nil when admission is
+// unguarded.
+func (s *Source) Breaker() *breaker.Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.breaker
 }
 
 // Size returns the source's cardinality. Real autonomous sources do not
@@ -290,12 +323,16 @@ func (s *Source) Query(q relation.Query) ([]relation.Tuple, error) {
 }
 
 // QueryCtx runs q under the capability profile, honoring the context's
-// deadline/cancellation and the attached fault injector. Aggregate parts
-// of q are ignored: autonomous web sources return tuples, and the mediator
-// aggregates. Rejected queries do not consume budget and pay no latency;
-// accepted attempts are accounted (Queries, and Retries when the context
-// carries an attempt number > 1) even when they subsequently fail.
-func (s *Source) QueryCtx(ctx context.Context, q relation.Query) ([]relation.Tuple, error) {
+// deadline/cancellation, the attached fault injector, and the attached
+// circuit breaker. Aggregate parts of q are ignored: autonomous web
+// sources return tuples, and the mediator aggregates. Rejected queries —
+// capability refusals and open-circuit admission refusals alike — do not
+// consume budget and pay no latency; accepted attempts are accounted
+// (Queries, plus Retries or Hedged per the context's tags) even when they
+// subsequently fail, and their outcome is reported to the breaker:
+// transient/timeout failures feed its failure window, successes feed its
+// health score, and cancellations are neutral.
+func (s *Source) QueryCtx(ctx context.Context, q relation.Query) (_ []relation.Tuple, err error) {
 	if err := s.validate(q); err != nil {
 		s.mu.Lock()
 		s.stats.Rejected++
@@ -304,13 +341,32 @@ func (s *Source) QueryCtx(ctx context.Context, q relation.Query) ([]relation.Tup
 	}
 	attempt := faults.Attempt(ctx)
 	s.mu.Lock()
+	br := s.breaker
+	s.mu.Unlock()
+	var call *breaker.Call
+	if br != nil {
+		c, aerr := br.Allow()
+		if aerr != nil {
+			s.mu.Lock()
+			s.stats.BreakerRejected++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("source %s: %w", s.name, aerr)
+		}
+		call = c
+	}
+	s.mu.Lock()
 	if s.caps.MaxQueries > 0 && s.stats.Queries >= s.caps.MaxQueries {
 		s.stats.Rejected++
 		s.mu.Unlock()
+		// A budget refusal says nothing about source health: release the
+		// admitted call without feeding the failure window.
+		call.Observe(0, breaker.ClassNeutral)
 		return nil, fmt.Errorf("%w: source %s (budget %d)", ErrQueryBudget, s.name, s.caps.MaxQueries)
 	}
 	s.stats.Queries++
-	if attempt > 1 {
+	if faults.IsHedge(ctx) {
+		s.stats.Hedged++
+	} else if attempt > 1 {
 		s.stats.Retries++
 	}
 	inj := s.faults
@@ -318,6 +374,7 @@ func (s *Source) QueryCtx(ctx context.Context, q relation.Query) ([]relation.Tup
 	signalAdmit(ctx) // budget decision is final: release the next query
 
 	start := time.Now()
+	defer func() { call.Observe(time.Since(start), classify(err)) }()
 	var fault faults.Outcome
 	if inj != nil {
 		fault = inj.Decide(s.name, q.Key(), attempt)
@@ -369,6 +426,23 @@ func (s *Source) QueryCtx(ctx context.Context, q relation.Query) ([]relation.Tup
 	s.latency.observe(elapsed)
 	s.mu.Unlock()
 	return out, nil
+}
+
+// classify maps an attempt outcome to what it teaches the breaker:
+// transient faults and timeouts are failures; caller cancellation and
+// anything else deterministic is neutral (it says nothing about source
+// health).
+func classify(err error) breaker.Class {
+	switch {
+	case err == nil:
+		return breaker.ClassSuccess
+	case errors.Is(err, context.Canceled):
+		return breaker.ClassNeutral
+	case faults.Retryable(err):
+		return breaker.ClassFailure
+	default:
+		return breaker.ClassNeutral
+	}
 }
 
 // recordFailure accounts one accepted-but-failed attempt.

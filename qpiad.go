@@ -30,8 +30,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"qpiad/internal/afd"
+	"qpiad/internal/breaker"
 	"qpiad/internal/core"
 	"qpiad/internal/faults"
 	"qpiad/internal/nbc"
@@ -156,6 +158,18 @@ type (
 	// RetryPolicy bounds the mediator's per-query retries, backoff and
 	// deadlines.
 	RetryPolicy = core.RetryPolicy
+	// HedgePolicy arms hedged requests inside a RetryPolicy: when a source
+	// attempt outlives the source's observed p95 latency, a second attempt
+	// races it and the first success wins.
+	HedgePolicy = core.HedgePolicy
+	// BreakerConfig tunes the per-source circuit breakers (zero fields take
+	// defaults; see internal/breaker).
+	BreakerConfig = breaker.Config
+	// BreakerState is a circuit state: closed, open, or half-open.
+	BreakerState = breaker.State
+	// BreakerSnapshot is a point-in-time view of one source's circuit
+	// breaker: state, health score, failure window, and counters.
+	BreakerSnapshot = breaker.Snapshot
 	// CacheStats is a snapshot of the mediator answer-cache counters
 	// (hits, misses, evictions, coalesced duplicate queries, entries).
 	CacheStats = qcache.Stats
@@ -214,6 +228,20 @@ const (
 // bound; it never degrades the result set.
 var ErrEarlyStop = core.ErrEarlyStop
 
+// ErrCircuitOpen marks a query rejected (or a planned rewrite skipped)
+// because the source's circuit breaker was open. Match with errors.Is.
+var ErrCircuitOpen = breaker.ErrOpen
+
+// Circuit breaker states.
+const (
+	// BreakerClosed admits every query (normal operation).
+	BreakerClosed = breaker.StateClosed
+	// BreakerOpen rejects every query until the open timeout elapses.
+	BreakerOpen = breaker.StateOpen
+	// BreakerHalfOpen admits a bounded number of probe queries.
+	BreakerHalfOpen = breaker.StateHalfOpen
+)
+
 // Aggregate inclusion rules (Section 4.4).
 const (
 	// RuleArgmax includes a rewrite's whole aggregate iff the predicted
@@ -266,6 +294,21 @@ type Config struct {
 	// CacheSize bounds the answer cache in entries. 0 means the default
 	// (1024). Ignored when NoCache is set.
 	CacheSize int
+	// Breaker, when non-nil, attaches a circuit breaker with this
+	// configuration to every registered source: failing sources trip open,
+	// open sources are skipped at plan time (their estimated cost is
+	// accounted in ResultSet.EstSavedTuples), and half-open probes decide
+	// recovery. Zero fields take defaults.
+	Breaker *BreakerConfig
+	// CacheTTL bounds how long a cached answer is served as fresh. 0 means
+	// no expiry (the pre-TTL behavior). Expired entries stay readable for
+	// the stale-fallback path until StaleTTL also lapses.
+	CacheTTL time.Duration
+	// StaleTTL arms the stale-cache fallback: when the circuit for a source
+	// is open and a cached answer no older than StaleTTL exists, it is
+	// served flagged ResultSet.Stale instead of failing. 0 disables the
+	// fallback.
+	StaleTTL time.Duration
 }
 
 // System is a configured QPIAD mediator over registered sources.
@@ -290,6 +333,9 @@ func New(cfg Config) *System {
 		Parallel:  cfg.Parallel,
 		Retry:     cfg.Retry,
 		CacheSize: cfg.CacheSize,
+		Breaker:   cfg.Breaker,
+		CacheTTL:  cfg.CacheTTL,
+		StaleTTL:  cfg.StaleTTL,
 	}
 	if cfg.NoCache {
 		ccfg.NoCache = true
@@ -508,6 +554,18 @@ func (s *System) InjectFaults(sourceName string, p FaultProfile) error {
 	}
 	src.SetFaults(faults.New(p))
 	return nil
+}
+
+// BreakerSnapshot returns the circuit-breaker view of a registered source,
+// false when the source is unknown or breakers are not configured.
+func (s *System) BreakerSnapshot(sourceName string) (BreakerSnapshot, bool) {
+	return s.med.BreakerSnapshot(sourceName)
+}
+
+// StaleServed reports how many queries were answered from the stale cache
+// because the source's circuit was open.
+func (s *System) StaleServed() int64 {
+	return s.med.StaleServed()
 }
 
 // FaultStats returns the injected-fault accounting of a source, false when
