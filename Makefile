@@ -45,11 +45,11 @@ bench:
 # baseline (name -> ns/op, B/op, allocs/op, plus custom */op metrics such as
 # queries/op and ttfa-ns/op) for diffing across PRs. BENCH_FLAGS lets CI run
 # a one-iteration smoke (-benchtime=1x) without changing the target.
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 BENCH_FLAGS ?=
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkMineKnowledge|BenchmarkWarmQuery|BenchmarkRewriteGeneration|BenchmarkQuerySelectEndToEnd|BenchmarkTANEMining|BenchmarkNBCPrediction|BenchmarkStreamVsBatch|BenchmarkBreakerFlap' \
+		-bench 'BenchmarkMineKnowledge|BenchmarkWarmQuery|BenchmarkRewriteGeneration|BenchmarkQuerySelectEndToEnd|BenchmarkTANEMining|BenchmarkNBCPrediction|BenchmarkStreamVsBatch|BenchmarkBreakerFlap|BenchmarkLazyVsMaterializedAggregate' \
 		-benchmem $(BENCH_FLAGS) . | $(GO) run ./cmd/qpiad-benchjson -o $(BENCH_JSON)
 
 clean:

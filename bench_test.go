@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -447,4 +448,79 @@ func BenchmarkDatagenCars(b *testing.B) {
 			b.Fatal("bad size")
 		}
 	}
+}
+
+// BenchmarkLazyVsMaterializedAggregate pins the iterator pipeline's memory
+// claim (BENCH_PR6.json): an AVG over a selection of a 1M-tuple datagen
+// world, run once through the materializing path (batch Select, then fold
+// the collected slice) and once through the lazy path (Relation.Aggregate
+// folding the scan stream directly). The lazy variant must allocate ≥90%
+// fewer bytes/op; heap-B/op and heap-sys-B make the comparison visible in
+// the JSON alongside the standard -benchmem columns.
+func BenchmarkLazyVsMaterializedAggregate(b *testing.B) {
+	db := datagen.Cars(1_000_000, 42)
+	agg := relation.Aggregate{Func: relation.AggAvg, Attr: "price"}
+	q := relation.NewQuery("cars", relation.Eq("body_style", relation.String("Sedan")))
+	q.Agg = &agg
+	// Warm the body_style index so both variants measure query execution,
+	// not the one-time index build.
+	db.Count(relation.NewQuery("cars", relation.Eq("body_style", relation.String("Sedan"))))
+
+	// Prove the lazy stream tuple-for-tuple identical (order included) to
+	// the batch Select before timing anything.
+	sel := db.Select(q)
+	if len(sel) == 0 {
+		b.Fatal("selection is empty; benchmark would be vacuous")
+	}
+	i := 0
+	for t := range db.Scan(q) {
+		if i >= len(sel) || !t.Equal(sel[i]) {
+			b.Fatalf("lazy scan diverges from batch Select at tuple %d", i)
+		}
+		i++
+	}
+	if i != len(sel) {
+		b.Fatalf("lazy scan yielded %d tuples, Select returned %d", i, len(sel))
+	}
+	want, err := agg.Fold(db.Schema, relation.FromTuples(sel))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	check := func(b *testing.B, res relation.AggResult, err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows != want.Rows || res.Value != want.Value {
+			b.Fatalf("aggregate drifted: %+v, want %+v", res, want)
+		}
+	}
+	reportHeap := func(b *testing.B, before runtime.MemStats) {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(b.N), "heap-B/op")
+		b.ReportMetric(float64(after.HeapSys), "heap-sys-B")
+	}
+
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < b.N; i++ {
+			rows := db.Select(q)
+			res, err := agg.Fold(db.Schema, relation.FromTuples(rows))
+			check(b, res, err)
+		}
+		reportHeap(b, before)
+	})
+	b.Run("lazy", func(b *testing.B) {
+		b.ReportAllocs()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < b.N; i++ {
+			res, err := db.Aggregate(q)
+			check(b, res, err)
+		}
+		reportHeap(b, before)
+	})
 }

@@ -1,5 +1,6 @@
 // qpiad-vet runs QPIAD's custom invariant analyzers (nodeterm, ctxflow,
-// locksafe, nakedgoroutine — see internal/analysis) in two modes:
+// locksafe, nakedgoroutine, tupleescape — see internal/analysis) in two
+// modes:
 //
 //	qpiad-vet [patterns...]       standalone: analyze module packages
 //	                              (default ./...) and exit 1 on findings.
@@ -32,6 +33,7 @@ import (
 	"qpiad/internal/analysis/locksafe"
 	"qpiad/internal/analysis/nakedgoroutine"
 	"qpiad/internal/analysis/nodeterm"
+	"qpiad/internal/analysis/tupleescape"
 )
 
 // analyzers is the full suite, in reporting order.
@@ -40,6 +42,7 @@ var analyzers = []*analysis.Analyzer{
 	locksafe.Analyzer,
 	nakedgoroutine.Analyzer,
 	nodeterm.Analyzer,
+	tupleescape.Analyzer,
 }
 
 func main() {

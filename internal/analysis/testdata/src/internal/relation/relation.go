@@ -1,0 +1,33 @@
+// Package relation is a fixture stub of qpiad/internal/relation: just
+// enough surface (Tuple, Value, TupleSeq, Clone) for the tupleescape
+// fixtures to type-check. PathMatches-based analyzers treat the import path
+// "internal/relation" as the real package.
+package relation
+
+// Value is a stub attribute value.
+type Value struct{ k uint8 }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.k == 0 }
+
+// Tuple is a stub tuple.
+type Tuple []Value
+
+// Clone deep-copies the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Key returns a canonical encoding.
+func (t Tuple) Key() string { return "" }
+
+// TupleSeq is the stub pull iterator.
+type TupleSeq func(yield func(Tuple) bool)
+
+// Filter yields only tuples keep accepts.
+func (s TupleSeq) Filter(keep func(Tuple) bool) TupleSeq { return s }
+
+// Map transforms each tuple.
+func (s TupleSeq) Map(f func(Tuple) Tuple) TupleSeq { return s }

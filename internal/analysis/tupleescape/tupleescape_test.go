@@ -1,0 +1,20 @@
+package tupleescape_test
+
+import (
+	"testing"
+
+	"qpiad/internal/analysis"
+	"qpiad/internal/analysis/analysistest"
+	"qpiad/internal/analysis/tupleescape"
+)
+
+func TestTupleEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{tupleescape.Analyzer}, "internal/tupleescape")
+}
+
+// TestOutOfScope proves non-internal packages are exempt.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{tupleescape.Analyzer}, "outscope")
+}

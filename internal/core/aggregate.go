@@ -203,36 +203,32 @@ func (m *Mediator) shouldInclude(rq RewrittenQuery, rule InclusionRule) (bool, f
 
 // aggregateOver evaluates agg over tuples, optionally predicting values
 // null on the aggregated attribute (argmax completion) instead of skipping
-// them.
+// them. Completion is a Map stage in the fold pipeline, so no completed
+// copy of the tuple set is ever materialized — each incomplete tuple is
+// cloned, patched, folded and dropped.
 func (m *Mediator) aggregateOver(s *relation.Schema, k *Knowledge, agg relation.Aggregate, tuples []relation.Tuple, predictMissing bool) (float64, int, error) {
-	if !predictMissing || agg.Attr == "" {
-		res, err := agg.Apply(s, tuples)
-		if err != nil {
-			return 0, 0, err
-		}
-		return res.Value, res.Rows, nil
-	}
-	col, ok := s.Index(agg.Attr)
-	if !ok {
-		return 0, 0, fmt.Errorf("core: aggregate attribute %q missing", agg.Attr)
-	}
-	p := k.Predictors[agg.Attr]
-	completed := make([]relation.Tuple, 0, len(tuples))
-	for _, t := range tuples {
-		if !t[col].IsNull() || p == nil {
-			completed = append(completed, t)
-			continue
-		}
-		guess, _, ok := p.Predict(s, t).Top()
+	seq := relation.FromTuples(tuples)
+	if predictMissing && agg.Attr != "" {
+		col, ok := s.Index(agg.Attr)
 		if !ok {
-			completed = append(completed, t)
-			continue
+			return 0, 0, fmt.Errorf("core: aggregate attribute %q missing", agg.Attr)
 		}
-		ct := t.Clone()
-		ct[col] = guess
-		completed = append(completed, ct)
+		if p := k.Predictors[agg.Attr]; p != nil {
+			seq = seq.Map(func(t relation.Tuple) relation.Tuple {
+				if !t[col].IsNull() {
+					return t
+				}
+				guess, _, ok := p.Predict(s, t).Top()
+				if !ok {
+					return t
+				}
+				ct := t.Clone()
+				ct[col] = guess
+				return ct
+			})
+		}
 	}
-	res, err := agg.Apply(s, completed)
+	res, err := agg.Fold(s, seq)
 	if err != nil {
 		return 0, 0, err
 	}

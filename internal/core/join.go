@@ -129,9 +129,12 @@ func (m *Mediator) QueryJoinCtx(ctx context.Context, spec JoinSpec) (*JoinResult
 
 	res := &JoinResult{Spec: spec}
 
-	// Step 5: issue component queries once each.
+	// Step 5: issue component queries once each. The right side's hash
+	// index is memoized alongside the fetch: a right unit appearing in many
+	// scored pairs is indexed once, not once per pair.
 	type sideResult struct {
 		answers []Answer
+		index   map[string][]joinEntry
 	}
 	leftResults := make(map[string]*sideResult)
 	rightResults := make(map[string]*sideResult)
@@ -187,50 +190,30 @@ func (m *Mediator) QueryJoinCtx(ctx context.Context, spec JoinSpec) (*JoinResult
 		lres := fetch(lu, ls, leftResults, lbase)
 		rres := fetch(ru, rsrc, rightResults, rbase)
 
-		// Step 6: hash join with missing-value prediction.
-		index := make(map[string][]joinSide, len(rres.answers))
-		for _, ra := range rres.answers {
-			v := ra.Tuple[rcol]
-			conf := ra.Confidence
-			if v.IsNull() {
-				if rpred == nil {
-					continue
-				}
-				guess, p, ok := rpred.Predict(rsrc.Schema(), ra.Tuple).Top()
-				if !ok {
-					continue
-				}
-				v = guess
-				conf *= p
-			}
-			index[v.Key()] = append(index[v.Key()], joinSide{ans: ra, val: v, conf: conf})
+		// Step 6: hash join with missing-value prediction (build memoized
+		// per right unit, probe streamed per left answer).
+		if rres.index == nil {
+			rres.index = buildJoinIndex(rsrc.Schema(), rres.answers, rcol, rpred)
 		}
 		for _, la := range lres.answers {
-			v := la.Tuple[lcol]
-			conf := la.Confidence
-			if v.IsNull() {
-				if lpred == nil {
-					continue
-				}
-				guess, p, ok := lpred.Predict(ls.Schema(), la.Tuple).Top()
-				if !ok {
-					continue
-				}
-				v = guess
-				conf *= p
+			le, ok := resolveJoinValue(ls.Schema(), la, lcol, lpred)
+			if !ok {
+				continue
 			}
-			for _, rsd := range index[v.Key()] {
-				key := la.Tuple.Key() + "\x1f" + rsd.ans.Tuple.Key()
+			for _, re := range rres.index[le.val.Key()] {
+				key := la.Tuple.Key() + "\x1f" + re.ans.Tuple.Key()
 				if seenJoin[key] {
 					continue
 				}
 				seenJoin[key] = true
 				res.Answers = append(res.Answers, JoinAnswer{
-					Left:       la.Tuple,
-					Right:      rsd.ans.Tuple,
-					JoinValue:  v,
-					Certain:    la.Certain && rsd.ans.Certain && !la.Tuple[lcol].IsNull() && !rsd.ans.Tuple[rcol].IsNull(),
-					Confidence: conf * rsd.conf,
+					Left:      la.Tuple,
+					Right:     re.ans.Tuple,
+					JoinValue: le.val,
+					// A predicted join value means the stored one was null, so
+					// !predded is exactly the old non-null check.
+					Certain:    la.Certain && re.ans.Certain && !le.predded && !re.predded,
+					Confidence: le.conf * re.conf,
 				})
 			}
 		}
@@ -244,10 +227,48 @@ func (m *Mediator) QueryJoinCtx(ctx context.Context, spec JoinSpec) (*JoinResult
 	return res, nil
 }
 
-type joinSide struct {
-	ans  Answer
-	val  relation.Value
-	conf float64
+// joinEntry is one answer carried through the mediator's hash join: the
+// resolved join value (stored, or NBC-predicted when the stored value was
+// null), the confidence after any prediction discount, and whether a
+// prediction happened — a predicted entry can never be part of a certain
+// join. Shared by the two-way and chain joins.
+type joinEntry struct {
+	ans     Answer
+	val     relation.Value
+	conf    float64
+	predded bool
+}
+
+// resolveJoinValue resolves an answer's join value at column col, predicting
+// with pred when the stored value is null. ok=false means the value is null
+// and unpredictable, so the answer cannot join at all.
+func resolveJoinValue(s *relation.Schema, a Answer, col int, pred *nbc.Predictor) (joinEntry, bool) {
+	v := a.Tuple[col]
+	if !v.IsNull() {
+		return joinEntry{ans: a, val: v, conf: a.Confidence}, true
+	}
+	if pred == nil {
+		return joinEntry{}, false
+	}
+	guess, p, ok := pred.Predict(s, a.Tuple).Top()
+	if !ok {
+		return joinEntry{}, false
+	}
+	return joinEntry{ans: a, val: guess, conf: a.Confidence * p, predded: true}, true
+}
+
+// buildJoinIndex hashes answers by resolved join value — the build side of
+// the mediator's hash join, in answer order per key.
+func buildJoinIndex(s *relation.Schema, answers []Answer, col int, pred *nbc.Predictor) map[string][]joinEntry {
+	idx := make(map[string][]joinEntry, len(answers))
+	for _, a := range answers {
+		e, ok := resolveJoinValue(s, a, col, pred)
+		if !ok {
+			continue
+		}
+		idx[e.val.Key()] = append(idx[e.val.Key()], e)
+	}
+	return idx
 }
 
 // buildUnits assembles Q∪Q′ for one side of the join: the complete query

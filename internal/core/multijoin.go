@@ -190,55 +190,28 @@ func (m *Mediator) QueryJoinChainCtx(ctx context.Context, spec ChainSpec) (*Chai
 		lpred := sides[a].k.Predictors[lAttr]
 		rpred := sides[a+1].k.Predictors[rAttr]
 
-		// Index the right side by (possibly predicted) join value.
-		type rightEntry struct {
-			ans      Answer
-			conf     float64
-			resolved relation.Value
-			predded  bool
-		}
-		index := map[string][]rightEntry{}
-		for _, ra := range answers[a+1] {
-			v := ra.Tuple[rcol]
-			conf := ra.Confidence
-			predded := false
-			if v.IsNull() {
-				if rpred == nil {
-					continue
-				}
-				guess, p, ok := rpred.Predict(sides[a+1].src.Schema(), ra.Tuple).Top()
-				if !ok {
-					continue
-				}
-				v, conf, predded = guess, conf*p, true
-			}
-			index[v.Key()] = append(index[v.Key()], rightEntry{ra, conf, v, predded})
-		}
+		// Index the right side by (possibly predicted) join value — the same
+		// build/probe machinery as the two-way join.
+		index := buildJoinIndex(sides[a+1].src.Schema(), answers[a+1], rcol, rpred)
 
 		var next []partial
 		for _, ch := range chains {
 			last := ch.tuples[len(ch.tuples)-1]
-			v := last[lcol]
-			conf := ch.conf
-			certain := ch.certain
-			if v.IsNull() {
-				if lpred == nil {
-					continue
-				}
-				guess, p, ok := lpred.Predict(sides[a].src.Schema(), last).Top()
-				if !ok {
-					continue
-				}
-				v, conf, certain = guess, conf*p, false
+			// Probe with the chain's accumulated confidence: the partial
+			// chain plays the role of the left answer.
+			le, ok := resolveJoinValue(sides[a].src.Schema(),
+				Answer{Tuple: last, Confidence: ch.conf}, lcol, lpred)
+			if !ok {
+				continue
 			}
-			for _, re := range index[v.Key()] {
+			for _, re := range index[le.val.Key()] {
 				tuples := make([]relation.Tuple, len(ch.tuples)+1)
 				copy(tuples, ch.tuples)
 				tuples[len(ch.tuples)] = re.ans.Tuple
 				next = append(next, partial{
 					tuples:  tuples,
-					certain: certain && re.ans.Certain && !re.predded,
-					conf:    conf * re.conf,
+					certain: ch.certain && !le.predded && re.ans.Certain && !re.predded,
+					conf:    le.conf * re.conf,
 				})
 			}
 		}

@@ -114,6 +114,13 @@ func answerKey(srcName string, q relation.Query, cfg Config) string {
 // clone shallow-copies the result set so callers can sort, trim and project
 // their copy without mutating the cached master. Answers and tuples are
 // shared: the pipeline never mutates them after assembly.
+//
+// Aliasing audit: sharing tuples here is safe because no tuple in a
+// ResultSet ever aliases a relation's backing store. Every tuple enters the
+// pipeline through Source.QueryCtx, which clones at the wire boundary (its
+// scan is piped through Cloned before collection), so the cache holds — and
+// hands out — tuples owned by the mediator alone. Relation.Select's
+// aliasing contract stops at the source wall.
 func (rs *ResultSet) clone() *ResultSet {
 	cp := *rs
 	cp.Certain = append([]Answer(nil), rs.Certain...)

@@ -39,6 +39,13 @@ import (
 // change the top-N possible answers. When it trips, unissued rewrites are
 // skipped (queries saved), in-flight ones are cancelled through their
 // context, and the summary records what was saved.
+//
+// The executor sits on the lazy relational pipeline end to end: each
+// rewrite's rows come from Source.QueryCtx, which streams Relation.Scan
+// through its result cap and clones at the yield, so early termination here
+// composes with early termination there — a cancelled or skipped rewrite
+// stops pulling, and nothing upstream materializes (see the ownership rules
+// in internal/relation/seq.go and DESIGN.md).
 
 // StreamEventKind enumerates the streaming executor's event types.
 type StreamEventKind uint8

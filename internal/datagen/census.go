@@ -83,6 +83,7 @@ var (
 func Census(n int, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
 	r := relation.New("census", CensusSchema())
+	r.Grow(n)
 	for i := 0; i < n; i++ {
 		p := pickPersona(rng)
 		sex := "Male"

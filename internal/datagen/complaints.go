@@ -48,6 +48,7 @@ var detailedComponents = map[string][]string{
 func Complaints(n int, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
 	r := relation.New("complaints", ComplaintsSchema())
+	r.Grow(n)
 	for i := 0; i < n; i++ {
 		m := pickModel(rng) // complaint volume follows fleet size
 		comp := m.Components[0]
@@ -140,6 +141,7 @@ func Recalls(n int, seed int64) *relation.Relation {
 	}
 	sort.Strings(components)
 	r := relation.New("recalls", RecallsSchema())
+	r.Grow(n)
 	for i := 0; i < n; i++ {
 		comp := components[rng.Intn(len(components))]
 		prof := recallProfiles[comp]

@@ -159,6 +159,7 @@ func CarsSchema() *relation.Schema {
 func Cars(n int, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
 	r := relation.New("cars", CarsSchema())
+	r.Grow(n)
 	for i := 0; i < n; i++ {
 		m := pickModel(rng)
 		year := 1996 + rng.Intn(10) // 1996–2005

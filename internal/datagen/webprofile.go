@@ -80,6 +80,7 @@ func WebCars(n int, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
 	cars := Cars(n, seed)
 	r := relation.New("webcars", WebCarsSchema())
+	r.Grow(cars.Len())
 	for i := 0; i < cars.Len(); i++ {
 		t := cars.Tuple(i)
 		price := t[cars.Schema.MustIndex("price")].IntVal()
@@ -107,6 +108,7 @@ func WebCars(n int, seed int64) *relation.Relation {
 func ApplyProfile(gd *relation.Relation, p WebProfile, seed int64) *relation.Relation {
 	rng := rand.New(rand.NewSource(seed))
 	out := relation.New(p.Name, gd.Schema)
+	out.Grow(gd.Len())
 	idCol := idColumn(gd.Schema)
 	var nullable []int
 	for i := 0; i < gd.Schema.Len(); i++ {

@@ -70,8 +70,19 @@ type AggResult struct {
 // SQL semantics: nulls are skipped for attribute aggregates; COUNT(*)
 // counts all tuples.
 func (a Aggregate) Apply(s *Schema, tuples []Tuple) (AggResult, error) {
+	return a.Fold(s, FromTuples(tuples))
+}
+
+// Fold evaluates the aggregate by streaming the tuple sequence through a
+// constant-size accumulator — the lazy counterpart of Apply, and the reason
+// Relation.Aggregate never materializes its selected set. Values are
+// consumed during their yield (Value is a value type, so extremum tracking
+// copies rather than retains), so the fold is safe over store-aliasing
+// streams.
+func (a Aggregate) Fold(s *Schema, seq TupleSeq) (AggResult, error) {
 	if a.Func == AggCount && a.Attr == "" {
-		return AggResult{Value: float64(len(tuples)), Rows: len(tuples)}, nil
+		n := seq.Count()
+		return AggResult{Value: float64(n), Rows: n}, nil
 	}
 	idx, ok := s.Index(a.Attr)
 	if !ok {
@@ -83,7 +94,7 @@ func (a Aggregate) Apply(s *Schema, tuples []Tuple) (AggResult, error) {
 		ext   Value
 	)
 	numeric := true
-	for _, t := range tuples {
+	for t := range seq {
 		v := t[idx]
 		if v.IsNull() {
 			continue

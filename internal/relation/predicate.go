@@ -181,6 +181,22 @@ func (q Query) Matches(s *Schema, t Tuple) bool {
 	return true
 }
 
+// matchesExcept is Matches with the predicate at index skip omitted. Scan
+// uses it to avoid re-evaluating the drive predicate, which every tuple on
+// the drive posting list satisfies by construction. skip < 0 evaluates all
+// predicates.
+func (q Query) matchesExcept(s *Schema, t Tuple, skip int) bool {
+	for i, p := range q.Preds {
+		if i == skip {
+			continue
+		}
+		if !p.Matches(s, t) {
+			return false
+		}
+	}
+	return true
+}
+
 // ConstrainedAttrs returns the distinct attribute names constrained by the
 // query, in first-appearance order.
 func (q Query) ConstrainedAttrs() []string {

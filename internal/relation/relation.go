@@ -39,18 +39,26 @@ func (r *Relation) Insert(t Tuple) error {
 	return nil
 }
 
-// InsertAll appends every tuple, validating each, and invalidates indexes at
-// most once — the bulk-load entry point for generators and CSV loading. On a
-// validation error the tuples before the bad one are already appended.
+// InsertAll appends every tuple, validating each, and invalidates indexes
+// at most once — the bulk-load entry point for generators and CSV loading.
+// The call is atomic: on a validation error the relation is rolled back to
+// its prior state, so a failed bulk load never leaves a partial append in
+// the caller's hands.
 func (r *Relation) InsertAll(ts []Tuple) error {
 	if cap(r.tuples)-len(r.tuples) < len(ts) {
 		grown := make([]Tuple, len(r.tuples), len(r.tuples)+len(ts))
 		copy(grown, r.tuples)
 		r.tuples = grown
 	}
+	start := len(r.tuples)
 	for _, t := range ts {
 		if err := r.coerce(t); err != nil {
-			r.invalidateIndexes()
+			// Roll back: zero the appended entries so the backing array does
+			// not retain the caller's tuples, then truncate. The visible
+			// prefix is exactly what it was, so existing indexes stay valid
+			// and no invalidation is needed.
+			clear(r.tuples[start:])
+			r.tuples = r.tuples[:start]
 			return err
 		}
 		r.tuples = append(r.tuples, t)
@@ -59,8 +67,22 @@ func (r *Relation) InsertAll(ts []Tuple) error {
 	return nil
 }
 
+// Grow pre-sizes the tuple store for n upcoming inserts, so bulk
+// generators building 10M-tuple worlds append without repeated
+// reallocation and copying.
+func (r *Relation) Grow(n int) {
+	if cap(r.tuples)-len(r.tuples) >= n {
+		return
+	}
+	grown := make([]Tuple, len(r.tuples), len(r.tuples)+n)
+	copy(grown, r.tuples)
+	r.tuples = grown
+}
+
 // coerce validates arity and kinds (null is valid for every attribute),
-// rewriting int constants destined for float columns in place.
+// rewriting int constants destined for float columns in place. Validation
+// runs fully before any mutation: a tuple that fails on a later attribute
+// is returned to the caller untouched, never half-coerced.
 func (r *Relation) coerce(t Tuple) error {
 	if len(t) != r.Schema.Len() {
 		return fmt.Errorf("relation %s: tuple arity %d, schema arity %d", r.Name, len(t), r.Schema.Len())
@@ -71,13 +93,18 @@ func (r *Relation) coerce(t Tuple) error {
 		}
 		want := r.Schema.Attr(i).Kind
 		if v.Kind() != want {
-			// Permit int constants in float columns.
+			// Permit int constants in float columns (coerced below, after
+			// the whole tuple has validated).
 			if want == KindFloat && v.Kind() == KindInt {
-				t[i] = Float(float64(v.IntVal()))
 				continue
 			}
 			return fmt.Errorf("relation %s: attribute %s wants %s, got %s",
 				r.Name, r.Schema.Attr(i).Name, want, v.Kind())
+		}
+	}
+	for i, v := range t {
+		if !v.IsNull() && v.Kind() == KindInt && r.Schema.Attr(i).Kind == KindFloat {
+			t[i] = Float(float64(v.IntVal()))
 		}
 	}
 	return nil
@@ -147,152 +174,208 @@ func (r *Relation) index(attr string) map[string][]int {
 
 // Select returns the tuples satisfying the query's predicates, driven by the
 // smallest applicable index posting list. The returned slice aliases the
-// relation's tuples.
+// relation's tuples: callers may read it freely but must not mutate the
+// tuples, and anything that outlives the relation's read phase (caches,
+// sampled worlds, wire transfers) must deep-copy via Tuple.Clone first.
 func (r *Relation) Select(q Query) []Tuple {
-	var out []Tuple
-	r.scan(q, func(t Tuple) { out = append(out, t) })
-	return out
+	return r.Scan(q).Collect()
 }
 
 // Count returns the number of tuples satisfying the query without
 // materializing them.
 func (r *Relation) Count(q Query) int {
-	n := 0
-	r.scan(q, func(Tuple) { n++ })
-	return n
+	return r.Scan(q).Count()
 }
 
-// scan invokes fn for every tuple satisfying q, in tuple-position order.
-// All equality and is-null predicates are probed against their hash indexes
-// and the smallest posting list drives the scan — a rewrite binding several
-// determining attributes pays for the rarest one, not the first one written.
-// Queries with no indexable predicate fall back to a full scan. Posting
-// lists hold positions in insertion order, so the drive choice never changes
-// the output order.
-func (r *Relation) scan(q Query, fn func(Tuple)) {
-	driven := false
-	var drive []int
-	for _, p := range q.Preds {
-		if (p.Op != OpEq && p.Op != OpIsNull) || !r.Schema.Has(p.Attr) {
-			continue
-		}
-		idx := r.index(p.Attr)
-		if idx == nil {
-			continue
-		}
-		key := p.Value.Key()
-		if p.Op == OpIsNull {
-			key = Null().Key()
-		}
-		list := idx[key]
-		if !driven || len(list) < len(drive) {
-			driven, drive = true, list
-		}
-		if len(drive) == 0 {
-			// Some predicate matches nothing: the conjunction is empty.
-			return
-		}
-	}
-	if driven {
-		for _, pos := range drive {
-			if t := r.tuples[pos]; q.Matches(r.Schema, t) {
-				fn(t)
+// Scan streams the tuples satisfying q, in tuple-position order — the lazy
+// form of Select, and the root of every operator pipeline over this
+// relation. All equality and is-null predicates are probed against their
+// hash indexes and the smallest posting list drives the scan — a rewrite
+// binding several determining attributes pays for the rarest one, not the
+// first one written. Queries with no index-drivable predicate fall back to
+// a full scan. Posting lists hold positions in insertion order, so the
+// drive choice never changes the output order. The drive predicate itself
+// is satisfied by construction of its posting list and is not re-evaluated
+// per tuple.
+//
+// Yielded tuples alias the relation's store: hold one past the yield only
+// via Tuple.Clone (or pipe through Cloned).
+func (r *Relation) Scan(q Query) TupleSeq {
+	return func(yield func(Tuple) bool) {
+		driven := false
+		driveIdx := -1 // index into q.Preds of the drive predicate
+		var drive []int
+		for pi, p := range q.Preds {
+			key, mode := r.probeKey(p)
+			if mode == probeNone {
+				continue
+			}
+			if mode == probeEmpty {
+				// The predicate provably matches no tuple (e.g. a string
+				// constant against an int column): the conjunction is empty.
+				return
+			}
+			idx := r.index(p.Attr)
+			if idx == nil {
+				continue
+			}
+			list := idx[key]
+			if !driven || len(list) < len(drive) {
+				driven, drive, driveIdx = true, list, pi
+			}
+			if len(drive) == 0 {
+				// Some predicate matches nothing: the conjunction is empty.
+				return
 			}
 		}
-		return
-	}
-	for _, t := range r.tuples {
-		if q.Matches(r.Schema, t) {
-			fn(t)
+		if driven {
+			for _, pos := range drive {
+				if t := r.tuples[pos]; q.matchesExcept(r.Schema, t, driveIdx) {
+					if !yield(t) {
+						return
+					}
+				}
+			}
+			return
 		}
+		for _, t := range r.tuples {
+			if q.Matches(r.Schema, t) {
+				if !yield(t) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// probeMode classifies what the index can do for one predicate.
+type probeMode uint8
+
+const (
+	// probeNone: the predicate cannot drive an index scan; it is evaluated
+	// per tuple as usual.
+	probeNone probeMode = iota
+	// probeKeyed: the predicate maps to exactly one posting-list key, and
+	// every tuple in that list satisfies the predicate by construction.
+	probeKeyed
+	// probeEmpty: the predicate provably matches no tuple; the whole
+	// conjunction is empty.
+	probeEmpty
+)
+
+// probeKey maps a predicate to its hash-index posting-list key. Keys are
+// canonicalized to the column's kind: coerce stores every non-null value of
+// a column at the schema kind, while Value.Key is kind-sensitive — probing
+// a float column's index with an int constant's key would miss every tuple
+// that Predicate.Matches accepts via cross-kind numeric equality, silently
+// emptying the result. probeKeyed is returned only when posting-list
+// membership implies the predicate holds, which is what lets Scan skip
+// re-evaluating the drive predicate per tuple.
+func (r *Relation) probeKey(p Predicate) (string, probeMode) {
+	col, ok := r.Schema.Index(p.Attr)
+	if !ok {
+		return "", probeNone
+	}
+	switch p.Op {
+	case OpIsNull:
+		return Null().Key(), probeKeyed
+	case OpEq:
+		// Handled below.
+	default:
+		return "", probeNone
+	}
+	v := p.Value
+	if v.IsNull() {
+		// Equality against null matches nothing under SQL semantics — but
+		// the null posting list is exactly the tuples Matches rejects, so
+		// the index cannot drive; report provably-empty instead.
+		return "", probeEmpty
+	}
+	want := r.Schema.Attr(col).Kind
+	switch {
+	case v.Kind() == want:
+		return v.Key(), probeKeyed
+	case want == KindFloat:
+		// Int constants compare Equal to float columns via float64
+		// conversion; the converted key matches exactly those tuples.
+		if f, ok := v.Numeric(); ok {
+			return Float(f).Key(), probeKeyed
+		}
+		return "", probeEmpty
+	case want == KindInt && v.Kind() == KindFloat:
+		// A float constant can equal an int column value only when it is
+		// integral; beyond 2^53 several ints share one float64, so the
+		// single-key probe would be incomplete — fall back to scanning.
+		const maxExact = 1 << 53
+		f := v.FloatVal()
+		if f != float64(int64(f)) {
+			return "", probeEmpty
+		}
+		if f >= maxExact || f <= -maxExact {
+			return "", probeNone
+		}
+		return Int(int64(f)).Key(), probeKeyed
+	default:
+		// Cross-kind equality is defined only through numeric conversion;
+		// any other kind mismatch matches no stored value.
+		return "", probeEmpty
 	}
 }
 
 // Aggregate evaluates q's aggregate over the tuples selected by q's
-// predicates. It errors if q carries no aggregate.
+// predicates, folding the scan stream without materializing the selected
+// set. It errors if q carries no aggregate.
 func (r *Relation) Aggregate(q Query) (AggResult, error) {
 	if q.Agg == nil {
 		return AggResult{}, fmt.Errorf("relation %s: query %s has no aggregate", r.Name, q)
 	}
-	return q.Agg.Apply(r.Schema, r.Select(q))
+	return q.Agg.Fold(r.Schema, r.Scan(q))
 }
 
 // DistinctOn returns the distinct value combinations over the named
 // attributes among the given tuples, in first-appearance order. Tuples with
 // a null on any of the attributes are skipped: a null determining-set value
-// cannot seed a rewritten query.
+// cannot seed a rewritten query. The returned tuples are fresh projections,
+// never aliasing the inputs.
 func DistinctOn(s *Schema, tuples []Tuple, attrs []string) []Tuple {
-	cols := make([]int, len(attrs))
-	for i, a := range attrs {
-		c, ok := s.Index(a)
-		if !ok {
-			return nil
-		}
-		cols[i] = c
-	}
-	seen := make(map[string]bool)
-	var out []Tuple
-	for _, t := range tuples {
-		null := false
-		for _, c := range cols {
-			if t[c].IsNull() {
-				null = true
-				break
-			}
-		}
-		if null {
-			continue
-		}
-		k := t.KeyOn(cols)
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		proj := make(Tuple, len(cols))
-		for i, c := range cols {
-			proj[i] = t[c]
-		}
-		out = append(out, proj)
-	}
-	return out
+	return DistinctOnSeq(s, FromTuples(tuples), attrs).Collect()
 }
 
 // ProjectTuples projects each tuple onto the named attributes of schema s,
 // in the given order. QPIAD internally projects the full attribute set and
 // trims for the user at the end (Section 4 footnote); this is that trim.
 func ProjectTuples(s *Schema, tuples []Tuple, attrs []string) ([]Tuple, *Schema, error) {
-	ps, err := s.Project(attrs...)
+	seq, ps, err := ProjectSeq(s, FromTuples(tuples), attrs)
 	if err != nil {
 		return nil, nil, err
 	}
-	cols := make([]int, len(attrs))
-	for i, a := range attrs {
-		cols[i] = s.MustIndex(a)
-	}
-	out := make([]Tuple, len(tuples))
-	for i, t := range tuples {
-		pt := make(Tuple, len(cols))
-		for j, c := range cols {
-			pt[j] = t[c]
-		}
-		out[i] = pt
+	out := seq.Collect()
+	if out == nil {
+		// Preserve the historical contract: projection of an empty tuple set
+		// is an empty (non-nil) slice.
+		out = []Tuple{}
 	}
 	return out, ps, nil
 }
 
 // Sample returns a relation containing n tuples drawn uniformly without
-// replacement using rng. If n >= Len, a clone is returned.
+// replacement using rng, deep-copied via Tuple.Clone: a sampled world
+// mutated by eval or datagen (e.g. MakeIncomplete nulling attributes) must
+// never write through to the source relation's tuples. If n >= Len, a full
+// clone is returned.
 func (r *Relation) Sample(n int, rng *rand.Rand) *Relation {
 	out := New(r.Name+"_sample", r.Schema)
 	if n >= len(r.tuples) {
 		out.tuples = make([]Tuple, len(r.tuples))
-		copy(out.tuples, r.tuples)
+		for i, t := range r.tuples {
+			out.tuples[i] = t.Clone()
+		}
 		return out
 	}
 	perm := rng.Perm(len(r.tuples))[:n]
 	out.tuples = make([]Tuple, 0, n)
 	for _, i := range perm {
-		out.tuples = append(out.tuples, r.tuples[i])
+		out.tuples = append(out.tuples, r.tuples[i].Clone())
 	}
 	return out
 }

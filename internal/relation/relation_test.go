@@ -199,15 +199,25 @@ func TestInsertAll(t *testing.T) {
 	}
 }
 
-func TestInsertAllValidationStopsAtBadTuple(t *testing.T) {
+func TestInsertAllRollsBackOnBadTuple(t *testing.T) {
 	r := New("cars", paperFragment().Schema)
 	good := Tuple{Int(1), String("Audi"), String("A4"), Int(2001), String("Convt")}
 	bad := Tuple{Int(2)} // arity mismatch
 	if err := r.InsertAll([]Tuple{good, bad, good}); err == nil {
 		t.Fatal("bad tuple should error")
 	}
-	if r.Len() != 1 {
-		t.Errorf("tuples before the bad one should be kept: len = %d", r.Len())
+	if r.Len() != 0 {
+		t.Errorf("InsertAll is atomic: a failed batch should leave the relation untouched, len = %d", r.Len())
+	}
+	// A failed batch atop existing tuples restores the prior state exactly.
+	if err := r.Insert(good.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InsertAll([]Tuple{good.Clone(), bad}); err == nil {
+		t.Fatal("bad tuple should error")
+	}
+	if r.Len() != 1 || !r.Tuple(0).Equal(good) {
+		t.Errorf("rollback should restore the pre-call state, len = %d", r.Len())
 	}
 }
 

@@ -409,17 +409,24 @@ func (s *Source) QueryCtx(ctx context.Context, q relation.Query) (_ []relation.T
 		return nil, fmt.Errorf("source %s: %w", s.name, err)
 	}
 
-	rows := s.rel.Select(q)
-	if s.caps.MaxResults > 0 && len(rows) > s.caps.MaxResults {
-		rows = rows[:s.caps.MaxResults]
+	// Stream the scan instead of materializing Select's full result: the
+	// result cap (capability MaxResults and/or an injected page truncation)
+	// is pushed into the pipeline, so a truncated page over a huge relation
+	// stops scanning — and stops paying Clone — at the cap. Cloning at the
+	// yield is the wire boundary: returned tuples never alias the backing
+	// relation's store.
+	limit := 0 // 0 = unlimited
+	if s.caps.MaxResults > 0 {
+		limit = s.caps.MaxResults
 	}
-	if fault.TruncateTo > 0 && len(rows) > fault.TruncateTo {
-		rows = rows[:fault.TruncateTo]
+	if fault.TruncateTo > 0 && (limit == 0 || fault.TruncateTo < limit) {
+		limit = fault.TruncateTo
 	}
-	out := make([]relation.Tuple, len(rows))
-	for i, t := range rows {
-		out[i] = t.Clone()
+	scan := s.rel.Scan(q)
+	if limit > 0 {
+		scan = scan.Take(limit)
 	}
+	out := scan.Cloned().Collect()
 	elapsed := time.Since(start)
 	s.mu.Lock()
 	s.stats.TuplesReturned += len(out)
