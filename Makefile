@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet lint test race vuln bench bench-json clean
+.PHONY: tier1 build vet lint test race vuln bench bench-json bench-planner clean
 
 tier1: build vet lint race
 
@@ -51,6 +51,15 @@ bench-json:
 	$(GO) test -run '^$$' \
 		-bench 'BenchmarkMineKnowledge|BenchmarkWarmQuery|BenchmarkRewriteGeneration|BenchmarkQuerySelectEndToEnd|BenchmarkTANEMining|BenchmarkNBCPrediction|BenchmarkStreamVsBatch|BenchmarkBreakerFlap|BenchmarkLazyVsMaterializedAggregate' \
 		-benchmem $(BENCH_FLAGS) . | $(GO) run ./cmd/qpiad-benchjson -o $(BENCH_JSON)
+
+# bench-planner pins the PR7 planner claim: on the pessimal four-source
+# chain, planner-on must strictly reduce source queries/op and tuples/op vs
+# caller order (the benchmark itself b.Fatals otherwise, and first proves
+# planner-on/off answer-set equivalence). Writes the JSON baseline.
+BENCH_PLANNER_JSON ?= BENCH_PR7.json
+bench-planner:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlannerVsCallerOrder' \
+		-benchmem $(BENCH_FLAGS) . | $(GO) run ./cmd/qpiad-benchjson -o $(BENCH_PLANNER_JSON)
 
 clean:
 	$(GO) clean ./...

@@ -36,6 +36,7 @@ import (
 	"qpiad/internal/faults"
 	"qpiad/internal/httpapi"
 	"qpiad/internal/nbc"
+	"qpiad/internal/planner"
 	"qpiad/internal/relation"
 	"qpiad/internal/source"
 )
@@ -52,6 +53,8 @@ func main() {
 		k        = flag.Int("k", 10, "default rewritten-query budget")
 		parallel = flag.Int("parallel", 4, "concurrent rewrite issuing")
 		top      = flag.Int("top", 0, "default top-N early-stop bound for streamed queries (0 = off; per-request top_n overrides)")
+		usePlan  = flag.Bool("planner", false, "enable the statistics-driven planner with a cross-query rewrite scheduler sized from -parallel")
+		explain  = flag.Bool("explain", false, "attach a planner accounting snapshot to every /query response")
 
 		mineWorkers = flag.Int("mine-workers", 0, "worker goroutines for knowledge mining (0 = GOMAXPROCS)")
 		noCache     = flag.Bool("no-cache", false, "disable the mediator answer cache")
@@ -87,6 +90,16 @@ func main() {
 		ccfg.NoCache = true
 		ccfg.CacheSize = -1
 	}
+	if *usePlan {
+		// The scheduler bounds in-flight rewrite fetches across concurrent
+		// requests; two full per-query batches keeps one slow query from
+		// starving the rest while still capping total source pressure.
+		limit := 2 * *parallel
+		if limit < 2 {
+			limit = 2
+		}
+		ccfg.Planner = &planner.Config{Scheduler: planner.NewScheduler(limit)}
+	}
 	med, err := buildMediator(*csvPath, *n, *seed, *incmp, *smplFrac, *mineWorkers, ccfg)
 	if err != nil {
 		log.Fatal(err)
@@ -107,8 +120,12 @@ func main() {
 		log.Printf("fault injection on: %.0f%% transient, %.0f%% timeout, %v jitter (seed %d)",
 			100*profile.TransientRate, 100*profile.TimeoutRate, profile.LatencyJitter, profile.Seed)
 	}
+	var opts []httpapi.Option
+	if *explain {
+		opts = append(opts, httpapi.WithExplain())
+	}
 	log.Printf("qpiad-server listening on %s (sources: %v)", *addr, med.SourceNames())
-	log.Fatal(http.ListenAndServe(*addr, httpapi.New(med)))
+	log.Fatal(http.ListenAndServe(*addr, httpapi.New(med, opts...)))
 }
 
 func buildMediator(csvPath string, n int, seed int64, incmp, smplFrac float64, mineWorkers int, cfg core.Config) (*core.Mediator, error) {

@@ -51,6 +51,7 @@ func main() {
 		limit    = flag.Int("limit", 15, "answers to print per section")
 		explain  = flag.Bool("explain", true, "show AFD-based explanations")
 		stats    = flag.Bool("stats", false, "print full per-source metrics (queries, retries, errors, latency percentiles)")
+		usePlan  = flag.Bool("planner", false, "enable the statistics-driven planner (join ordering + cross-query rewrite scheduling)")
 
 		mineWorkers = flag.Int("mine-workers", 0, "worker goroutines for knowledge mining (0 = GOMAXPROCS)")
 		noCache     = flag.Bool("no-cache", false, "disable the mediator answer cache")
@@ -75,6 +76,7 @@ func main() {
 
 	res := resilience{
 		stats:       *stats,
+		planner:     *usePlan,
 		mineWorkers: *mineWorkers,
 		noCache:     *noCache,
 		topN:        *top,
@@ -124,6 +126,7 @@ func main() {
 // resilience bundles the fault-injection, retry and admission-control knobs.
 type resilience struct {
 	stats       bool
+	planner     bool
 	mineWorkers int
 	noCache     bool
 	topN        int
@@ -151,11 +154,15 @@ func setup(csvPath string, n int, seed int64, incmp, smplFrac, alpha float64, k 
 		fmt.Printf("generated %d car tuples, %.1f%% incomplete\n", db.Len(), 100*db.IncompleteFraction())
 	}
 
-	sys := qpiad.New(qpiad.Config{
+	cfg := qpiad.Config{
 		Alpha: alpha, K: k, Retry: res.retry,
 		MineWorkers: res.mineWorkers, NoCache: res.noCache, TopN: res.topN,
 		Breaker: res.breaker, CacheTTL: res.cacheTTL, StaleTTL: res.staleTTL,
-	})
+	}
+	if res.planner {
+		cfg.Planner = &qpiad.PlannerConfig{Scheduler: qpiad.NewPlannerScheduler(4)}
+	}
+	sys := qpiad.New(cfg)
 	if err := sys.AddSource("db", db, qpiad.Capabilities{}); err != nil {
 		return nil, nil, err
 	}
@@ -277,6 +284,9 @@ func run(csvPath string, n int, seed int64, incmp, smplFrac float64, attr, value
 	if st, ok := sys.SourceStats("db"); ok {
 		fmt.Printf("\nsource accounting: %d queries, %d tuples transferred\n", st.Queries, st.TuplesReturned)
 	}
+	if res.planner {
+		printPlanner(sys)
+	}
 	if res.stats {
 		printMetrics(sys, "db")
 	}
@@ -394,10 +404,24 @@ func runStream(csvPath string, n int, seed int64, incmp, smplFrac float64, attr,
 	if st, ok := sys.SourceStats("db"); ok {
 		fmt.Printf("source accounting: %d queries, %d tuples transferred\n", st.Queries, st.TuplesReturned)
 	}
+	if res.planner {
+		printPlanner(sys)
+	}
 	if res.stats {
 		printMetrics(sys, "db")
 	}
 	return nil
+}
+
+// printPlanner dumps the planner and scheduler accounting behind -planner.
+func printPlanner(sys *qpiad.System) {
+	ps := sys.PlannerStats()
+	fmt.Printf("planner: %d plans consulted, %d reordered, %d fetches skipped\n",
+		ps.Plans, ps.Reordered, ps.SkippedFetches)
+	if sc := ps.Scheduler; sc != nil {
+		fmt.Printf("scheduler: limit=%d admitted=%d waited=%d cancelled=%d\n",
+			sc.Limit, sc.Admitted, sc.Waited, sc.Cancelled)
+	}
 }
 
 // printMetrics dumps the full per-source accounting behind -stats.

@@ -34,6 +34,7 @@ var MiningPackages = []string{
 	"internal/selectivity",
 	"internal/core",
 	"internal/breaker",
+	"internal/planner",
 }
 
 // Analyzer is the nodeterm pass.

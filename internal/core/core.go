@@ -30,6 +30,7 @@ import (
 	"qpiad/internal/afd"
 	"qpiad/internal/breaker"
 	"qpiad/internal/nbc"
+	"qpiad/internal/planner"
 	"qpiad/internal/qcache"
 	"qpiad/internal/relation"
 	"qpiad/internal/selectivity"
@@ -124,6 +125,14 @@ type Config struct {
 	// Clock injects the time base for the answer cache's TTLs and newly
 	// attached breakers (deterministic tests). nil means the wall clock.
 	Clock func() time.Time
+	// Planner arms the statistics-driven query planner: greedy join/chain
+	// ordering from mined cardinality statistics, and (when a Scheduler is
+	// attached) cross-query rewrite admission by marginal F-measure per
+	// estimated cost. nil — or Planner.Disabled — preserves today's
+	// caller-order execution exactly; the answer sets are identical either
+	// way (the planner only changes which fetches can be skipped and in
+	// what order sources are contacted).
+	Planner *planner.Config
 }
 
 // DefaultConfig matches the paper's experimental defaults (α = 0, K = 10).
@@ -323,6 +332,13 @@ type Mediator struct {
 	cache *qcache.Cache
 	// staleServed counts answers served by the stale-cache fallback.
 	staleServed atomic.Int64
+	// Planner accounting: plans produced, plans whose execution order
+	// differed from caller order, and component fetches skipped because an
+	// earlier step proved them unnecessary (empty intermediate) or
+	// impossible (open circuit).
+	plannerPlans     atomic.Int64
+	plannerReordered atomic.Int64
+	plannerSkipped   atomic.Int64
 }
 
 // New creates a mediator.
@@ -398,6 +414,42 @@ func (m *Mediator) Register(src *source.Source, k *Knowledge) {
 // StaleServed returns the number of answers served by the stale-cache
 // fallback since the mediator was built.
 func (m *Mediator) StaleServed() int64 { return m.staleServed.Load() }
+
+// PlannerStats is the mediator's planner accounting: how many join/chain
+// plans ran, how often the statistics changed the execution order, how many
+// component fetches the plan order let the executor skip, and — when a
+// cross-query scheduler is attached — its admission counters.
+type PlannerStats struct {
+	// Enabled reports statistics-driven ordering is active on the
+	// mediator's shared config.
+	Enabled bool
+	// Plans counts join/chain executions that consulted the planner.
+	Plans int64
+	// Reordered counts plans whose execution order differed from caller
+	// order.
+	Reordered int64
+	// SkippedFetches counts component fetches never issued because an
+	// earlier plan step proved the chain empty or the side unreachable.
+	SkippedFetches int64
+	// Scheduler carries the cross-query scheduler's counters, nil when no
+	// scheduler is attached.
+	Scheduler *planner.SchedulerStats
+}
+
+// PlannerStats snapshots the planner accounting.
+func (m *Mediator) PlannerStats() PlannerStats {
+	st := PlannerStats{
+		Enabled:        m.cfg.Planner.On(),
+		Plans:          m.plannerPlans.Load(),
+		Reordered:      m.plannerReordered.Load(),
+		SkippedFetches: m.plannerSkipped.Load(),
+	}
+	if sched := m.cfg.Planner.Sched(); sched != nil {
+		ss := sched.Stats()
+		st.Scheduler = &ss
+	}
+	return st
+}
 
 // BreakerSnapshot returns the named source's breaker accounting; ok is
 // false when the source is unknown or carries no breaker.

@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"qpiad/internal/breaker"
 	"qpiad/internal/nbc"
+	"qpiad/internal/planner"
 	"qpiad/internal/relation"
 )
 
@@ -75,6 +78,31 @@ type JoinResult struct {
 	// Degraded reports that at least one component rewrite could not be
 	// fetched (after retries), so some possible join pairs may be missing.
 	Degraded bool
+	// EstSavedTuples sums the estimated selectivities of component rewrites
+	// the mediator never fetched — either because the planner proved the
+	// pair empty from the other side, or because the source's circuit was
+	// open (mirroring ResultSet.EstSavedTuples).
+	EstSavedTuples float64
+	// Explain records the plan: estimated vs actual cardinalities and the
+	// planner's ordering decisions. Always populated.
+	Explain *planner.Explain
+}
+
+// sideEstimate derives a planner-side cost estimate for one join side from
+// mined statistics: the estimated full-database cardinality of the
+// selection, and the sample's distinct-value count on the join attribute
+// (the hash-join fanout denominator).
+func sideEstimate(name string, k *Knowledge, q relation.Query, attr string) planner.Side {
+	sd := planner.Side{Source: name}
+	if k.Sel != nil {
+		sd.Est = k.Sel.EstSelComplete(q)
+	}
+	if k.Sample != nil {
+		if st, ok := k.Sample.IndexStats(attr); ok {
+			sd.Distinct = st.Distinct
+		}
+	}
+	return sd
 }
 
 // QueryJoin processes a join query per Section 4.5: retrieve both base
@@ -107,18 +135,47 @@ func (m *Mediator) QueryJoinCtx(ctx context.Context, spec JoinSpec) (*JoinResult
 		return nil, fmt.Errorf("core: join attributes %q/%q not present", spec.LeftJoinAttr, spec.RightJoinAttr)
 	}
 
+	// Estimate both sides from mined statistics before touching the
+	// sources. The estimates drive fetch ordering when the planner is on
+	// and surface in the Explain either way.
+	plannerOn := m.cfg.Planner.On()
+	sched := m.cfg.Planner.Sched()
+	adj := planner.Adjacency{
+		Left:  sideEstimate(spec.LeftSource, lk, spec.LeftQuery, spec.LeftJoinAttr),
+		Right: sideEstimate(spec.RightSource, rk, spec.RightQuery, spec.RightJoinAttr),
+	}
+	if plannerOn {
+		m.plannerPlans.Add(1)
+	}
+
 	// Step 1: base sets (retried under the mediator's policy; the join
-	// cannot proceed without them).
-	lbres := fetchOne(ctx, ls, spec.LeftQuery, m.cfg.Retry)
-	if lbres.err != nil {
-		return nil, fmt.Errorf("core: left base query: %w", lbres.err)
+	// cannot proceed without them). With the planner on, the estimated
+	// smaller side goes first so a failing cheap side aborts before the
+	// expensive one is queried; answer sets are order-independent.
+	var lbase, rbase []relation.Tuple
+	fetchBase := func(src queryable, q relation.Query, side string, out *[]relation.Tuple) error {
+		bres := fetchOne(ctx, src, q, m.cfg.Retry)
+		if bres.err != nil {
+			return fmt.Errorf("core: %s base query: %w", side, bres.err)
+		}
+		*out = bres.rows
+		return nil
 	}
-	lbase := lbres.rows
-	rbres := fetchOne(ctx, rsrc, spec.RightQuery, m.cfg.Retry)
-	if rbres.err != nil {
-		return nil, fmt.Errorf("core: right base query: %w", rbres.err)
+	if plannerOn && adj.Right.Est < adj.Left.Est {
+		if err := fetchBase(rsrc, spec.RightQuery, "right", &rbase); err != nil {
+			return nil, err
+		}
+		if err := fetchBase(ls, spec.LeftQuery, "left", &lbase); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := fetchBase(ls, spec.LeftQuery, "left", &lbase); err != nil {
+			return nil, err
+		}
+		if err := fetchBase(rsrc, spec.RightQuery, "right", &rbase); err != nil {
+			return nil, err
+		}
 	}
-	rbase := rbres.rows
 
 	// Step 2: rewrites per side.
 	lunits := m.buildUnits(lk, spec.LeftQuery, lbase, ls.Schema(), spec.LeftJoinAttr)
@@ -129,34 +186,48 @@ func (m *Mediator) QueryJoinCtx(ctx context.Context, spec JoinSpec) (*JoinResult
 
 	res := &JoinResult{Spec: spec}
 
-	// Step 5: issue component queries once each. The right side's hash
-	// index is memoized alongside the fetch: a right unit appearing in many
-	// scored pairs is indexed once, not once per pair.
+	// Step 5: issue component queries once each. A side's hash index is
+	// memoized alongside the fetch: a unit appearing in many scored pairs
+	// is indexed once, not once per pair.
 	type sideResult struct {
 		answers []Answer
 		index   map[string][]joinEntry
 	}
 	leftResults := make(map[string]*sideResult)
 	rightResults := make(map[string]*sideResult)
+	var actLeft, actRight int
+	leftOpen, rightOpen := false, false
 	fetch := func(u queryUnit, src interface {
 		QueryCtx(context.Context, relation.Query) ([]relation.Tuple, error)
 		Schema() *relation.Schema
-	}, cache map[string]*sideResult, base []relation.Tuple) *sideResult {
+	}, cache map[string]*sideResult, base []relation.Tuple, open *bool, act *int) *sideResult {
 		key := u.query.Key()
 		if sr, ok := cache[key]; ok {
 			return sr
 		}
 		sr := &sideResult{}
-		if u.complete {
+		switch {
+		case u.complete:
 			for _, t := range base {
 				sr.answers = append(sr.answers, Answer{Tuple: t, Certain: true, Confidence: 1, FromQuery: u.query})
 			}
-		} else {
-			fres := fetchOne(ctx, src, u.query, m.cfg.Retry)
+		case *open:
+			// An earlier component on this side was rejected by the source's
+			// open circuit; skip the rest of the side's rewrites unissued and
+			// account their selectivity as saved tuples — the same plan-level
+			// short-circuit the select path applies (errSkippedOpen).
+			res.Degraded = true
+			res.EstSavedTuples += u.rq.EstSel
+		default:
+			fres := fetchOneSched(ctx, src, u.query, m.cfg.Retry, sched, planner.Priority(u.prec, u.estSel))
 			if fres.err != nil {
 				// A component that stays unfetchable after retries degrades
 				// the join rather than failing it.
 				res.Degraded = true
+				if errors.Is(fres.err, breaker.ErrOpen) {
+					res.EstSavedTuples += u.rq.EstSel
+					*open = true
+				}
 			} else {
 				tcol, ok := src.Schema().Index(u.rq.TargetAttr)
 				if ok {
@@ -175,7 +246,28 @@ func (m *Mediator) QueryJoinCtx(ctx context.Context, spec JoinSpec) (*JoinResult
 			}
 		}
 		cache[key] = sr
+		*act += len(sr.answers)
 		return sr
+	}
+	fetchLeft := func(u queryUnit) *sideResult {
+		return fetch(u, ls, leftResults, lbase, &leftOpen, &actLeft)
+	}
+	fetchRight := func(u queryUnit) *sideResult {
+		return fetch(u, rsrc, rightResults, rbase, &rightOpen, &actRight)
+	}
+	// canSkip reports that not fetching u would actually save a source
+	// query: complete units are served from the already-fetched base, and
+	// cached units were fetched for an earlier pair.
+	canSkip := func(u queryUnit, cache map[string]*sideResult) bool {
+		if u.complete {
+			return false
+		}
+		_, cached := cache[u.query.Key()]
+		return !cached
+	}
+	skip := func(u queryUnit) {
+		m.plannerSkipped.Add(1)
+		res.EstSavedTuples += u.rq.EstSel
 	}
 
 	lcol := ls.Schema().MustIndex(spec.LeftJoinAttr)
@@ -183,47 +275,115 @@ func (m *Mediator) QueryJoinCtx(ctx context.Context, spec JoinSpec) (*JoinResult
 	lpred := lk.Predictors[spec.LeftJoinAttr]
 	rpred := rk.Predictors[spec.RightJoinAttr]
 	seenJoin := make(map[string]bool)
+	emit := func(le, re joinEntry) {
+		key := le.ans.Tuple.Key() + "\x1f" + re.ans.Tuple.Key()
+		if seenJoin[key] {
+			return
+		}
+		seenJoin[key] = true
+		res.Answers = append(res.Answers, JoinAnswer{
+			Left:      le.ans.Tuple,
+			Right:     re.ans.Tuple,
+			JoinValue: le.val,
+			// A predicted join value means the stored one was null, so
+			// !predded is exactly the old non-null check.
+			Certain:    le.ans.Certain && re.ans.Certain && !le.predded && !re.predded,
+			Confidence: le.conf * re.conf,
+		})
+	}
 
 	for _, sp := range pairs {
 		lu, ru := sp.left, sp.right
 		res.Pairs = append(res.Pairs, sp.pair)
-		lres := fetch(lu, ls, leftResults, lbase)
-		rres := fetch(ru, rsrc, rightResults, rbase)
-
-		// Step 6: hash join with missing-value prediction (build memoized
-		// per right unit, probe streamed per left answer).
-		if rres.index == nil {
-			rres.index = buildJoinIndex(rsrc.Schema(), rres.answers, rcol, rpred)
-		}
-		for _, la := range lres.answers {
-			le, ok := resolveJoinValue(ls.Schema(), la, lcol, lpred)
-			if !ok {
-				continue
-			}
-			for _, re := range rres.index[le.val.Key()] {
-				key := la.Tuple.Key() + "\x1f" + re.ans.Tuple.Key()
-				if seenJoin[key] {
+		var lres, rres *sideResult
+		if plannerOn {
+			// Fetch the estimated-smaller component first; if it comes back
+			// empty the pair cannot match, so the other component's fetch is
+			// skipped entirely when that would save a source query.
+			if ru.estSel < lu.estSel {
+				rres = fetchRight(ru)
+				if len(rres.answers) == 0 && canSkip(lu, leftResults) {
+					skip(lu)
 					continue
 				}
-				seenJoin[key] = true
-				res.Answers = append(res.Answers, JoinAnswer{
-					Left:      la.Tuple,
-					Right:     re.ans.Tuple,
-					JoinValue: le.val,
-					// A predicted join value means the stored one was null, so
-					// !predded is exactly the old non-null check.
-					Certain:    la.Certain && re.ans.Certain && !le.predded && !re.predded,
-					Confidence: le.conf * re.conf,
-				})
+				lres = fetchLeft(lu)
+			} else {
+				lres = fetchLeft(lu)
+				if len(lres.answers) == 0 && canSkip(ru, rightResults) {
+					skip(ru)
+					continue
+				}
+				rres = fetchRight(ru)
+			}
+		} else {
+			lres = fetchLeft(lu)
+			rres = fetchRight(ru)
+		}
+		if len(lres.answers) == 0 || len(rres.answers) == 0 {
+			continue
+		}
+
+		// Step 6: hash join with missing-value prediction. The caller-order
+		// path builds on the right as always; the planner builds on the
+		// side whose materialized answer set is smaller. Either direction
+		// produces the same (left, right) match set, and emit computes
+		// confidence with fixed left×right orientation, so the answers are
+		// identical either way.
+		if plannerOn && planner.BuildLeft(len(lres.answers), len(rres.answers)) {
+			if lres.index == nil {
+				lres.index = buildJoinIndex(ls.Schema(), lres.answers, lcol, lpred)
+			}
+			for _, ra := range rres.answers {
+				re, ok := resolveJoinValue(rsrc.Schema(), ra, rcol, rpred)
+				if !ok {
+					continue
+				}
+				for _, le := range lres.index[re.val.Key()] {
+					emit(le, re)
+				}
+			}
+		} else {
+			if rres.index == nil {
+				rres.index = buildJoinIndex(rsrc.Schema(), rres.answers, rcol, rpred)
+			}
+			for _, la := range lres.answers {
+				le, ok := resolveJoinValue(ls.Schema(), la, lcol, lpred)
+				if !ok {
+					continue
+				}
+				for _, re := range rres.index[le.val.Key()] {
+					emit(le, re)
+				}
 			}
 		}
 	}
+	// Certain first, then descending confidence; ties broken by tuple keys
+	// so the ranking is identical whichever order the planner joined in.
 	sort.SliceStable(res.Answers, func(i, j int) bool {
-		if res.Answers[i].Certain != res.Answers[j].Certain {
-			return res.Answers[i].Certain
+		ai, aj := res.Answers[i], res.Answers[j]
+		if ai.Certain != aj.Certain {
+			return ai.Certain
 		}
-		return res.Answers[i].Confidence > res.Answers[j].Confidence
+		if ai.Confidence != aj.Confidence {
+			return ai.Confidence > aj.Confidence
+		}
+		return ai.Left.Key()+"\x1f"+ai.Right.Key() < aj.Left.Key()+"\x1f"+aj.Right.Key()
 	})
+	res.Explain = &planner.Explain{
+		PlannerOn: plannerOn,
+		Order:     []int{0},
+		Steps: []planner.Step{{
+			LeftSource:  spec.LeftSource,
+			RightSource: spec.RightSource,
+			EstLeft:     adj.Left.Est,
+			EstRight:    adj.Right.Est,
+			EstOut:      adj.EstOut(),
+			ActLeft:     actLeft,
+			ActRight:    actRight,
+			ActOut:      len(res.Answers),
+			BuildLeft:   plannerOn && planner.BuildLeft(actLeft, actRight),
+		}},
+	}
 	return res, nil
 }
 

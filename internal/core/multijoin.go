@@ -2,9 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"qpiad/internal/breaker"
+	"qpiad/internal/planner"
 	"qpiad/internal/relation"
 )
 
@@ -43,11 +46,21 @@ type ChainResult struct {
 	Spec ChainSpec
 	// Answers are ranked certain-first, then by descending confidence.
 	Answers []ChainAnswer
-	// PairsPerAdjacency records how many query pairs each adjacency issued.
+	// PairsPerAdjacency records how many query pairs each adjacency issued,
+	// indexed by adjacency (caller order, regardless of plan order).
 	PairsPerAdjacency []int
 	// Degraded reports that at least one selected component rewrite could
 	// not be fetched (after retries), so some chains may be missing.
 	Degraded bool
+	// EstSavedTuples sums the estimated selectivities of selected rewrites
+	// the mediator never fetched: rewrites skipped behind an open circuit
+	// (which also degrade the result) and rewrites the planner proved
+	// irrelevant because an earlier adjacency produced an empty
+	// intermediate (which do not — the empty intermediate is exact).
+	EstSavedTuples float64
+	// Explain records the executed plan: adjacency order plus estimated vs
+	// actual cardinalities per step. Always populated.
+	Explain *planner.Explain
 }
 
 // QueryJoinChain processes an n-way chain join. Each adjacency is planned
@@ -64,6 +77,20 @@ func (m *Mediator) QueryJoinChain(spec ChainSpec) (*ChainResult, error) {
 
 // QueryJoinChainCtx is QueryJoinChain under a caller-supplied context:
 // cancelling ctx aborts in-flight source attempts and retry backoffs.
+//
+// Execution is planner-aware. Adjacencies are estimated from mined
+// statistics, ordered by planner.PlanChain when Config.Planner is enabled
+// (caller order otherwise), and executed over a contiguous interval: base
+// results are fetched lazily as their adjacency comes up, every adjacency
+// is pair-planned before any rewrite is fetched (a source shared by two
+// adjacencies retrieves the union of both selections), and per-source
+// answer sets materialize only when their adjacency executes. When the
+// planner is on and an intermediate result comes up empty, the remaining
+// sources' rewrite fetches are skipped — the empty intermediate proves
+// they cannot contribute — with their estimated selectivity accounted in
+// EstSavedTuples. Both modes produce identical answer sets; confidence
+// products are computed in canonical source order so rankings match
+// bit-for-bit.
 func (m *Mediator) QueryJoinChainCtx(ctx context.Context, spec ChainSpec) (*ChainResult, error) {
 	n := len(spec.Sources)
 	if n < 2 {
@@ -73,9 +100,10 @@ func (m *Mediator) QueryJoinChainCtx(ctx context.Context, spec ChainSpec) (*Chai
 		return nil, fmt.Errorf("core: chain join needs %d queries and %d join attribute pairs", n, n-1)
 	}
 	type side struct {
-		src  sourceIface
-		k    *Knowledge
-		base []relation.Tuple
+		src         sourceIface
+		k           *Knowledge
+		base        []relation.Tuple
+		baseFetched bool
 	}
 	sides := make([]side, n)
 	for i, name := range spec.Sources {
@@ -87,30 +115,79 @@ func (m *Mediator) QueryJoinChainCtx(ctx context.Context, spec ChainSpec) (*Chai
 		if k == nil {
 			return nil, fmt.Errorf("core: no knowledge for source %q", name)
 		}
-		bres := fetchOne(ctx, src, spec.Queries[i], m.cfg.Retry)
-		if bres.err != nil {
-			return nil, fmt.Errorf("core: base query on %q: %w", name, bres.err)
+		sides[i] = side{src: src, k: k}
+	}
+	// Validate every adjacency before the first source round-trip: a
+	// malformed spec must not consume any source budget.
+	for a := 0; a < n-1; a++ {
+		if !sides[a].src.Schema().Has(spec.JoinAttrs[a][0]) || !sides[a+1].src.Schema().Has(spec.JoinAttrs[a][1]) {
+			return nil, fmt.Errorf("core: adjacency %d: join attributes %q/%q not present",
+				a, spec.JoinAttrs[a][0], spec.JoinAttrs[a][1])
 		}
-		sides[i] = side{src: src, k: k, base: bres.rows}
 	}
 
-	// Plan each adjacency as a two-way join and collect, per source, the
-	// union of selected component queries.
-	selected := make([]map[string]RewrittenQuery, n) // query key -> rewrite (complete queries keyed too)
+	plannerOn := m.cfg.Planner.On()
+	sched := m.cfg.Planner.Sched()
+
+	// Estimate every adjacency from mined statistics (sample-only reads —
+	// no source queries) and pick the execution order.
+	adjEst := make([]planner.Adjacency, n-1)
+	for a := range adjEst {
+		adjEst[a] = planner.Adjacency{
+			Left:  sideEstimate(spec.Sources[a], sides[a].k, spec.Queries[a], spec.JoinAttrs[a][0]),
+			Right: sideEstimate(spec.Sources[a+1], sides[a+1].k, spec.Queries[a+1], spec.JoinAttrs[a][1]),
+		}
+	}
+	order := make([]int, n-1)
+	for i := range order {
+		order[i] = i
+	}
+	if plannerOn {
+		cp := planner.PlanChain(adjEst)
+		order = cp.Order
+		m.plannerPlans.Add(1)
+		if cp.Reordered {
+			m.plannerReordered.Add(1)
+		}
+	}
+
+	res := &ChainResult{Spec: spec, PairsPerAdjacency: make([]int, n-1)}
+
+	fetchBase := func(i int) error {
+		if sides[i].baseFetched {
+			return nil
+		}
+		bres := fetchOne(ctx, sides[i].src, spec.Queries[i], m.cfg.Retry)
+		if bres.err != nil {
+			return fmt.Errorf("core: base query on %q: %w", spec.Sources[i], bres.err)
+		}
+		sides[i].base = bres.rows
+		sides[i].baseFetched = true
+		return nil
+	}
+
+	// Plan each adjacency as a two-way join, in plan order, fetching base
+	// results lazily as their side first appears. All adjacencies are
+	// planned before any rewrite fetch: a source shared by two adjacencies
+	// retrieves the union of both adjacencies' selections, so its answer
+	// set is only known once both have planned.
+	selected := make([]map[string]RewrittenQuery, n) // query key -> rewrite
 	useComplete := make([]bool, n)
 	for i := range selected {
 		selected[i] = map[string]RewrittenQuery{}
 	}
-	res := &ChainResult{Spec: spec}
-	for a := 0; a < n-1; a++ {
-		lAttr, rAttr := spec.JoinAttrs[a][0], spec.JoinAttrs[a][1]
-		if !sides[a].src.Schema().Has(lAttr) || !sides[a+1].src.Schema().Has(rAttr) {
-			return nil, fmt.Errorf("core: adjacency %d: join attributes %q/%q not present", a, lAttr, rAttr)
+	for _, a := range order {
+		if err := fetchBase(a); err != nil {
+			return nil, err
 		}
+		if err := fetchBase(a + 1); err != nil {
+			return nil, err
+		}
+		lAttr, rAttr := spec.JoinAttrs[a][0], spec.JoinAttrs[a][1]
 		lu := m.buildUnits(sides[a].k, spec.Queries[a], sides[a].base, sides[a].src.Schema(), lAttr)
 		ru := m.buildUnits(sides[a+1].k, spec.Queries[a+1], sides[a+1].base, sides[a+1].src.Schema(), rAttr)
 		pairs := scorePairs(lu, ru, spec.Alpha, spec.K)
-		res.PairsPerAdjacency = append(res.PairsPerAdjacency, len(pairs))
+		res.PairsPerAdjacency[a] = len(pairs)
 		for _, p := range pairs {
 			if p.left.complete {
 				useComplete[a] = true
@@ -125,10 +202,28 @@ func (m *Mediator) QueryJoinChainCtx(ctx context.Context, spec ChainSpec) (*Chai
 		}
 	}
 
-	// Retrieve per-source answer sets: certain answers when any adjacency
-	// selected the complete query, plus post-filtered rewrite results.
+	sortedSelected := func(i int) []string {
+		keys := make([]string, 0, len(selected[i]))
+		for key := range selected[i] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+
+	// Materialize one source's answer set: certain answers when any
+	// adjacency selected the complete query, plus post-filtered rewrite
+	// results in sorted key order. After the source's circuit rejects one
+	// rewrite, the rest are skipped unissued — the same plan-level
+	// short-circuit the select path applies (errSkippedOpen).
 	answers := make([][]Answer, n)
-	for i := 0; i < n; i++ {
+	fetched := make([]bool, n)
+	skipped := make([]bool, n)
+	fetchAnswers := func(i int) {
+		if fetched[i] {
+			return
+		}
+		fetched[i] = true
 		seen := map[string]bool{}
 		if useComplete[i] {
 			for _, t := range sides[i].base {
@@ -138,24 +233,28 @@ func (m *Mediator) QueryJoinChainCtx(ctx context.Context, spec ChainSpec) (*Chai
 				}
 			}
 		}
-		keys := make([]string, 0, len(selected[i]))
-		for key := range selected[i] {
-			keys = append(keys, key)
-		}
-		sort.Strings(keys)
-		for _, key := range keys {
+		open := false
+		for _, key := range sortedSelected(i) {
 			rq := selected[i][key]
-			fres := fetchOne(ctx, sides[i].src, rq.Query, m.cfg.Retry)
-			if fres.err != nil {
+			if open {
 				res.Degraded = true
+				res.EstSavedTuples += rq.EstSel
 				continue
 			}
-			rows := fres.rows
+			fres := fetchOneSched(ctx, sides[i].src, rq.Query, m.cfg.Retry, sched, planner.Priority(rq.Precision, rq.EstSel))
+			if fres.err != nil {
+				res.Degraded = true
+				if errors.Is(fres.err, breaker.ErrOpen) {
+					res.EstSavedTuples += rq.EstSel
+					open = true
+				}
+				continue
+			}
 			tcol, ok := sides[i].src.Schema().Index(rq.TargetAttr)
 			if !ok {
 				continue
 			}
-			for _, t := range rows {
+			for _, t := range fres.rows {
 				if !t[tcol].IsNull() || seen[t.Key()] {
 					continue
 				}
@@ -168,69 +267,312 @@ func (m *Mediator) QueryJoinChainCtx(ctx context.Context, spec ChainSpec) (*Chai
 			}
 		}
 	}
-
-	// Chain hash-join left to right.
-	type partial struct {
-		tuples  []relation.Tuple
-		certain bool
-		conf    float64
+	// skipSource accounts a source whose rewrites the planner never
+	// fetched because an earlier adjacency proved the chain empty. Not a
+	// degradation: the empty intermediate is exact, so the skipped
+	// rewrites could not have contributed an answer.
+	skipSource := func(i int) {
+		if fetched[i] {
+			return
+		}
+		fetched[i] = true
+		skipped[i] = true
+		for _, key := range sortedSelected(i) {
+			res.EstSavedTuples += selected[i][key].EstSel
+			m.plannerSkipped.Add(1)
+		}
 	}
-	chains := make([]partial, 0, len(answers[0]))
-	for _, a := range answers[0] {
-		chains = append(chains, partial{
-			tuples:  []relation.Tuple{a.Tuple},
-			certain: a.Certain,
-			conf:    a.Confidence,
-		})
+
+	// Per-source resolved join entries, memoized per (source, attr side).
+	// Resolution passes unit confidence so ent.conf is exactly the
+	// prediction factor; factors are multiplied in canonically at
+	// materialization, keeping confidences identical across plan orders.
+	type rowEnt struct {
+		ent joinEntry
+		ok  bool
 	}
-	for a := 0; a < n-1 && len(chains) > 0; a++ {
-		lAttr, rAttr := spec.JoinAttrs[a][0], spec.JoinAttrs[a][1]
-		lcol := sides[a].src.Schema().MustIndex(lAttr)
-		rcol := sides[a+1].src.Schema().MustIndex(rAttr)
-		lpred := sides[a].k.Predictors[lAttr]
-		rpred := sides[a+1].k.Predictors[rAttr]
+	entL := make([][]rowEnt, n) // answers[i] on JoinAttrs[i][0]   (i < n−1)
+	entR := make([][]rowEnt, n) // answers[i] on JoinAttrs[i−1][1] (i > 0)
+	resolveSide := func(i int, attr string) []rowEnt {
+		s := sides[i].src.Schema()
+		col := s.MustIndex(attr)
+		pred := sides[i].k.Predictors[attr]
+		out := make([]rowEnt, len(answers[i]))
+		for j, a := range answers[i] {
+			e, ok := resolveJoinValue(s, Answer{Tuple: a.Tuple, Certain: a.Certain, Confidence: 1}, col, pred)
+			out[j] = rowEnt{ent: e, ok: ok}
+		}
+		return out
+	}
+	getEntL := func(i int) []rowEnt {
+		if entL[i] == nil {
+			entL[i] = resolveSide(i, spec.JoinAttrs[i][0])
+		}
+		return entL[i]
+	}
+	getEntR := func(i int) []rowEnt {
+		if entR[i] == nil {
+			entR[i] = resolveSide(i, spec.JoinAttrs[i-1][1])
+		}
+		return entR[i]
+	}
 
-		// Index the right side by (possibly predicted) join value — the same
-		// build/probe machinery as the two-way join.
-		index := buildJoinIndex(sides[a+1].src.Schema(), answers[a+1], rcol, rpred)
-
-		var next []partial
-		for _, ch := range chains {
-			last := ch.tuples[len(ch.tuples)-1]
-			// Probe with the chain's accumulated confidence: the partial
-			// chain plays the role of the left answer.
-			le, ok := resolveJoinValue(sides[a].src.Schema(),
-				Answer{Tuple: last, Confidence: ch.conf}, lcol, lpred)
-			if !ok {
-				continue
+	// Partial chains are fixed-length row-index vectors (-1 = source not
+	// yet joined) covering the contiguous interval [lo, hi].
+	clone := func(p []int, i, row int) []int {
+		np := make([]int, n)
+		copy(np, p)
+		np[i] = row
+		return np
+	}
+	seed := func(a int, buildLeft bool) [][]int {
+		le, re := getEntL(a), getEntR(a+1)
+		blank := make([]int, n)
+		for i := range blank {
+			blank[i] = -1
+		}
+		var out [][]int
+		idx := make(map[string][]int)
+		if buildLeft {
+			for j, e := range le {
+				if e.ok {
+					idx[e.ent.val.Key()] = append(idx[e.ent.val.Key()], j)
+				}
 			}
-			for _, re := range index[le.val.Key()] {
-				tuples := make([]relation.Tuple, len(ch.tuples)+1)
-				copy(tuples, ch.tuples)
-				tuples[len(ch.tuples)] = re.ans.Tuple
-				next = append(next, partial{
-					tuples:  tuples,
-					certain: ch.certain && !le.predded && re.ans.Certain && !re.predded,
-					conf:    le.conf * re.conf,
-				})
+			for kdx, e := range re {
+				if !e.ok {
+					continue
+				}
+				for _, j := range idx[e.ent.val.Key()] {
+					out = append(out, clone(clone(blank, a, j), a+1, kdx))
+				}
+			}
+		} else {
+			for kdx, e := range re {
+				if e.ok {
+					idx[e.ent.val.Key()] = append(idx[e.ent.val.Key()], kdx)
+				}
+			}
+			for j, e := range le {
+				if !e.ok {
+					continue
+				}
+				for _, kdx := range idx[e.ent.val.Key()] {
+					out = append(out, clone(clone(blank, a, j), a+1, kdx))
+				}
 			}
 		}
-		chains = next
+		return out
+	}
+	// extendRight joins adjacency a = hi: partials (member hi, left attr)
+	// against new source hi+1. buildNew indexes the new source and probes
+	// partials — the caller-order default; otherwise partials are indexed.
+	extendRight := func(a int, partials [][]int, buildNew bool) [][]int {
+		le, re := getEntL(a), getEntR(a+1)
+		var out [][]int
+		idx := make(map[string][]int)
+		if buildNew {
+			for kdx, e := range re {
+				if e.ok {
+					idx[e.ent.val.Key()] = append(idx[e.ent.val.Key()], kdx)
+				}
+			}
+			for _, p := range partials {
+				e := le[p[a]]
+				if !e.ok {
+					continue
+				}
+				for _, kdx := range idx[e.ent.val.Key()] {
+					out = append(out, clone(p, a+1, kdx))
+				}
+			}
+		} else {
+			for pi, p := range partials {
+				if e := le[p[a]]; e.ok {
+					idx[e.ent.val.Key()] = append(idx[e.ent.val.Key()], pi)
+				}
+			}
+			for kdx, e := range re {
+				if !e.ok {
+					continue
+				}
+				for _, pi := range idx[e.ent.val.Key()] {
+					out = append(out, clone(partials[pi], a+1, kdx))
+				}
+			}
+		}
+		return out
+	}
+	// extendLeft joins adjacency a = lo−1: new source a against partials
+	// (member a+1 = lo, right attr). Only reachable under a planner order.
+	extendLeft := func(a int, partials [][]int, buildNew bool) [][]int {
+		le, re := getEntL(a), getEntR(a+1)
+		var out [][]int
+		idx := make(map[string][]int)
+		if buildNew {
+			for j, e := range le {
+				if e.ok {
+					idx[e.ent.val.Key()] = append(idx[e.ent.val.Key()], j)
+				}
+			}
+			for _, p := range partials {
+				e := re[p[a+1]]
+				if !e.ok {
+					continue
+				}
+				for _, j := range idx[e.ent.val.Key()] {
+					out = append(out, clone(p, a, j))
+				}
+			}
+		} else {
+			for pi, p := range partials {
+				if e := re[p[a+1]]; e.ok {
+					idx[e.ent.val.Key()] = append(idx[e.ent.val.Key()], pi)
+				}
+			}
+			for j, e := range le {
+				if !e.ok {
+					continue
+				}
+				for _, pi := range idx[e.ent.val.Key()] {
+					out = append(out, clone(partials[pi], a, j))
+				}
+			}
+		}
+		return out
 	}
 
-	for _, ch := range chains {
-		res.Answers = append(res.Answers, ChainAnswer{
-			Tuples:     ch.tuples,
-			Certain:    ch.certain,
-			Confidence: ch.conf,
-		})
+	act := func(i int) int {
+		if !fetched[i] || skipped[i] {
+			return -1
+		}
+		return len(answers[i])
+	}
+
+	// Execute the adjacencies in plan order over a growing contiguous
+	// interval. Caller order degenerates to the historical left-to-right
+	// sweep; a planner order may extend the interval on either end.
+	var partials [][]int
+	lo := -1
+	empty := false
+	steps := make([]planner.Step, 0, n-1)
+	for step, a := range order {
+		st := planner.Step{
+			Adjacency:   a,
+			LeftSource:  spec.Sources[a],
+			RightSource: spec.Sources[a+1],
+			EstLeft:     adjEst[a].Left.Est,
+			EstRight:    adjEst[a].Right.Est,
+			EstOut:      adjEst[a].EstOut(),
+			ActLeft:     -1,
+			ActRight:    -1,
+			ActOut:      -1,
+		}
+		if empty {
+			// A previous step proved the chain empty; the remaining sources
+			// cannot contribute, so their rewrite fetches are skipped.
+			st.Skipped = true
+			if a < lo {
+				skipSource(a)
+				lo = a
+			} else {
+				skipSource(a + 1)
+			}
+			st.ActLeft, st.ActRight = act(a), act(a+1)
+			steps = append(steps, st)
+			continue
+		}
+		switch {
+		case step == 0:
+			first, second := a, a+1
+			if plannerOn && adjEst[a].Right.Est < adjEst[a].Left.Est {
+				first, second = a+1, a
+			}
+			fetchAnswers(first)
+			if plannerOn && len(answers[first]) == 0 {
+				empty = true
+				skipSource(second)
+			} else {
+				fetchAnswers(second)
+				buildLeft := plannerOn && planner.BuildLeft(len(answers[a]), len(answers[a+1]))
+				st.BuildLeft = buildLeft
+				partials = seed(a, buildLeft)
+			}
+			lo = a
+		case a < lo:
+			fetchAnswers(a)
+			buildNew := !plannerOn || planner.BuildLeft(len(answers[a]), len(partials))
+			st.BuildLeft = buildNew
+			partials = extendLeft(a, partials, buildNew)
+			lo = a
+		default:
+			fetchAnswers(a + 1)
+			buildPartials := plannerOn && planner.BuildLeft(len(partials), len(answers[a+1]))
+			st.BuildLeft = buildPartials
+			partials = extendRight(a, partials, !buildPartials)
+		}
+		if plannerOn && len(partials) == 0 {
+			empty = true
+		}
+		st.ActLeft, st.ActRight = act(a), act(a+1)
+		st.ActOut = len(partials)
+		steps = append(steps, st)
+	}
+
+	// Materialize surviving chains with canonical confidence: for each
+	// source in chain order, its member confidence, then its right-attr
+	// prediction factor (adjacency i−1), then its left-attr factor
+	// (adjacency i). The product is identical whatever order the
+	// adjacencies executed in.
+	for _, p := range partials {
+		tuples := make([]relation.Tuple, n)
+		conf := 1.0
+		certain := true
+		for i := 0; i < n; i++ {
+			a := answers[i][p[i]]
+			tuples[i] = a.Tuple
+			conf *= a.Confidence
+			if !a.Certain {
+				certain = false
+			}
+			if i > 0 {
+				e := entR[i][p[i]]
+				conf *= e.ent.conf
+				if e.ent.predded {
+					certain = false
+				}
+			}
+			if i < n-1 {
+				e := entL[i][p[i]]
+				conf *= e.ent.conf
+				if e.ent.predded {
+					certain = false
+				}
+			}
+		}
+		res.Answers = append(res.Answers, ChainAnswer{Tuples: tuples, Certain: certain, Confidence: conf})
+	}
+	// Certain first, then descending confidence; ties broken by the
+	// concatenated tuple keys so the ranking is identical whichever order
+	// the planner joined in.
+	chainKey := func(ts []relation.Tuple) string {
+		key := ""
+		for _, t := range ts {
+			key += t.Key() + "\x1f"
+		}
+		return key
 	}
 	sort.SliceStable(res.Answers, func(i, j int) bool {
-		if res.Answers[i].Certain != res.Answers[j].Certain {
-			return res.Answers[i].Certain
+		ai, aj := res.Answers[i], res.Answers[j]
+		if ai.Certain != aj.Certain {
+			return ai.Certain
 		}
-		return res.Answers[i].Confidence > res.Answers[j].Confidence
+		if ai.Confidence != aj.Confidence {
+			return ai.Confidence > aj.Confidence
+		}
+		return chainKey(ai.Tuples) < chainKey(aj.Tuples)
 	})
+	res.Explain = &planner.Explain{PlannerOn: plannerOn, Order: order, Steps: steps}
 	return res, nil
 }
 

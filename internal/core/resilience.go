@@ -12,6 +12,7 @@ import (
 
 	"qpiad/internal/breaker"
 	"qpiad/internal/faults"
+	"qpiad/internal/planner"
 	"qpiad/internal/relation"
 	"qpiad/internal/source"
 )
@@ -149,6 +150,22 @@ func fetchOne(ctx context.Context, src queryable, q relation.Query, pol RetryPol
 			return res
 		}
 	}
+}
+
+// fetchOneSched is fetchOne behind the cross-query scheduler: the fetch
+// holds a scheduler slot for its whole duration (retries and backoffs
+// included), so concurrent plans' rewrites are admitted to the shared
+// source pool in priority order. A nil scheduler degrades to plain
+// fetchOne. A cancelled wait resolves like any other cancellation: the
+// rewrite is accounted failed, never silently dropped.
+func fetchOneSched(ctx context.Context, src queryable, q relation.Query, pol RetryPolicy, sched *planner.Scheduler, pri float64) fetchResult {
+	if sched != nil {
+		if err := sched.Acquire(ctx, pri); err != nil {
+			return fetchResult{err: fmt.Errorf("core: canceled awaiting scheduler slot: %w", err)}
+		}
+		defer sched.Release()
+	}
+	return fetchOne(ctx, src, q, pol)
 }
 
 // jitterSeed hashes (seed, query key) into a backoff-jitter rng seed.
@@ -298,6 +315,22 @@ func hedgedQuery(ctx context.Context, src queryable, q relation.Query, br *break
 // parallel combined), which attempt consumes the last budget slot is
 // scheduling-dependent; fault decisions themselves stay deterministic.
 func fetchAll(ctx context.Context, src queryable, queries []relation.Query, parallel int, pol RetryPolicy) []fetchResult {
+	return fetchAllSched(ctx, src, queries, parallel, pol, nil, nil)
+}
+
+// fetchAllSched is fetchAll with every fetch admitted through the
+// cross-query scheduler (nil sched degrades to plain fetchAll). pris are
+// positional priorities for the queries; nil means priority zero. The
+// scheduler composes with — it does not replace — the plan-local admission
+// order: gates still serialize budget consumption in index order within
+// this plan, while the scheduler arbitrates between concurrent plans.
+func fetchAllSched(ctx context.Context, src queryable, queries []relation.Query, parallel int, pol RetryPolicy, sched *planner.Scheduler, pris []float64) []fetchResult {
+	pri := func(i int) float64 {
+		if i < len(pris) {
+			return pris[i]
+		}
+		return 0
+	}
 	results := make([]fetchResult, len(queries))
 	if parallel <= 1 || len(queries) <= 1 {
 		budgetOut, openOut := false, false
@@ -310,7 +343,7 @@ func fetchAll(ctx context.Context, src queryable, queries []relation.Query, para
 				results[i] = fetchResult{err: errSkippedBudget}
 				continue
 			}
-			results[i] = fetchOne(ctx, src, q, pol)
+			results[i] = fetchOneSched(ctx, src, q, pol, sched, pri(i))
 			if errors.Is(results[i].err, source.ErrQueryBudget) {
 				budgetOut = true
 			}
@@ -352,7 +385,7 @@ func fetchAll(ctx context.Context, src queryable, queries []relation.Query, para
 				return
 			}
 			qctx := source.WithAdmitSignal(ctx, open)
-			results[i] = fetchOne(qctx, src, q, pol)
+			results[i] = fetchOneSched(qctx, src, q, pol, sched, pri(i))
 			if errors.Is(results[i].err, source.ErrQueryBudget) {
 				budgetOut.Store(true)
 			}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"qpiad/internal/breaker"
+	"qpiad/internal/planner"
 	"qpiad/internal/relation"
 	"qpiad/internal/source"
 )
@@ -170,11 +171,23 @@ func (m *Mediator) querySelectUncached(ctx context.Context, cfg Config, srcName 
 	}
 	constrained := q.ConstrainedAttrs()
 	issueQs := issueQueries(src, chosen)
-	results := fetchAll(ctx, src, issueQs, cfg.Parallel, cfg.Retry)
+	results := fetchAllSched(ctx, src, issueQs, cfg.Parallel, cfg.Retry,
+		cfg.Planner.Sched(), rewritePriorities(chosen))
 	for i, rq := range chosen {
 		foldRewriteResult(rs, src.Schema(), constrained, seen, rq, results[i])
 	}
 	return rs, nil
+}
+
+// rewritePriorities maps chosen rewrites to their cross-query scheduling
+// priorities: marginal F-measure per estimated source-query cost. Ignored
+// (all fetches admitted immediately) when no scheduler is attached.
+func rewritePriorities(chosen []RewrittenQuery) []float64 {
+	pris := make([]float64, len(chosen))
+	for i, rq := range chosen {
+		pris[i] = planner.Priority(rq.F, rq.EstSel)
+	}
+	return pris
 }
 
 // issueQueries materializes the wire form of the chosen rewrites. Step 2(e)

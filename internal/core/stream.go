@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"qpiad/internal/breaker"
+	"qpiad/internal/planner"
 	"qpiad/internal/relation"
 	"qpiad/internal/source"
 )
@@ -254,7 +255,8 @@ func (m *Mediator) streamRun(ctx context.Context, cfg Config, src *source.Source
 
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	fetch := startStreamFetch(fctx, cancel, src, issueQueries(src, chosen), cfg.Parallel, cfg.Retry)
+	fetch := startStreamFetch(fctx, cancel, src, issueQueries(src, chosen), cfg.Parallel, cfg.Retry,
+		cfg.Planner.Sched(), rewritePriorities(chosen))
 	sum := &StreamSummary{Result: rs}
 	for i := range chosen {
 		res := fetch.result(i)
@@ -315,8 +317,18 @@ type streamFetch struct {
 // startStreamFetch launches the fetch workers. ctx governs every source
 // call; cancel is invoked by stopIssuing to abort in-flight fetches. The
 // admission-order guarantees match fetchAll: queries consume source budget
-// in index order even while executing concurrently.
-func startStreamFetch(ctx context.Context, cancel context.CancelFunc, src queryable, queries []relation.Query, parallel int, pol RetryPolicy) *streamFetch {
+// in index order even while executing concurrently. sched/pris mirror
+// fetchAllSched: each fetch holds a cross-query scheduler slot (admitted by
+// priority against concurrent plans) for its duration; nil sched disables
+// that. Early-stop composes cleanly — a cancelled slot wait resolves like a
+// cancelled fetch, and skipped rewrites never touch the scheduler.
+func startStreamFetch(ctx context.Context, cancel context.CancelFunc, src queryable, queries []relation.Query, parallel int, pol RetryPolicy, sched *planner.Scheduler, pris []float64) *streamFetch {
+	pri := func(i int) float64 {
+		if i < len(pris) {
+			return pris[i]
+		}
+		return 0
+	}
 	f := &streamFetch{
 		results: make([]fetchResult, len(queries)),
 		ready:   make([]chan struct{}, len(queries)),
@@ -339,7 +351,7 @@ func startStreamFetch(ctx context.Context, cancel context.CancelFunc, src querya
 				case budgetOut:
 					f.results[i] = fetchResult{err: errSkippedBudget}
 				default:
-					f.results[i] = fetchOne(ctx, src, q, pol)
+					f.results[i] = fetchOneSched(ctx, src, q, pol, sched, pri(i))
 					if errors.Is(f.results[i].err, source.ErrQueryBudget) {
 						budgetOut = true
 					}
@@ -388,7 +400,7 @@ func startStreamFetch(ctx context.Context, cancel context.CancelFunc, src querya
 				return
 			}
 			qctx := source.WithAdmitSignal(ctx, open)
-			f.results[i] = fetchOne(qctx, src, q, pol)
+			f.results[i] = fetchOneSched(qctx, src, q, pol, sched, pri(i))
 			if errors.Is(f.results[i].err, source.ErrQueryBudget) {
 				budgetOut.Store(true)
 			}

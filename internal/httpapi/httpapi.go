@@ -34,14 +34,16 @@ import (
 
 	"qpiad/internal/breaker"
 	"qpiad/internal/core"
+	"qpiad/internal/planner"
 	"qpiad/internal/relation"
 	"qpiad/internal/sqlish"
 )
 
 // Server wraps a mediator as an http.Handler.
 type Server struct {
-	med *core.Mediator
-	mux *http.ServeMux
+	med     *core.Mediator
+	mux     *http.ServeMux
+	explain bool
 
 	// Streaming accounting, exposed under /metrics.
 	streamRequests atomic.Int64 // stream=1 requests accepted
@@ -49,9 +51,20 @@ type Server struct {
 	streamStops    atomic.Int64 // streams that early-stopped on the top-N bound
 }
 
+// Option customises a Server at construction time.
+type Option func(*Server)
+
+// WithExplain attaches a planner/scheduler accounting snapshot to every
+// /query response (the same section /metrics exposes), so callers can see
+// per-request how much work the planner saved without a second round trip.
+func WithExplain() Option { return func(s *Server) { s.explain = true } }
+
 // New builds the handler around a configured mediator.
-func New(med *core.Mediator) *Server {
+func New(med *core.Mediator, opts ...Option) *Server {
 	s := &Server{med: med, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /sources", s.handleSources)
 	s.mux.HandleFunc("GET /knowledge", s.handleKnowledge)
@@ -249,11 +262,23 @@ type streamMetrics struct {
 	EarlyStops int64 `json:"early_stops"`
 }
 
+// plannerMetrics is the planner section of the /metrics payload: plan and
+// reorder counts, fetches the plan order let the executor skip, and — when
+// a cross-query scheduler is attached — its admission counters.
+type plannerMetrics struct {
+	Enabled        bool                    `json:"enabled"`
+	Plans          int64                   `json:"plans"`
+	Reordered      int64                   `json:"reordered"`
+	SkippedFetches int64                   `json:"skipped_fetches"`
+	Scheduler      *planner.SchedulerStats `json:"scheduler,omitempty"`
+}
+
 // metricsResponse is the full /metrics payload.
 type metricsResponse struct {
 	Sources   []sourceMetrics `json:"sources"`
 	Cache     cacheMetrics    `json:"cache"`
 	Streaming streamMetrics   `json:"streaming"`
+	Planner   plannerMetrics  `json:"planner"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -311,7 +336,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Events:     s.streamEvents.Load(),
 		EarlyStops: s.streamStops.Load(),
 	}
+	out.Planner = s.plannerSection()
 	writeJSON(w, http.StatusOK, out)
+}
+
+// plannerSection snapshots the mediator's planner accounting in wire form.
+func (s *Server) plannerSection() plannerMetrics {
+	ps := s.med.PlannerStats()
+	return plannerMetrics{
+		Enabled:        ps.Enabled,
+		Plans:          ps.Plans,
+		Reordered:      ps.Reordered,
+		SkippedFetches: ps.SkippedFetches,
+		Scheduler:      ps.Scheduler,
+	}
 }
 
 // queryRequest is the /query input.
@@ -356,6 +394,9 @@ type queryResponse struct {
 	// StaleAgeMicros is the entry's age.
 	Stale          bool  `json:"stale,omitempty"`
 	StaleAgeMicros int64 `json:"stale_age_micros,omitempty"`
+	// Planner is the mediator's planner accounting snapshot, present only
+	// when the server was built with WithExplain.
+	Planner *plannerMetrics `json:"planner,omitempty"`
 }
 
 // aggResponse is the /query output for aggregates.
@@ -482,6 +523,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Degraded:       rs.Degraded,
 		Stale:          rs.Stale,
 		StaleAgeMicros: int64(rs.StaleAge / time.Microsecond),
+	}
+	if s.explain {
+		pm := s.plannerSection()
+		resp.Planner = &pm
 	}
 	for _, rq := range rs.Issued {
 		if rq.Err != nil {

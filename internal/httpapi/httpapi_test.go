@@ -13,6 +13,7 @@ import (
 	"qpiad/internal/core"
 	"qpiad/internal/datagen"
 	"qpiad/internal/nbc"
+	"qpiad/internal/planner"
 	"qpiad/internal/source"
 )
 
@@ -243,5 +244,49 @@ func TestQueryErrors(t *testing.T) {
 		if !strings.Contains(string(body), c.want) {
 			t.Errorf("%q: body %q should contain %q", c.body, body, c.want)
 		}
+	}
+}
+
+// TestQueryExplainPlanner checks WithExplain attaches the planner section to
+// /query responses and that it reflects the mediator's planner config.
+func TestQueryExplainPlanner(t *testing.T) {
+	gd := datagen.Cars(4000, 1)
+	ed, _ := datagen.MakeIncomplete(gd, 0.10, 2)
+	src := source.New("cars", ed, source.Capabilities{})
+	smpl := ed.Sample(500, rand.New(rand.NewSource(3)))
+	k, err := core.MineKnowledge("cars", smpl,
+		float64(ed.Len())/float64(smpl.Len()), smpl.IncompleteFraction(),
+		core.KnowledgeConfig{AFD: afd.Config{MinSupport: 5}, Predictor: nbc.PredictorConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := core.New(core.Config{Alpha: 0, K: 10, Planner: &planner.Config{Scheduler: planner.NewScheduler(2)}})
+	med.Register(src, k)
+	srv := httptest.NewServer(New(med, WithExplain()))
+	t.Cleanup(srv.Close)
+
+	resp, body := postQuery(t, srv, `{"sql": "SELECT * FROM cars WHERE body_style = 'Convt'"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Planner == nil {
+		t.Fatal("explain server should attach a planner section")
+	}
+	if !qr.Planner.Enabled {
+		t.Error("planner section should report enabled")
+	}
+	if qr.Planner.Scheduler == nil || qr.Planner.Scheduler.Admitted == 0 {
+		t.Errorf("scheduler should have admitted rewrite fetches: %+v", qr.Planner.Scheduler)
+	}
+
+	// Without the option the section stays absent.
+	plain := testServer(t)
+	_, body = postQuery(t, plain, `{"sql": "SELECT * FROM cars WHERE body_style = 'Convt'"}`)
+	if strings.Contains(string(body), `"planner"`) {
+		t.Error("plain server should not attach a planner section")
 	}
 }

@@ -1,0 +1,167 @@
+package planner
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+)
+
+// Scheduler admits rewrite fetches across concurrent user queries under a
+// shared in-flight bound. Each fetch Acquires a slot with its priority
+// (Priority(F, EstSel)); when all slots are busy, waiters queue in a
+// max-priority heap and are granted as slots free up — so the shared source
+// budget is spent on the globally best rewrites first, not in arrival
+// order. Within one query plan the mediator's ordered-admission gates
+// already serialize fetches in rank order; the scheduler's job is the
+// cross-plan interleaving those gates cannot see.
+//
+// Fairness note: equal priorities are granted in arrival order (a
+// monotonic sequence number breaks ties), so two identical plans
+// interleave deterministically instead of starving each other.
+type Scheduler struct {
+	mu       sync.Mutex
+	limit    int
+	inFlight int
+	q        waitHeap
+	seq      int64
+	acct     SchedulerStats
+}
+
+// SchedulerStats snapshots the scheduler's accounting.
+type SchedulerStats struct {
+	// Limit is the in-flight slot bound.
+	Limit int `json:"limit"`
+	// InFlight is the number of currently held slots.
+	InFlight int `json:"in_flight"`
+	// Queued is the number of waiters currently queued.
+	Queued int `json:"queued"`
+	// Admitted counts slots granted (immediately or after queuing).
+	Admitted int64 `json:"admitted"`
+	// Waited counts acquisitions that had to queue before being granted.
+	Waited int64 `json:"waited"`
+	// Cancelled counts waiters that gave up (context cancelled) unserved.
+	Cancelled int64 `json:"cancelled"`
+	// MaxQueued is the high-water mark of the wait queue.
+	MaxQueued int `json:"max_queued"`
+}
+
+// NewScheduler builds a scheduler with the given in-flight slot bound.
+// limit <= 0 resolves to 1 (fully serialized cross-query admission).
+func NewScheduler(limit int) *Scheduler {
+	if limit <= 0 {
+		limit = 1
+	}
+	return &Scheduler{limit: limit}
+}
+
+// Limit returns the in-flight slot bound.
+func (s *Scheduler) Limit() int { return s.limit }
+
+// Acquire blocks until a slot is granted or ctx is cancelled. On nil
+// return the caller holds a slot and must Release exactly once; on error
+// (ctx.Err()) the caller holds nothing — a grant racing the cancellation
+// is handed straight back internally, so the slot count stays exact.
+func (s *Scheduler) Acquire(ctx context.Context, pri float64) error {
+	s.mu.Lock()
+	if s.inFlight < s.limit && s.q.Len() == 0 {
+		s.inFlight++
+		s.acct.Admitted++
+		s.mu.Unlock()
+		return nil
+	}
+	s.seq++
+	w := &waiter{pri: pri, seq: s.seq, grant: make(chan struct{})}
+	heap.Push(&s.q, w)
+	s.acct.Waited++
+	if s.q.Len() > s.acct.MaxQueued {
+		s.acct.MaxQueued = s.q.Len()
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	if w.index >= 0 {
+		// Still queued: withdraw unserved.
+		heap.Remove(&s.q, w.index)
+		s.acct.Cancelled++
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+	s.mu.Unlock()
+	// Popped (granted) concurrently with the cancellation: the slot is
+	// ours, so hand it back before reporting the cancel.
+	s.Release()
+	return ctx.Err()
+}
+
+// Release frees a slot, granting the highest-priority waiter if any.
+// Grants happen under the scheduler mutex by closing the waiter's grant
+// channel — a wake-up, not a channel send, so no waiter ever blocks the
+// lock holder.
+func (s *Scheduler) Release() {
+	s.mu.Lock()
+	s.inFlight--
+	for s.inFlight < s.limit && s.q.Len() > 0 {
+		w := heap.Pop(&s.q).(*waiter)
+		s.inFlight++
+		s.acct.Admitted++
+		close(w.grant)
+	}
+	s.mu.Unlock()
+}
+
+// Stats snapshots the accounting.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.acct
+	st.Limit = s.limit
+	st.InFlight = s.inFlight
+	st.Queued = s.q.Len()
+	return st
+}
+
+// waiter is one queued Acquire. index is its heap position, -1 once
+// popped — the granted/queued discriminator the cancellation path reads.
+type waiter struct {
+	pri   float64
+	seq   int64
+	grant chan struct{}
+	index int
+}
+
+// waitHeap is a max-heap on priority with FIFO tie-break on seq.
+type waitHeap []*waiter
+
+func (h waitHeap) Len() int { return len(h) }
+func (h waitHeap) Less(i, j int) bool {
+	if h[i].pri != h[j].pri {
+		return h[i].pri > h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waitHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *waitHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+
+func (h *waitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*h = old[:n-1]
+	return w
+}

@@ -1,0 +1,157 @@
+package planner
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitQueued polls until n waiters are queued (the scheduler has no other
+// synchronization surface for tests to hook).
+func waitQueued(t *testing.T, s *Scheduler, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d queued (have %d)", n, s.Stats().Queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSchedulerImmediateGrant(t *testing.T) {
+	s := NewScheduler(2)
+	ctx := context.Background()
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.InFlight != 2 || st.Admitted != 2 || st.Waited != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	s.Release()
+	s.Release()
+	if st := s.Stats(); st.InFlight != 0 {
+		t.Errorf("in-flight after release = %d", st.InFlight)
+	}
+}
+
+// TestSchedulerPriorityOrder pins the core property: queued waiters are
+// granted in descending priority, FIFO among equals.
+func TestSchedulerPriorityOrder(t *testing.T) {
+	s := NewScheduler(1)
+	ctx := context.Background()
+	if err := s.Acquire(ctx, 1); err != nil { // hold the only slot
+		t.Fatal(err)
+	}
+
+	order := make(chan int, 4)
+	var wg sync.WaitGroup
+	start := func(id int, pri float64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(ctx, pri); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- id
+			s.Release()
+		}()
+	}
+	// Enqueue one at a time so arrival order (and thus the FIFO tie-break
+	// between ids 2 and 3) is deterministic.
+	start(1, 0.1)
+	waitQueued(t, s, 1)
+	start(2, 0.5)
+	waitQueued(t, s, 2)
+	start(3, 0.5)
+	waitQueued(t, s, 3)
+	start(4, 0.9)
+	waitQueued(t, s, 4)
+
+	s.Release() // grants cascade as each waiter releases
+	wg.Wait()
+	close(order)
+	var got []int
+	for id := range order {
+		got = append(got, id)
+	}
+	want := []int{4, 2, 3, 1} // priority desc, FIFO on the 0.5 tie
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", got, want)
+		}
+	}
+	st := s.Stats()
+	if st.InFlight != 0 || st.Queued != 0 || st.Waited != 4 || st.MaxQueued != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSchedulerCancelledWaiter(t *testing.T) {
+	s := NewScheduler(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Acquire(ctx, 5) }()
+	waitQueued(t, s, 1)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Acquire = %v, want context.Canceled", err)
+	}
+	st := s.Stats()
+	if st.Cancelled != 1 || st.Queued != 0 {
+		t.Errorf("stats after cancel = %+v", st)
+	}
+	// The slot is still held by the first acquirer; release and verify a
+	// fresh Acquire is immediate (the cancelled waiter left no residue).
+	s.Release()
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+}
+
+// TestSchedulerConcurrent hammers Acquire/Release (with sporadic
+// cancellation) from many goroutines; run under -race this pins the
+// locking discipline, and the final snapshot pins slot conservation.
+func TestSchedulerConcurrent(t *testing.T) {
+	s := NewScheduler(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if (w+i)%5 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Microsecond)
+				}
+				err := s.Acquire(ctx, float64(i%7))
+				cancel()
+				if err == nil {
+					s.Release()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("slots leaked: %+v", st)
+	}
+}
+
+func TestSchedulerLimitFloor(t *testing.T) {
+	if NewScheduler(0).Limit() != 1 || NewScheduler(-3).Limit() != 1 {
+		t.Error("limit <= 0 should resolve to 1")
+	}
+}

@@ -1,6 +1,7 @@
 package selectivity
 
 import (
+	"sync"
 	"testing"
 
 	"qpiad/internal/relation"
@@ -72,5 +73,109 @@ func TestUnknownQueryZero(t *testing.T) {
 	q := relation.NewQuery("s", relation.Eq("model", relation.String("Unseen")))
 	if e.EstSel(q) != 0 {
 		t.Error("unseen value should have zero estimate")
+	}
+}
+
+func TestSampleSelectivityMemoized(t *testing.T) {
+	e, err := New(sampleRel(), 10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := relation.NewQuery("s", relation.Eq("model", relation.String("A4")))
+	if got := e.SampleSelectivity(q); got != 6 {
+		t.Fatalf("SmplSel(A4) = %d", got)
+	}
+	for i := 0; i < 9; i++ {
+		if got := e.SampleSelectivity(q); got != 6 {
+			t.Fatalf("repeat SmplSel(A4) = %d", got)
+		}
+	}
+	st := e.MemoStats()
+	if st.Misses != 1 || st.Hits != 9 {
+		t.Errorf("memo stats = %+v, want 1 miss and 9 hits", st)
+	}
+}
+
+func TestReplaceSampleInvalidatesMemo(t *testing.T) {
+	e, err := New(sampleRel(), 10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := relation.NewQuery("s", relation.Eq("model", relation.String("A4")))
+	if got := e.EstSel(q); got != 6 {
+		t.Fatalf("EstSel before replace = %v", got)
+	}
+
+	// A re-probed sample where A4 appears only once, under new scaling.
+	fresh := relation.New("s", e.Sample().Schema)
+	fresh.MustInsert(relation.Tuple{relation.String("A4")})
+	fresh.MustInsert(relation.Tuple{relation.String("Z4")})
+	if err := e.ReplaceSample(fresh, 20, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.SampleSelectivity(q); got != 1 {
+		t.Errorf("SmplSel after replace = %d, want 1 (memo not invalidated)", got)
+	}
+	if got := e.EstSel(q); got != 1*20*0.5 {
+		t.Errorf("EstSel after replace = %v, want 10", got)
+	}
+	if e.Ratio() != 20 || e.PerInc() != 0.5 {
+		t.Error("accessors did not pick up the replacement")
+	}
+
+	// Validation errors leave the estimator untouched.
+	if err := e.ReplaceSample(nil, 1, 0.1); err == nil {
+		t.Error("nil replacement sample should error")
+	}
+	if got := e.SampleSelectivity(q); got != 1 {
+		t.Errorf("failed replace must not disturb state: SmplSel = %d", got)
+	}
+}
+
+// TestEstSelConcurrentWithReplace hammers memoized estimates from many
+// goroutines while the sample is concurrently replaced. Run under -race
+// this pins the locking discipline; the assertion pins that every observed
+// estimate is consistent with exactly one of the two samples — never a mix
+// of count from one and ratio from the other.
+func TestEstSelConcurrentWithReplace(t *testing.T) {
+	e, err := New(sampleRel(), 10, 0.1) // EstSel(A4) = 6*10*0.1 = 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := relation.New("s", e.Sample().Schema)
+	fresh.MustInsert(relation.Tuple{relation.String("A4")})
+	q := relation.NewQuery("s", relation.Eq("model", relation.String("A4")))
+
+	var wg sync.WaitGroup
+	bad := make(chan float64, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				got := e.EstSel(q)
+				if got != 6 && got != 1*20*0.5 {
+					select {
+					case bad <- got:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := e.ReplaceSample(fresh, 20, 0.5); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	close(bad)
+	for got := range bad {
+		t.Errorf("EstSel observed mixed-sample estimate %v (want 6 or 10)", got)
+	}
+	if got := e.EstSel(q); got != 10 {
+		t.Errorf("EstSel after settle = %v, want 10", got)
 	}
 }
