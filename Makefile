@@ -4,7 +4,13 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet lint test race vuln bench bench-json bench-planner clean
+# The bench-* targets pipe `go test -bench` into qpiad-benchjson; without
+# pipefail a b.Fatal in an in-bench assertion would be masked by the
+# (successful) JSON writer's exit status.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: tier1 build vet lint test race vuln bench bench-json bench-planner bench-load clean
 
 tier1: build vet lint race
 
@@ -60,6 +66,17 @@ BENCH_PLANNER_JSON ?= BENCH_PR7.json
 bench-planner:
 	$(GO) test -run '^$$' -bench 'BenchmarkPlannerVsCallerOrder' \
 		-benchmem $(BENCH_FLAGS) . | $(GO) run ./cmd/qpiad-benchjson -o $(BENCH_PLANNER_JSON)
+
+# bench-load pins the PR8 admission-control claim: the closed-loop loadgen
+# mix at 16/64/256 workers against the in-process HTTP server, admission
+# off vs on. At the saturating step the benchmark itself b.Fatals unless
+# admission-on holds p99 strictly below admission-off with goodput within
+# 10%. Each cell is one fixed-duration run, so -benchtime=1x is baked in;
+# QPIAD_LOADBENCH_WORKERS / QPIAD_LOADBENCH_STEP_MS shrink it for CI smoke.
+BENCH_LOAD_JSON ?= BENCH_PR8.json
+bench-load:
+	$(GO) test -run '^$$' -bench 'BenchmarkLoadSLO' \
+		-benchtime=1x $(BENCH_FLAGS) . | $(GO) run ./cmd/qpiad-benchjson -o $(BENCH_LOAD_JSON)
 
 clean:
 	$(GO) clean ./...

@@ -12,8 +12,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
+	"os"
 	"reflect"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -23,6 +27,8 @@ import (
 	"qpiad/internal/datagen"
 	"qpiad/internal/experiments"
 	"qpiad/internal/faults"
+	"qpiad/internal/httpapi"
+	"qpiad/internal/loadgen"
 	"qpiad/internal/nbc"
 	"qpiad/internal/planner"
 	"qpiad/internal/relation"
@@ -656,5 +662,149 @@ func BenchmarkPlannerVsCallerOrder(b *testing.B) {
 	if onQ >= offQ || onT >= offT {
 		b.Fatalf("planner must strictly reduce source work: queries/op on=%.1f off=%.1f, tuples/op on=%.1f off=%.1f",
 			onQ, offQ, onT, offT)
+	}
+}
+
+// loadBenchSteps returns the closed-loop worker counts BenchmarkLoadSLO
+// sweeps. QPIAD_LOADBENCH_WORKERS ("16,64") overrides for CI smoke runs.
+func loadBenchSteps(b *testing.B) []int {
+	env := os.Getenv("QPIAD_LOADBENCH_WORKERS")
+	if env == "" {
+		return []int{16, 64, 256}
+	}
+	var steps []int
+	for _, part := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			b.Fatalf("bad QPIAD_LOADBENCH_WORKERS %q", env)
+		}
+		steps = append(steps, n)
+	}
+	return steps
+}
+
+// loadBenchStepDur is each step's run length (QPIAD_LOADBENCH_STEP_MS
+// overrides; CI smoke uses a few hundred ms).
+func loadBenchStepDur(b *testing.B) time.Duration {
+	env := os.Getenv("QPIAD_LOADBENCH_STEP_MS")
+	if env == "" {
+		return 3 * time.Second
+	}
+	ms, err := strconv.Atoi(env)
+	if err != nil || ms <= 0 {
+		b.Fatalf("bad QPIAD_LOADBENCH_STEP_MS %q", env)
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// BenchmarkLoadSLO is the closed-loop SLO benchmark behind BENCH_PR8.json:
+// the seeded loadgen mix driven at an in-process qpiad HTTP server at fixed
+// concurrency steps, once against an ungated server and once with admission
+// control armed at MaxInFlight = GOMAXPROCS. Every cell reports goodput,
+// tail latency over successful responses, and the shed rate.
+//
+// The headline claim is asserted in-bench at the saturating step (workers
+// >= 4x the admission bound): with every query forced through the full
+// NoCache pipeline, the ungated server lets hundreds of CPU-bound requests
+// pile onto GOMAXPROCS cores and its p99 absorbs all that queueing delay,
+// while the gated server bounds admitted latency to queue-wait +
+// service-time and sheds the rest cheaply. Admission-on must hold p99
+// strictly below admission-off while keeping goodput within 10% — protected
+// on the client side by workers honoring the shed responses' retry_after
+// back-off instead of busy-retrying. Steps below saturation skip the
+// assertion (there is no overload to shed) and just report their cells.
+func BenchmarkLoadSLO(b *testing.B) {
+	ed := benchSample(4000)
+	k := benchKnowledge(b, ed)
+	med := core.New(core.Config{Alpha: 0, K: 8, NoCache: true, CacheSize: -1})
+	med.Register(source.New("cars", ed, source.Capabilities{}), k)
+
+	// MaxInFlight tracks the core count but is floored at 4: on one- and
+	// two-core hosts a bound of GOMAXPROCS leaves the single admitted
+	// request alone against a shed storm, and goodput gets noisy. A 4-deep
+	// pipeline keeps slots busy while still bounding queueing delay two
+	// orders below the ungated arm's at 256 workers.
+	maxInflight := runtime.GOMAXPROCS(0)
+	if maxInflight < 4 {
+		maxInflight = 4
+	}
+	steps := loadBenchSteps(b)
+	stepDur := loadBenchStepDur(b)
+	arms := []struct {
+		name string
+		opts []httpapi.Option
+	}{
+		{"admission-off", nil},
+		{"admission-on", []httpapi.Option{httpapi.WithAdmission(httpapi.AdmissionConfig{
+			MaxInFlight:  maxInflight,
+			MaxQueue:     4 * maxInflight,
+			QueueTimeout: 200 * time.Millisecond,
+			RetryAfter:   200 * time.Millisecond,
+		})}},
+	}
+
+	type cell struct {
+		goodput float64
+		p99ms   float64
+		set     bool
+	}
+	results := make(map[string]cell)
+
+	for _, arm := range arms {
+		srv := httptest.NewServer(httpapi.New(med, arm.opts...))
+		for _, w := range steps {
+			key := fmt.Sprintf("%s/%d", arm.name, w)
+			b.Run(fmt.Sprintf("%s/workers=%d", arm.name, w), func(b *testing.B) {
+				var rep *loadgen.Report
+				for i := 0; i < b.N; i++ {
+					r, err := loadgen.Run(context.Background(), loadgen.Config{
+						BaseURL:     srv.URL,
+						Workers:     w,
+						Duration:    stepDur,
+						Seed:        77,
+						SLO:         250 * time.Millisecond,
+						ShedBackoff: 500 * time.Millisecond,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rep = r
+				}
+				if rep.OK == 0 {
+					b.Fatal("no successful completions")
+				}
+				if rep.Errors > 0 {
+					b.Fatalf("%d request errors (the harness mix must be clean)", rep.Errors)
+				}
+				b.ReportMetric(rep.Throughput, "goodput-rps/op")
+				b.ReportMetric(float64(rep.Latency.P50Micros)/1e3, "p50-ms/op")
+				b.ReportMetric(float64(rep.Latency.P95Micros)/1e3, "p95-ms/op")
+				b.ReportMetric(float64(rep.Latency.P99Micros)/1e3, "p99-ms/op")
+				b.ReportMetric(float64(rep.TTFA.P50Micros)/1e3, "ttfa-p50-ms/op")
+				b.ReportMetric(rep.ShedRate, "shed-rate/op")
+				b.ReportMetric(rep.SLOViolationRate, "slo-violation-rate/op")
+				results[key] = cell{goodput: rep.Throughput, p99ms: float64(rep.Latency.P99Micros) / 1e3, set: true}
+			})
+		}
+		srv.Close()
+	}
+
+	sat := steps[len(steps)-1]
+	off := results[fmt.Sprintf("admission-off/%d", sat)]
+	on := results[fmt.Sprintf("admission-on/%d", sat)]
+	switch {
+	case !off.set || !on.set:
+		// A -bench filter ran only one arm; nothing to compare.
+	case sat < 4*maxInflight:
+		b.Logf("saturation assertion skipped: %d workers < 4x the %d-slot admission bound", sat, maxInflight)
+	default:
+		if on.p99ms >= off.p99ms {
+			b.Fatalf("admission must hold tail latency under saturation: p99 on=%.1fms off=%.1fms at %d workers",
+				on.p99ms, off.p99ms, sat)
+		}
+		if on.goodput < 0.9*off.goodput {
+			b.Fatalf("admission costs too much goodput: on=%.1f rps off=%.1f rps at %d workers",
+				on.goodput, off.goodput, sat)
+		}
 	}
 }

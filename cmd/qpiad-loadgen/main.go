@@ -1,0 +1,161 @@
+// Command qpiad-loadgen drives a running qpiad-server with a seeded,
+// deterministic query mix and reports throughput, tail latency (p50/p95/
+// p99), time-to-first-answer for streamed queries, and SLO violations.
+//
+// Two loop disciplines (see internal/loadgen):
+//
+//	-mode closed   each worker waits for its response before the next
+//	               request; -rate optionally paces it with a token bucket
+//	-mode open     each worker fires on a fixed -rate schedule and latency
+//	               is measured from the intended start (coordinated-
+//	               omission aware)
+//
+// Example SLO run against a locally started server:
+//
+//	qpiad-server -addr :8080 -max-inflight 16 &
+//	qpiad-loadgen -url http://localhost:8080 -workers 64 -duration 30s \
+//	              -slo 250ms -mix point=0.45,range=0.25,join=0.05,stream=0.25
+//
+// The summary prints to stderr; -json writes the full machine-readable
+// report to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"qpiad/internal/loadgen"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://localhost:8080", "target server base URL")
+		workers = flag.Int("workers", 8, "worker pool size")
+		dur     = flag.Duration("duration", 10*time.Second, "run length")
+		maxReq  = flag.Int64("max-requests", 0, "stop after this many requests (0 = duration only)")
+		mode    = flag.String("mode", "closed", "loop discipline: closed or open")
+		rate    = flag.Float64("rate", 0, "per-worker request rate (req/s); required for -mode open, optional pacing for closed")
+		burst   = flag.Int("burst", 1, "token-bucket burst for paced closed loops")
+		seed    = flag.Int64("seed", 1, "workload seed (worker w draws from seed+w)")
+		slo     = flag.Duration("slo", 250*time.Millisecond, "per-request latency objective")
+		mixSpec = flag.String("mix", "", "query mix weights, e.g. point=0.45,range=0.25,join=0.05,stream=0.25 (empty = default mix)")
+		asJSON  = flag.Bool("json", false, "write the full report as JSON to stdout")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := loadgen.Config{
+		BaseURL:     *url,
+		Workers:     *workers,
+		Duration:    *dur,
+		MaxRequests: *maxReq,
+		Mode:        loadgen.Mode(*mode),
+		Rate:        *rate,
+		Burst:       *burst,
+		Seed:        *seed,
+		SLO:         *slo,
+		Mix:         mix,
+	}
+	// Ctrl-C ends the run early; the report covers what completed.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("qpiad-loadgen: %s loop, %d workers, %v against %s", *mode, *workers, *dur, *url)
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprint(os.Stderr, formatReport(rep))
+	if *asJSON {
+		if err := writeJSON(os.Stdout, rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// parseMix parses "class=weight,..." into a Mix; empty means the default.
+func parseMix(spec string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	if spec == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("bad mix term %q (want class=weight)", part)
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", kv[1])
+		}
+		switch loadgen.Class(kv[0]) {
+		case loadgen.ClassPoint:
+			m.Point = w
+		case loadgen.ClassRange:
+			m.Range = w
+		case loadgen.ClassJoin:
+			m.Join = w
+		case loadgen.ClassStream:
+			m.Stream = w
+		default:
+			return m, fmt.Errorf("unknown mix class %q", kv[0])
+		}
+	}
+	if m.Point+m.Range+m.Join+m.Stream <= 0 {
+		return m, fmt.Errorf("mix %q has no weight", spec)
+	}
+	return m, nil
+}
+
+// formatReport renders the human-readable summary.
+func formatReport(r *loadgen.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s loop, %d workers, %dms elapsed (seed %d)\n", r.Mode, r.Workers, r.ElapsedMs, r.Seed)
+	fmt.Fprintf(&b, "  issued %d: ok %d, shed %d (%.1f%%), errors %d, aborted %d\n",
+		r.Issued, r.OK, r.Shed, 100*r.ShedRate, r.Errors, r.Aborted)
+	fmt.Fprintf(&b, "  goodput %.1f req/s\n", r.Throughput)
+	fmt.Fprintf(&b, "  latency p50 %s  p95 %s  p99 %s\n",
+		micros(r.Latency.P50Micros), micros(r.Latency.P95Micros), micros(r.Latency.P99Micros))
+	if r.TTFA.Count > 0 {
+		fmt.Fprintf(&b, "  ttfa    p50 %s  p95 %s  p99 %s (over %d streams)\n",
+			micros(r.TTFA.P50Micros), micros(r.TTFA.P95Micros), micros(r.TTFA.P99Micros), r.TTFA.Count)
+	}
+	fmt.Fprintf(&b, "  slo %dms: %d violations (%.2f%% of ok)\n", r.SLOMs, r.SLOViolations, 100*r.SLOViolationRate)
+	for _, c := range r.Classes {
+		if c.Count > 0 {
+			fmt.Fprintf(&b, "  mix %-6s %d\n", c.Class, c.Count)
+		}
+	}
+	return b.String()
+}
+
+// micros renders a microsecond figure at a human scale.
+func micros(us int64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}
+
+func writeJSON(w io.Writer, rep *loadgen.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

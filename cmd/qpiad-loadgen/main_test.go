@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"qpiad/internal/loadgen"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("point=0.5,range=0.2,join=0.1,stream=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Point != 0.5 || m.Range != 0.2 || m.Join != 0.1 || m.Stream != 0.2 {
+		t.Errorf("mix = %+v", m)
+	}
+	if m, err := parseMix(""); err != nil || m != (loadgen.Mix{}) {
+		t.Errorf("empty spec: %+v, %v (zero Mix means the runner default)", m, err)
+	}
+	if m, err := parseMix("stream=1"); err != nil || m.Stream != 1 {
+		t.Errorf("single class: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"point", "point=x", "wild=1", "point=-1", "point=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	rep := &loadgen.Report{
+		Mode: loadgen.ModeClosed, Workers: 4, Seed: 1, ElapsedMs: 1000,
+		Issued: 100, OK: 90, Shed: 8, Errors: 1, Aborted: 1,
+		Throughput: 90, ShedRate: 0.08,
+		SLOMs: 250, SLOViolations: 3, SLOViolationRate: 3.0 / 90,
+		Classes: []loadgen.ClassCount{{Class: loadgen.ClassPoint, Count: 100}},
+	}
+	rep.Latency.P50Micros = 900
+	rep.Latency.P95Micros = 4200
+	rep.Latency.P99Micros = 2_300_000
+	out := formatReport(rep)
+	for _, want := range []string{"closed loop", "ok 90", "shed 8 (8.0%)", "900µs", "4.2ms", "2.30s", "250ms: 3 violations", "point  100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ttfa") {
+		t.Error("ttfa line printed with no stream observations")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	rep := &loadgen.Report{Mode: loadgen.ModeOpen, Workers: 2, Issued: 10, OK: 10}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back loadgen.Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode != loadgen.ModeOpen || back.Issued != 10 {
+		t.Errorf("round trip = %+v", back)
+	}
+}

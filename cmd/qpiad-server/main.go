@@ -9,10 +9,18 @@
 //	POST /query            {"sql": "SELECT * FROM cars WHERE body_style = 'Convt'"}
 //	POST /query?stream=1   the same selection streamed as NDJSON; add
 //	                       "top_n": N to stop once N possible answers are out
+//	POST /join             {"left_sql": ..., "right_sql": ..., "on": [a, b]}
 //
 // Flaky-source simulation: -error-rate/-timeout-rate/-latency-jitter attach
 // a deterministic fault injector to every source (seeded by -fault-seed);
 // -retries and -attempt-timeout tune the mediator's retry policy.
+//
+// Overload protection: -max-inflight arms server-side admission control
+// (bounded concurrency, a deadline-aware wait queue, and 429 + Retry-After
+// load shedding past it — see internal/httpapi). The listener runs behind
+// a configured http.Server (slowloris and idle timeouts), and SIGINT or
+// SIGTERM drains gracefully: in-flight requests finish, bounded by
+// -drain-timeout.
 //
 // Example session:
 //
@@ -23,11 +31,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"qpiad/internal/afd"
 	"qpiad/internal/breaker"
@@ -72,6 +86,17 @@ func main() {
 		hedge      = flag.Bool("hedge", false, "hedge slow source queries once the attempt outlives the observed p95 (needs -breaker)")
 		cacheTTL   = flag.Duration("cache-ttl", 0, "answer-cache freshness bound (0 = never expires)")
 		staleTTL   = flag.Duration("stale-ttl", 0, "serve cached answers up to this old, flagged stale, when the circuit is open (0 = off)")
+
+		maxInflight  = flag.Int("max-inflight", 0, "admission control: concurrent /query + /join bound (0 = admission off)")
+		maxQueue     = flag.Int("max-queue", 0, "admission control: wait-queue depth (0 = 2×max-inflight, negative = no queue)")
+		queueTimeout = flag.Duration("queue-timeout", 0, "admission control: max time a request queues for a slot (0 = 100ms default)")
+		retryAfter   = flag.Duration("retry-after", 0, "back-off hint on shed responses (0 = queue-timeout)")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (0 = unbounded)")
+		writeTimeout      = flag.Duration("write-timeout", 0, "http.Server WriteTimeout (0 = unbounded; streams can be long)")
+		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout for keep-alive connections")
+		drainTimeout      = flag.Duration("drain-timeout", 15*time.Second, "max time to finish in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -124,8 +149,81 @@ func main() {
 	if *explain {
 		opts = append(opts, httpapi.WithExplain())
 	}
-	log.Printf("qpiad-server listening on %s (sources: %v)", *addr, med.SourceNames())
-	log.Fatal(http.ListenAndServe(*addr, httpapi.New(med, opts...)))
+	opts = append(opts, admissionOptions(*maxInflight, *maxQueue, *queueTimeout, *retryAfter)...)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(med, opts...),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("qpiad-server listening on %s (sources: %v)", ln.Addr(), med.SourceNames())
+	if *maxInflight > 0 {
+		log.Printf("admission control on: max-inflight %d, max-queue %d", *maxInflight, resolvedQueue(*maxInflight, *maxQueue))
+	}
+	if err := serve(ctx, srv, ln, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("qpiad-server drained and stopped")
+}
+
+// admissionOptions maps the admission flags onto httpapi options;
+// max-inflight 0 leaves the gate off entirely (the zero-cost default).
+func admissionOptions(maxInflight, maxQueue int, queueTimeout, retryAfter time.Duration) []httpapi.Option {
+	if maxInflight <= 0 {
+		return nil
+	}
+	return []httpapi.Option{httpapi.WithAdmission(httpapi.AdmissionConfig{
+		MaxInFlight:  maxInflight,
+		MaxQueue:     maxQueue,
+		QueueTimeout: queueTimeout,
+		RetryAfter:   retryAfter,
+	})}
+}
+
+// resolvedQueue mirrors AdmissionConfig.withDefaults for the startup log:
+// the flag's 0 means 2×max-inflight, negative means no queue.
+func resolvedQueue(maxInflight, maxQueue int) int {
+	switch {
+	case maxQueue == 0:
+		return 2 * maxInflight
+	case maxQueue < 0:
+		return 0
+	}
+	return maxQueue
+}
+
+// serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in main),
+// then drains gracefully: no new connections, in-flight requests — long
+// NDJSON streams included — get up to drain to finish.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutdown signal received, draining for up to %v", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		// The drain deadline passed with requests still running; cut them.
+		srv.Close()
+		return fmt.Errorf("drain incomplete after %v: %w", drain, err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 func buildMediator(csvPath string, n int, seed int64, incmp, smplFrac float64, mineWorkers int, cfg core.Config) (*core.Mediator, error) {

@@ -25,7 +25,10 @@ import (
 )
 
 // MiningPackages are the import-path suffixes the pass applies to: the
-// mining/ranking packages whose outputs must be byte-identical run to run.
+// mining/ranking packages whose outputs must be byte-identical run to run,
+// plus the serving/load-harness packages (httpapi, loadgen, latency) where
+// injected clocks and seeded generators keep admission decisions and
+// benchmark workloads reproducible.
 var MiningPackages = []string{
 	"internal/afd",
 	"internal/nbc",
@@ -35,6 +38,9 @@ var MiningPackages = []string{
 	"internal/core",
 	"internal/breaker",
 	"internal/planner",
+	"internal/httpapi",
+	"internal/loadgen",
+	"internal/latency",
 }
 
 // Analyzer is the nodeterm pass.

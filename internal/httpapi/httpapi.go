@@ -16,11 +16,21 @@
 //	POST /query?stream=1     the same selection, streamed as NDJSON: one
 //	                         answer/rewrite event per line as results
 //	                         arrive, closed by a summary line
+//	POST /join               {"left_sql": ..., "right_sql": ..., "on":
+//	                         [l, r]} → ranked joined pairs (Section 4.5)
 //
 // The FROM clause of the SQL names the source to query. Query handling is
 // fully concurrent: per-request α/K overrides are applied through the
 // mediator's per-call (With-variant) entry points, never by mutating the
 // shared configuration.
+//
+// WithAdmission arms server-side admission control (see admission.go): the
+// expensive POST endpoints run under a bounded in-flight semaphore with a
+// bounded, deadline-aware wait queue, and excess load is shed with 429 +
+// Retry-After instead of queueing without bound. Admission also turns on
+// per-endpoint latency histograms; both appear under "http" on
+// GET /metrics. Without the option the request path is exactly the
+// pre-admission one — no gate, no clock reads.
 package httpapi
 
 import (
@@ -34,6 +44,7 @@ import (
 
 	"qpiad/internal/breaker"
 	"qpiad/internal/core"
+	"qpiad/internal/latency"
 	"qpiad/internal/planner"
 	"qpiad/internal/relation"
 	"qpiad/internal/sqlish"
@@ -45,10 +56,24 @@ type Server struct {
 	mux     *http.ServeMux
 	explain bool
 
+	// adm is the admission gate; nil means every request is admitted and
+	// no per-endpoint latency is recorded (the zero-cost default).
+	adm *admission
+	// endpoints holds the per-endpoint service-time histograms, built only
+	// when admission is configured. The map is read-only after New.
+	endpoints map[string]*latency.Hist
+
 	// Streaming accounting, exposed under /metrics.
 	streamRequests atomic.Int64 // stream=1 requests accepted
 	streamEvents   atomic.Int64 // NDJSON lines written
 	streamStops    atomic.Int64 // streams that early-stopped on the top-N bound
+
+	// Error accounting: disconnects are clients abandoning a request
+	// mid-flight (their context fired), counted apart from genuine 5xx
+	// server errors so a load test's client-side timeouts don't read as
+	// server failures.
+	clientDisconnects atomic.Int64
+	serverErrors      atomic.Int64
 }
 
 // Option customises a Server at construction time.
@@ -59,23 +84,129 @@ type Option func(*Server)
 // per-request how much work the planner saved without a second round trip.
 func WithExplain() Option { return func(s *Server) { s.explain = true } }
 
+// WithAdmission installs the admission gate in front of POST /query and
+// POST /join and turns on per-endpoint latency histograms. Zero fields of
+// cfg take defaults (see AdmissionConfig).
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) { s.adm = newAdmission(cfg) }
+}
+
+// endpointNames are the per-endpoint histogram keys.
+var endpointNames = []string{"healthz", "sources", "knowledge", "metrics", "query", "query_stream", "join"}
+
 // New builds the handler around a configured mediator.
 func New(med *core.Mediator, opts ...Option) *Server {
 	s := &Server{med: med, mux: http.NewServeMux()}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /sources", s.handleSources)
-	s.mux.HandleFunc("GET /knowledge", s.handleKnowledge)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
+	if s.adm != nil {
+		s.endpoints = make(map[string]*latency.Hist, len(endpointNames))
+		for _, name := range endpointNames {
+			s.endpoints[name] = &latency.Hist{}
+		}
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /sources", s.instrument("sources", s.handleSources))
+	s.mux.HandleFunc("GET /knowledge", s.instrument("knowledge", s.handleKnowledge))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("POST /query", s.queryEntry)
+	s.mux.HandleFunc("POST /join", s.admitted("join", s.handleJoin))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// instrument wraps a handler with per-endpoint service-time recording when
+// admission metrics are on; otherwise it returns the handler untouched.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	if s.adm == nil {
+		return h
+	}
+	hist := s.endpoints[name]
+	clock := s.adm.clock
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := clock()
+		h(w, r)
+		hist.Record(clock().Sub(start))
+	}
+}
+
+// admitted wraps an expensive handler with the admission gate (and, like
+// instrument, service-time recording). Shed requests answer 429 with a
+// Retry-After hint and a structured body without entering the handler.
+func (s *Server) admitted(name string, h http.HandlerFunc) http.HandlerFunc {
+	if s.adm == nil {
+		return h
+	}
+	inner := s.instrument(name, h)
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, shed, err := s.adm.acquire(r.Context())
+		if err != nil {
+			// The client hung up while queued.
+			s.writeDisconnect(w)
+			return
+		}
+		if shed != "" {
+			s.writeShed(w, shed)
+			return
+		}
+		defer release()
+		inner(w, r)
+	}
+}
+
+// streamRequested reports whether the request asked for the NDJSON stream.
+func streamRequested(r *http.Request) bool {
+	v := r.URL.Query().Get("stream")
+	return v != "" && v != "0" && v != "false"
+}
+
+// queryEntry is the POST /query entry point: the admission gate plus
+// per-endpoint recording under the batch or stream histogram, then the
+// shared handler.
+func (s *Server) queryEntry(w http.ResponseWriter, r *http.Request) {
+	if s.adm == nil {
+		s.handleQuery(w, r)
+		return
+	}
+	release, shed, err := s.adm.acquire(r.Context())
+	if err != nil {
+		s.writeDisconnect(w)
+		return
+	}
+	if shed != "" {
+		s.writeShed(w, shed)
+		return
+	}
+	defer release()
+	name := "query"
+	if streamRequested(r) {
+		name = "query_stream"
+	}
+	start := s.adm.clock()
+	s.handleQuery(w, r)
+	s.endpoints[name].Record(s.adm.clock().Sub(start))
+}
+
+// writeShed answers a shed request: 429, Retry-After in whole seconds
+// (rounded up, minimum 1), and the exact hint in the JSON body.
+func (s *Server) writeShed(w http.ResponseWriter, reason shedReason) {
+	retryAfter := s.adm.cfg.RetryAfter
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeJSON(w, http.StatusTooManyRequests, shedBody{
+		Error:        fmt.Sprintf("overloaded: request shed (%s)", reason),
+		Shed:         true,
+		Reason:       string(reason),
+		RetryAfterMs: int64(retryAfter / time.Millisecond),
+	})
 }
 
 // errorBody is the uniform error payload.
@@ -91,8 +222,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+// writeErr writes the uniform error payload, counting 5xx responses as
+// server errors (client-caused 4xx are not server failures).
+func (s *Server) writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	if code >= 500 {
+		s.serverErrors.Add(1)
+	}
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeDisconnect records a query aborted because the client went away and
+// writes 499 (nginx's "client closed request"). The status reaches nobody
+// on a real disconnect, but it keeps recorders and proxies honest, and the
+// abort is counted as a disconnect — never as a server error.
+func (s *Server) writeDisconnect(w http.ResponseWriter) {
+	s.clientDisconnects.Add(1)
+	writeJSON(w, 499, errorBody{Error: "client closed request"})
 }
 
 // sourceHealth is one source's admission state in the /healthz payload.
@@ -184,12 +329,12 @@ type knowledgeInfo struct {
 func (s *Server) handleKnowledge(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("source")
 	if name == "" {
-		writeErr(w, http.StatusBadRequest, "missing ?source= parameter")
+		s.writeErr(w, http.StatusBadRequest, "missing ?source= parameter")
 		return
 	}
 	k, ok := s.med.Knowledge(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no knowledge for source %q", name)
+		s.writeErr(w, http.StatusNotFound, "no knowledge for source %q", name)
 		return
 	}
 	info := knowledgeInfo{Source: name, SampleSize: k.Sample.Len()}
@@ -273,12 +418,24 @@ type plannerMetrics struct {
 	Scheduler      *planner.SchedulerStats `json:"scheduler,omitempty"`
 }
 
+// httpMetrics is the HTTP-layer section of the /metrics payload: the
+// admission gate's counters, per-endpoint service-time histograms (both
+// present only when WithAdmission configured them), and the error split —
+// clients that hung up vs genuine server errors.
+type httpMetrics struct {
+	Admission         *admissionJSON             `json:"admission,omitempty"`
+	Endpoints         map[string]latency.Summary `json:"endpoints,omitempty"`
+	ClientDisconnects int64                      `json:"client_disconnects"`
+	ServerErrors      int64                      `json:"server_errors"`
+}
+
 // metricsResponse is the full /metrics payload.
 type metricsResponse struct {
 	Sources   []sourceMetrics `json:"sources"`
 	Cache     cacheMetrics    `json:"cache"`
 	Streaming streamMetrics   `json:"streaming"`
 	Planner   plannerMetrics  `json:"planner"`
+	HTTP      httpMetrics     `json:"http"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -337,6 +494,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		EarlyStops: s.streamStops.Load(),
 	}
 	out.Planner = s.plannerSection()
+	out.HTTP = httpMetrics{
+		ClientDisconnects: s.clientDisconnects.Load(),
+		ServerErrors:      s.serverErrors.Load(),
+	}
+	if s.adm != nil {
+		out.HTTP.Admission = s.adm.snapshot()
+		eps := make(map[string]latency.Summary, len(s.endpoints))
+		for name, h := range s.endpoints {
+			if h.Count() > 0 {
+				eps[name] = h.Snapshot()
+			}
+		}
+		out.HTTP.Endpoints = eps
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -416,26 +587,26 @@ type aggResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.SQL == "" {
-		writeErr(w, http.StatusBadRequest, "missing sql")
+		s.writeErr(w, http.StatusBadRequest, "missing sql")
 		return
 	}
 	st, err := sqlish.Parse(req.SQL)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	srcName := st.Query.Relation
 	src, ok := s.med.Source(srcName)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown source %q", srcName)
+		s.writeErr(w, http.StatusNotFound, "unknown source %q", srcName)
 		return
 	}
 	if err := st.CoerceTypes(src.Schema()); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	// Overrides apply to this call only: the shared mediator config is
@@ -451,7 +622,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		cfg.NoCache = true
 	}
 
-	if streamParam := r.URL.Query().Get("stream"); streamParam != "" && streamParam != "0" && streamParam != "false" {
+	if streamRequested(r) {
 		s.handleQueryStream(w, r, cfg, req, st, srcName, src.Schema())
 		return
 	}
@@ -463,7 +634,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Rule:            core.RuleArgmax,
 		})
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "%v", err)
+			if r.Context().Err() != nil {
+				s.writeDisconnect(w)
+				return
+			}
+			s.writeErr(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, aggResponse{
@@ -483,7 +658,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	rs, err := s.med.QuerySelectWithCtx(r.Context(), cfg, srcName, st.Query)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		if r.Context().Err() != nil {
+			// The client hung up mid-query: the pipeline aborted on its
+			// context, which is neither a server error nor answerable.
+			s.writeDisconnect(w)
+			return
+		}
+		s.writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	schema := src.Schema()
@@ -493,7 +674,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if len(st.Order) > 0 {
 		cmp, err := st.Comparator(schema)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			s.writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		sortAnswers(rs.Certain, cmp)
@@ -508,7 +689,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if len(st.Projection) > 0 {
 		projected, ps, err := rs.Project(schema, st.Projection)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			s.writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		rs, schema = projected, ps
@@ -592,11 +773,11 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, cfg c
 	// LIMIT would require the full set first, which is the batch endpoint's
 	// job. Aggregates have a single scalar result — nothing to stream.
 	if st.Query.Agg != nil {
-		writeErr(w, http.StatusBadRequest, "aggregate queries cannot be streamed")
+		s.writeErr(w, http.StatusBadRequest, "aggregate queries cannot be streamed")
 		return
 	}
 	if len(st.Order) > 0 || st.Limit > 0 {
-		writeErr(w, http.StatusBadRequest, "ORDER BY / LIMIT are not supported on streams: answers arrive in confidence rank order")
+		s.writeErr(w, http.StatusBadRequest, "ORDER BY / LIMIT are not supported on streams: answers arrive in confidence rank order")
 		return
 	}
 	if req.TopN > 0 {
@@ -609,7 +790,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, cfg c
 	if len(st.Projection) > 0 {
 		ps, err := schema.Project(st.Projection...)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
+			s.writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		outSchema = ps
@@ -621,7 +802,11 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, cfg c
 
 	events, err := s.med.SelectStreamWith(r.Context(), cfg, srcName, st.Query)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		if r.Context().Err() != nil {
+			s.writeDisconnect(w)
+			return
+		}
+		s.writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	s.streamRequests.Add(1)
@@ -635,7 +820,9 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, cfg c
 		if err := enc.Encode(ev); err != nil {
 			// Client gone: r.Context() is cancelled by the server when the
 			// connection drops, which aborts the pipeline; just stop writing
-			// and drain the channel so the producer can close it.
+			// and drain the channel so the producer can close it. Counted
+			// as a disconnect, not a server error.
+			s.clientDisconnects.Add(1)
 			return false
 		}
 		s.streamEvents.Add(1)
@@ -774,4 +961,132 @@ func valueJSON(v relation.Value) any {
 	default:
 		return v.String()
 	}
+}
+
+// joinRequest is the POST /join input: one SQL selection per side (each
+// FROM clause names its source) and the equi-join attribute pair.
+type joinRequest struct {
+	LeftSQL  string `json:"left_sql"`
+	RightSQL string `json:"right_sql"`
+	// On is [left_attr, right_attr].
+	On [2]string `json:"on"`
+	// Alpha and K optionally override the mediator defaults for pair
+	// ordering and the query-pair budget.
+	Alpha float64 `json:"alpha,omitempty"`
+	K     int     `json:"k,omitempty"`
+}
+
+// joinAnswerJSON is one joined pair on the wire.
+type joinAnswerJSON struct {
+	Left       map[string]any `json:"left"`
+	Right      map[string]any `json:"right"`
+	JoinValue  any            `json:"join_value"`
+	Certain    bool           `json:"certain"`
+	Confidence float64        `json:"confidence"`
+}
+
+// joinResponse is the POST /join output.
+type joinResponse struct {
+	LeftSource     string           `json:"left_source"`
+	RightSource    string           `json:"right_source"`
+	Answers        []joinAnswerJSON `json:"answers"`
+	PairsIssued    int              `json:"pairs_issued"`
+	Degraded       bool             `json:"degraded,omitempty"`
+	EstSavedTuples float64          `json:"est_saved_tuples,omitempty"`
+}
+
+// parseJoinSide parses one side's SQL into a plain selection, rejecting
+// clauses a join side cannot carry.
+func (s *Server) parseJoinSide(w http.ResponseWriter, side, sql string) (*sqlish.Statement, *relation.Schema, bool) {
+	if sql == "" {
+		s.writeErr(w, http.StatusBadRequest, "missing %s_sql", side)
+		return nil, nil, false
+	}
+	st, err := sqlish.Parse(sql)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%s_sql: %v", side, err)
+		return nil, nil, false
+	}
+	if st.Query.Agg != nil || len(st.Order) > 0 || st.Limit > 0 || len(st.Projection) > 0 {
+		s.writeErr(w, http.StatusBadRequest, "%s_sql: join sides are plain selections (no aggregates, ORDER BY, LIMIT or projection)", side)
+		return nil, nil, false
+	}
+	src, ok := s.med.Source(st.Query.Relation)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, "unknown source %q", st.Query.Relation)
+		return nil, nil, false
+	}
+	if err := st.CoerceTypes(src.Schema()); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%s_sql: %v", side, err)
+		return nil, nil, false
+	}
+	return st, src.Schema(), true
+}
+
+// handleJoin serves POST /join: the paper's Section 4.5 two-way join as
+// ranked query pairs, certain pairs first.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	left, leftSchema, ok := s.parseJoinSide(w, "left", req.LeftSQL)
+	if !ok {
+		return
+	}
+	right, rightSchema, ok := s.parseJoinSide(w, "right", req.RightSQL)
+	if !ok {
+		return
+	}
+	if req.On[0] == "" || req.On[1] == "" {
+		s.writeErr(w, http.StatusBadRequest, `missing "on": [left_attr, right_attr]`)
+		return
+	}
+	spec := core.JoinSpec{
+		LeftSource:    left.Query.Relation,
+		RightSource:   right.Query.Relation,
+		LeftQuery:     left.Query,
+		RightQuery:    right.Query,
+		LeftJoinAttr:  req.On[0],
+		RightJoinAttr: req.On[1],
+		Alpha:         req.Alpha,
+		K:             req.K,
+	}
+	res, err := s.med.QueryJoinCtx(r.Context(), spec)
+	if err != nil {
+		if r.Context().Err() != nil {
+			s.writeDisconnect(w)
+			return
+		}
+		s.writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := joinResponse{
+		LeftSource:     spec.LeftSource,
+		RightSource:    spec.RightSource,
+		Answers:        make([]joinAnswerJSON, 0, len(res.Answers)),
+		PairsIssued:    len(res.Pairs),
+		Degraded:       res.Degraded,
+		EstSavedTuples: res.EstSavedTuples,
+	}
+	for _, a := range res.Answers {
+		resp.Answers = append(resp.Answers, joinAnswerJSON{
+			Left:       tupleValues(leftSchema, a.Left),
+			Right:      tupleValues(rightSchema, a.Right),
+			JoinValue:  valueJSON(a.JoinValue),
+			Certain:    a.Certain,
+			Confidence: a.Confidence,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// tupleValues renders one tuple as an attribute-keyed map.
+func tupleValues(s *relation.Schema, t relation.Tuple) map[string]any {
+	vals := make(map[string]any, s.Len())
+	for c := 0; c < s.Len(); c++ {
+		vals[s.Attr(c).Name] = valueJSON(t[c])
+	}
+	return vals
 }

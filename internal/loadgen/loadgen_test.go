@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qpiad/internal/afd"
+	"qpiad/internal/core"
+	"qpiad/internal/datagen"
+	"qpiad/internal/httpapi"
+	"qpiad/internal/nbc"
+	"qpiad/internal/source"
+)
+
+// loadTarget stands up a small mediator behind the HTTP API with the given
+// admission config.
+func loadTarget(t *testing.T, acfg httpapi.AdmissionConfig) *httptest.Server {
+	t.Helper()
+	gd := datagen.Cars(1500, 21)
+	ed, _ := datagen.MakeIncomplete(gd, 0.10, 22)
+	src := source.New("cars", ed, source.Capabilities{})
+	smpl := ed.Sample(300, rand.New(rand.NewSource(23)))
+	k, err := core.MineKnowledge("cars", smpl,
+		float64(ed.Len())/float64(smpl.Len()), smpl.IncompleteFraction(),
+		core.KnowledgeConfig{AFD: afd.Config{MinSupport: 5}, Predictor: nbc.PredictorConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := core.New(core.Config{Alpha: 0, K: 5})
+	med.Register(src, k)
+	srv := httptest.NewServer(httpapi.New(med, httpapi.WithAdmission(acfg)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestClosedLoopRun(t *testing.T) {
+	srv := loadTarget(t, httpapi.AdmissionConfig{MaxInFlight: 32})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Workers:  4,
+		Duration: 400 * time.Millisecond,
+		Seed:     9,
+		SLO:      5 * time.Second, // generous: this test is about accounting
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 {
+		t.Fatal("no successful completions")
+	}
+	if got := rep.OK + rep.Shed + rep.Errors + rep.Aborted; got != rep.Issued {
+		t.Errorf("conservation: ok+shed+errors+aborted = %d, issued = %d", got, rep.Issued)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("unexpected errors: %d (mix must generate only valid requests)", rep.Errors)
+	}
+	if rep.Latency.Count != rep.OK {
+		t.Errorf("latency count %d != ok %d", rep.Latency.Count, rep.OK)
+	}
+	if rep.Latency.P50Micros == 0 || rep.Latency.P99Micros < rep.Latency.P50Micros {
+		t.Errorf("implausible percentiles: %+v", rep.Latency)
+	}
+	if rep.Throughput <= 0 || rep.ElapsedMs < 350 {
+		t.Errorf("throughput %.1f rps over %dms", rep.Throughput, rep.ElapsedMs)
+	}
+	if rep.SLOViolations != 0 {
+		t.Errorf("SLO of 5s violated %d times in a local run", rep.SLOViolations)
+	}
+	var classTotal int64
+	for _, c := range rep.Classes {
+		classTotal += c.Count
+	}
+	if classTotal != rep.Issued {
+		t.Errorf("class tallies sum to %d, issued %d", classTotal, rep.Issued)
+	}
+}
+
+func TestStreamTTFARecorded(t *testing.T) {
+	srv := loadTarget(t, httpapi.AdmissionConfig{MaxInFlight: 32})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Workers:  2,
+		Duration: 300 * time.Millisecond,
+		Mix:      Mix{Stream: 1},
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK == 0 {
+		t.Fatal("no stream completions")
+	}
+	if rep.TTFA.Count != rep.OK {
+		t.Errorf("ttfa count %d != ok %d", rep.TTFA.Count, rep.OK)
+	}
+	// First answer can't arrive after the full response finished.
+	if rep.TTFA.P50Micros > rep.Latency.P99Micros {
+		t.Errorf("ttfa p50 %dµs above completion p99 %dµs", rep.TTFA.P50Micros, rep.Latency.P99Micros)
+	}
+}
+
+func TestShedAccountingAndBackoff(t *testing.T) {
+	// One slot, no queue, modest retry hint: a 6-worker closed loop must
+	// observe sheds, honor them, and still finish with conserved counts.
+	srv := loadTarget(t, httpapi.AdmissionConfig{
+		MaxInFlight: 1, MaxQueue: -1, RetryAfter: 20 * time.Millisecond,
+	})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Workers:     6,
+		Duration:    500 * time.Millisecond,
+		Seed:        2,
+		ShedBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("no sheds observed against a one-slot server")
+	}
+	if rep.ShedRate <= 0 || rep.ShedRate > 1 {
+		t.Errorf("shed rate %.3f out of range", rep.ShedRate)
+	}
+	if got := rep.OK + rep.Shed + rep.Errors + rep.Aborted; got != rep.Issued {
+		t.Errorf("conservation: %d != issued %d", got, rep.Issued)
+	}
+	// Backoff honored: 6 workers × 500ms with a 20ms hint bounds the shed
+	// count far below an unthrottled busy-loop's thousands.
+	if rep.Shed > 300 {
+		t.Errorf("%d sheds suggests the retry_after hint was ignored", rep.Shed)
+	}
+}
+
+func TestTokenBucketPacesClosedLoop(t *testing.T) {
+	srv := loadTarget(t, httpapi.AdmissionConfig{MaxInFlight: 32})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Workers:  1,
+		Duration: 500 * time.Millisecond,
+		Rate:     20, // per worker: ~10 requests in 500ms + burst 1
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Issued < 3 {
+		t.Errorf("paced run issued only %d requests", rep.Issued)
+	}
+	if rep.Issued > 16 {
+		t.Errorf("token bucket leaked: %d requests at 20 rps in 500ms", rep.Issued)
+	}
+}
+
+func TestOpenLoopHoldsSchedule(t *testing.T) {
+	srv := loadTarget(t, httpapi.AdmissionConfig{MaxInFlight: 32})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Workers:  2,
+		Duration: 500 * time.Millisecond,
+		Mode:     ModeOpen,
+		Rate:     20,
+		Seed:     4,
+		Mix:      Mix{Point: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != ModeOpen {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	// 2 workers × 20 rps × 0.5s = ~20 intended sends; allow wide slack for
+	// scheduler jitter but catch both a stuck and an unpaced loop.
+	if rep.Issued < 8 || rep.Issued > 40 {
+		t.Errorf("open loop issued %d requests, want ~20", rep.Issued)
+	}
+}
+
+func TestMaxRequestsCapsRun(t *testing.T) {
+	srv := loadTarget(t, httpapi.AdmissionConfig{MaxInFlight: 32})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Workers:     4,
+		Duration:    5 * time.Second,
+		MaxRequests: 20,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Issued == 0 || rep.Issued > 20 {
+		t.Errorf("issued %d, want 1..20", rep.Issued)
+	}
+	if rep.ElapsedMs >= 5000 {
+		t.Errorf("capped run used the full duration (%dms)", rep.ElapsedMs)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Mode: ModeOpen}); err == nil {
+		t.Error("open loop without a rate accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Mode: "wild"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Package loadgen is the closed/open-loop load harness for the QPIAD HTTP
+// server: a bounded worker pool issuing a seeded, deterministic query mix
+// against /query, /query?stream=1 and /join, recording latency into
+// per-worker lock-free histogram shards and folding them into a single
+// p50/p95/p99 + SLO report.
+//
+// The generator side (this file) is pure: given a seed it produces the
+// same request sequence on every run, so two benchmark arms (admission on
+// vs off) see byte-identical workloads and their tail latencies are
+// directly comparable.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qpiad/internal/datagen"
+)
+
+// Class is a query-mix class.
+type Class string
+
+const (
+	// ClassPoint is a single-attribute equality selection — the workload
+	// class the QPIAD rewriting pipeline is built around.
+	ClassPoint Class = "point"
+	// ClassRange is a range selection (price/year/mileage bounds).
+	ClassRange Class = "range"
+	// ClassJoin is a two-sided join via POST /join (cars self-join).
+	ClassJoin Class = "join"
+	// ClassStream is a point query consumed over the NDJSON stream, with
+	// time-to-first-answer accounting.
+	ClassStream Class = "stream"
+)
+
+// Mix weighs the query classes. Weights are relative (they need not sum
+// to 1); a zero-value Mix takes DefaultMix.
+type Mix struct {
+	Point  float64 `json:"point"`
+	Range  float64 `json:"range"`
+	Join   float64 `json:"join"`
+	Stream float64 `json:"stream"`
+}
+
+// DefaultMix is the standard SLO-benchmark blend: mostly cheap point
+// lookups, a quarter ranges, a slice of streams, and a thin tail of
+// expensive joins — enough to exercise every gated endpoint without the
+// joins dominating service time.
+var DefaultMix = Mix{Point: 0.45, Range: 0.25, Join: 0.05, Stream: 0.25}
+
+// total returns the weight mass, substituting DefaultMix for a zero Mix.
+func (m Mix) resolve() Mix {
+	if m.Point+m.Range+m.Join+m.Stream <= 0 {
+		return DefaultMix
+	}
+	return m
+}
+
+// Request is one generated load-harness request, ready to POST.
+type Request struct {
+	// Class the request was drawn from.
+	Class Class
+	// Path is the URL path + query ("/query", "/query?stream=1", "/join").
+	Path string
+	// Body is the JSON payload.
+	Body string
+	// Stream marks NDJSON consumption (TTFA is recorded for these).
+	Stream bool
+}
+
+// Gen deterministically generates requests from a seeded mix. Not safe for
+// concurrent use; the runner gives each worker its own Gen (seeded from
+// the run seed and the worker index) so workloads stay deterministic under
+// any interleaving.
+type Gen struct {
+	mix Mix
+	cum [4]float64 // cumulative weights: point, range, join, stream
+	rng *rand.Rand
+}
+
+// NewGen builds a generator for the mix with its own seeded source.
+func NewGen(mix Mix, seed int64) *Gen {
+	m := mix.resolve()
+	g := &Gen{mix: m, rng: rand.New(rand.NewSource(seed))}
+	g.cum[0] = m.Point
+	g.cum[1] = g.cum[0] + m.Range
+	g.cum[2] = g.cum[1] + m.Join
+	g.cum[3] = g.cum[2] + m.Stream
+	return g
+}
+
+// Next draws one request.
+func (g *Gen) Next() Request {
+	x := g.rng.Float64() * g.cum[3]
+	switch {
+	case x < g.cum[0]:
+		return Request{Class: ClassPoint, Path: "/query", Body: g.pointBody(false)}
+	case x < g.cum[1]:
+		return Request{Class: ClassRange, Path: "/query", Body: g.rangeBody()}
+	case x < g.cum[2]:
+		return Request{Class: ClassJoin, Path: "/join", Body: g.joinBody()}
+	default:
+		return Request{Class: ClassStream, Path: "/query?stream=1", Body: g.pointBody(true), Stream: true}
+	}
+}
+
+// bodyStyles and the value pools below come from the datagen cars world:
+// selections over them have the wide selectivity spread (popular sedans,
+// rare 911s) that makes the rewriting pipeline's work realistic.
+var bodyStyles = []string{"Sedan", "Convt", "Coupe", "Wagon", "Truck", "SUV"}
+
+// pointAttrs are the equality-selection attributes with their value pools.
+func (g *Gen) pointPredicate() (attr, value string) {
+	switch g.rng.Intn(3) {
+	case 0:
+		return "body_style", bodyStyles[g.rng.Intn(len(bodyStyles))]
+	case 1:
+		m := datagen.CarModels[g.rng.Intn(len(datagen.CarModels))]
+		return "make", m.Make
+	default:
+		m := datagen.CarModels[g.rng.Intn(len(datagen.CarModels))]
+		return "model", m.Model
+	}
+}
+
+func (g *Gen) pointBody(stream bool) string {
+	attr, value := g.pointPredicate()
+	sql := fmt.Sprintf("SELECT * FROM cars WHERE %s = '%s'", attr, value)
+	if stream {
+		return fmt.Sprintf(`{"sql": %q, "no_cache": true, "top_n": %d}`, sql, 5+g.rng.Intn(20))
+	}
+	return fmt.Sprintf(`{"sql": %q, "no_cache": true}`, sql)
+}
+
+func (g *Gen) rangeBody() string {
+	var sql string
+	switch g.rng.Intn(3) {
+	case 0:
+		lo := 10000 + 500*int64(g.rng.Intn(40)) // 10k–29.5k
+		sql = fmt.Sprintf("SELECT * FROM cars WHERE price BETWEEN %d AND %d", lo, lo+8000)
+	case 1:
+		y := 1996 + g.rng.Intn(8)
+		sql = fmt.Sprintf("SELECT * FROM cars WHERE year >= %d AND year <= %d", y, y+2)
+	default:
+		m := 20000 + 5000*int64(g.rng.Intn(15))
+		sql = fmt.Sprintf("SELECT * FROM cars WHERE mileage < %d", m)
+	}
+	return fmt.Sprintf(`{"sql": %q, "no_cache": true}`, sql)
+}
+
+func (g *Gen) joinBody() string {
+	// A cars self-join on model: each side narrows by a different
+	// attribute so the pair list stays small but non-trivial.
+	style := bodyStyles[g.rng.Intn(len(bodyStyles))]
+	y := 1998 + g.rng.Intn(6)
+	left := fmt.Sprintf("SELECT * FROM cars WHERE body_style = '%s'", style)
+	right := fmt.Sprintf("SELECT * FROM cars WHERE year = %d", y)
+	return fmt.Sprintf(`{"left_sql": %q, "right_sql": %q, "on": ["model", "model"], "k": 5}`, left, right)
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"qpiad/internal/sqlish"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	a, b := NewGen(DefaultMix, 42), NewGen(DefaultMix, 42)
+	for i := 0; i < 200; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+	c := NewGen(DefaultMix, 43)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("different seeds produced an identical sequence")
+	}
+}
+
+func TestGenMixProportions(t *testing.T) {
+	g := NewGen(Mix{Point: 0.5, Range: 0.3, Join: 0.1, Stream: 0.1}, 7)
+	counts := map[Class]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Class]++
+	}
+	for cls, want := range map[Class]float64{ClassPoint: 0.5, ClassRange: 0.3, ClassJoin: 0.1, ClassStream: 0.1} {
+		got := float64(counts[cls]) / n
+		if got < want-0.05 || got > want+0.05 {
+			t.Errorf("%s: %.3f of draws, want ~%.2f", cls, got, want)
+		}
+	}
+}
+
+func TestGenSingleClassMix(t *testing.T) {
+	g := NewGen(Mix{Join: 1}, 3)
+	for i := 0; i < 50; i++ {
+		if r := g.Next(); r.Class != ClassJoin || r.Path != "/join" {
+			t.Fatalf("pure-join mix produced %+v", r)
+		}
+	}
+}
+
+// TestGeneratedQueriesParse feeds every generated SQL through the real
+// parser: the harness must never waste a benchmark run on 400s.
+func TestGeneratedQueriesParse(t *testing.T) {
+	g := NewGen(DefaultMix, 11)
+	for i := 0; i < 500; i++ {
+		r := g.Next()
+		switch r.Class {
+		case ClassJoin:
+			var jb struct {
+				LeftSQL  string    `json:"left_sql"`
+				RightSQL string    `json:"right_sql"`
+				On       [2]string `json:"on"`
+			}
+			if err := json.Unmarshal([]byte(r.Body), &jb); err != nil {
+				t.Fatalf("join body not JSON: %v (%s)", err, r.Body)
+			}
+			for _, sql := range []string{jb.LeftSQL, jb.RightSQL} {
+				if _, err := sqlish.Parse(sql); err != nil {
+					t.Errorf("join side does not parse: %v (%s)", err, sql)
+				}
+			}
+			if jb.On[0] == "" || jb.On[1] == "" {
+				t.Errorf("join body missing on pair: %s", r.Body)
+			}
+		default:
+			var qb struct {
+				SQL string `json:"sql"`
+			}
+			if err := json.Unmarshal([]byte(r.Body), &qb); err != nil {
+				t.Fatalf("query body not JSON: %v (%s)", err, r.Body)
+			}
+			if _, err := sqlish.Parse(qb.SQL); err != nil {
+				t.Errorf("generated SQL does not parse: %v (%s)", err, qb.SQL)
+			}
+		}
+		if r.Stream != (r.Class == ClassStream) {
+			t.Errorf("stream flag mismatch: %+v", r)
+		}
+		if r.Stream && !strings.Contains(r.Path, "stream=1") {
+			t.Errorf("stream request not routed to the stream path: %+v", r)
+		}
+	}
+}
+
+func TestZeroMixFallsBackToDefault(t *testing.T) {
+	g := NewGen(Mix{}, 5)
+	counts := map[Class]int{}
+	for i := 0; i < 1000; i++ {
+		counts[g.Next().Class]++
+	}
+	for _, cls := range []Class{ClassPoint, ClassRange, ClassJoin, ClassStream} {
+		if counts[cls] == 0 {
+			t.Errorf("default mix never drew %s", cls)
+		}
+	}
+}

@@ -1,0 +1,442 @@
+// The runner side of the load harness: a bounded worker pool driving the
+// generated mix at the server, in either loop discipline:
+//
+//   - closed loop: each worker issues its next request only after the
+//     previous one completes — concurrency is the offered load, the
+//     classic benchmark discipline. An optional per-worker token bucket
+//     paces the loop below the completion rate.
+//   - open loop: each worker fires on a fixed schedule (Rate req/s)
+//     regardless of completions, and latency is measured from the
+//     *intended* start time, so queueing delay the client itself induced
+//     by falling behind schedule still lands in the histogram (the
+//     standard mitigation for coordinated omission).
+//
+// Every worker records into its own latency.Hist shard; Run folds the
+// shards after the pool drains, so the hot path is wait-free.
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qpiad/internal/breaker"
+	"qpiad/internal/latency"
+)
+
+// Mode is the loop discipline.
+type Mode string
+
+const (
+	// ModeClosed issues the next request after the previous completes.
+	ModeClosed Mode = "closed"
+	// ModeOpen issues on a fixed schedule independent of completions.
+	ModeOpen Mode = "open"
+)
+
+// Config tunes a load run. Zero fields take the documented defaults.
+type Config struct {
+	// BaseURL of the target server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workers is the pool size. Default 8.
+	Workers int
+	// Duration bounds the run's wall time. Default 2s.
+	Duration time.Duration
+	// MaxRequests optionally caps the total issued requests across all
+	// workers; 0 means no cap (the Duration alone ends the run).
+	MaxRequests int64
+	// Mode is the loop discipline. Default ModeClosed.
+	Mode Mode
+	// Rate is the per-worker request rate in req/s. In open-loop mode it
+	// is required (the schedule). In closed-loop mode 0 means unpaced;
+	// a positive rate arms the per-worker token bucket.
+	Rate float64
+	// Burst is the token-bucket capacity in requests. Default 1.
+	Burst int
+	// Seed makes the workload deterministic: worker w generates from
+	// seed Seed + w. Default 1.
+	Seed int64
+	// Mix weighs the query classes; the zero value takes DefaultMix.
+	Mix Mix
+	// SLO is the per-request latency objective; completions slower than
+	// this count as violations. Default 250ms.
+	SLO time.Duration
+	// ShedBackoff caps how long a worker honors a shed response's
+	// retry_after_ms hint before retrying. Default 1s.
+	ShedBackoff time.Duration
+	// Client is the HTTP client. Default: a dedicated client with a
+	// connection pool sized for the worker count.
+	Client *http.Client
+	// Clock injects time for all latency measurement. nil means the wall
+	// clock.
+	Clock breaker.Clock
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.BaseURL == "" {
+		return c, errors.New("loadgen: BaseURL is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Mode == "" {
+		c.Mode = ModeClosed
+	}
+	if c.Mode != ModeClosed && c.Mode != ModeOpen {
+		return c, fmt.Errorf("loadgen: unknown mode %q", c.Mode)
+	}
+	if c.Mode == ModeOpen && c.Rate <= 0 {
+		return c, errors.New("loadgen: open-loop mode requires a positive Rate")
+	}
+	if c.Burst <= 0 {
+		c.Burst = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SLO <= 0 {
+		c.SLO = 250 * time.Millisecond
+	}
+	if c.ShedBackoff <= 0 {
+		c.ShedBackoff = time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        c.Workers * 2,
+			MaxIdleConnsPerHost: c.Workers * 2,
+		}}
+	}
+	if c.Clock == nil {
+		// Assigned as a value, never called here (the breaker Clock idiom).
+		c.Clock = time.Now
+	}
+	return c, nil
+}
+
+// ClassCount is one mix class's tally in the report.
+type ClassCount struct {
+	Class Class `json:"class"`
+	Count int64 `json:"count"`
+}
+
+// Report is the folded outcome of a load run.
+type Report struct {
+	Mode    Mode  `json:"mode"`
+	Workers int   `json:"workers"`
+	Seed    int64 `json:"seed"`
+	// ElapsedMs is the measured run length.
+	ElapsedMs int64 `json:"elapsed_ms"`
+
+	// Issued = OK + Shed + Errors + Aborted (aborted: in flight when the
+	// run's deadline cancelled them; they carry no latency signal).
+	Issued  int64 `json:"issued"`
+	OK      int64 `json:"ok"`
+	Shed    int64 `json:"shed"`
+	Errors  int64 `json:"errors"`
+	Aborted int64 `json:"aborted"`
+
+	// Throughput is goodput: OK completions per second of elapsed time.
+	Throughput float64 `json:"throughput_rps"`
+	// ShedRate is Shed / Issued.
+	ShedRate float64 `json:"shed_rate"`
+
+	// Latency digests OK completions only — shed responses are cheap by
+	// design and would flatter the tail.
+	Latency latency.Summary `json:"latency"`
+	// TTFA digests time-to-first-answer over OK stream requests.
+	TTFA latency.Summary `json:"ttfa"`
+
+	// SLOMs is the objective; SLOViolations counts OK completions slower
+	// than it; SLOViolationRate is violations / OK.
+	SLOMs            int64   `json:"slo_ms"`
+	SLOViolations    int64   `json:"slo_violations"`
+	SLOViolationRate float64 `json:"slo_violation_rate"`
+
+	// Classes tallies issued requests per mix class, in mix order.
+	Classes []ClassCount `json:"classes"`
+}
+
+// worker is one pool member: a generator, a histogram shard and plain
+// counters (single-writer; read only after the pool drains).
+type worker struct {
+	gen    *Gen
+	lat    latency.Hist
+	ttfa   latency.Hist
+	issued int64
+	ok     int64
+	shed   int64
+	errs   int64
+	abort  int64
+	sloV   int64
+	byCls  map[Class]int64
+}
+
+// Run drives the configured load at the server until the duration elapses
+// (or MaxRequests is reached) and returns the folded report. The given ctx
+// cancels the run early.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	clock := cfg.Clock
+	base := strings.TrimSuffix(cfg.BaseURL, "/")
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	var issuedTotal atomic.Int64
+	workers := make([]*worker, cfg.Workers)
+	start := clock()
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := &worker{
+			gen:   NewGen(cfg.Mix, cfg.Seed+int64(i)),
+			byCls: make(map[Class]int64, 4),
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runWorker(runCtx, cfg, base, clock, w, &issuedTotal, start)
+		}()
+	}
+	wg.Wait()
+	elapsed := clock().Sub(start)
+
+	rep := &Report{
+		Mode:    cfg.Mode,
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed,
+		SLOMs:   int64(cfg.SLO / time.Millisecond),
+	}
+	var lat, ttfa latency.Hist
+	for _, w := range workers {
+		rep.Issued += w.issued
+		rep.OK += w.ok
+		rep.Shed += w.shed
+		rep.Errors += w.errs
+		rep.Aborted += w.abort
+		rep.SLOViolations += w.sloV
+		lat.Merge(&w.lat)
+		ttfa.Merge(&w.ttfa)
+	}
+	rep.ElapsedMs = int64(elapsed / time.Millisecond)
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	}
+	if rep.Issued > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Issued)
+	}
+	if rep.OK > 0 {
+		rep.SLOViolationRate = float64(rep.SLOViolations) / float64(rep.OK)
+	}
+	rep.Latency = lat.Snapshot()
+	rep.TTFA = ttfa.Snapshot()
+	for _, c := range []Class{ClassPoint, ClassRange, ClassJoin, ClassStream} {
+		var n int64
+		for _, w := range workers {
+			n += w.byCls[c]
+		}
+		rep.Classes = append(rep.Classes, ClassCount{Class: c, Count: n})
+	}
+	return rep, nil
+}
+
+// runWorker is one worker's loop under either discipline.
+func runWorker(ctx context.Context, cfg Config, base string, clock breaker.Clock, w *worker, issuedTotal *atomic.Int64, start time.Time) {
+	var tb *tokenBucket
+	if cfg.Rate > 0 && cfg.Mode == ModeClosed {
+		tb = newTokenBucket(cfg.Rate, cfg.Burst, clock)
+	}
+	var interval time.Duration
+	next := start
+	if cfg.Mode == ModeOpen {
+		interval = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if cfg.MaxRequests > 0 && issuedTotal.Add(1) > cfg.MaxRequests {
+			return
+		}
+		measureFrom := clock()
+		switch cfg.Mode {
+		case ModeOpen:
+			// Fire at the schedule; measure from the intended start so
+			// self-induced backlog still counts against the tail.
+			if d := next.Sub(clock()); d > 0 {
+				if !sleep(ctx, d) {
+					return
+				}
+			}
+			measureFrom = next
+			next = next.Add(interval)
+		default:
+			if tb != nil {
+				if !tb.wait(ctx) {
+					return
+				}
+				measureFrom = clock()
+			}
+		}
+		req := w.gen.Next()
+		w.issued++
+		w.byCls[req.Class]++
+		if backoff := doRequest(ctx, cfg, base, clock, w, req, measureFrom); backoff > 0 {
+			if !sleep(ctx, backoff) {
+				return
+			}
+		}
+	}
+}
+
+// doRequest issues one request, classifies the outcome into the worker's
+// shard, and returns a non-zero back-off when the server shed the request
+// with a Retry-After hint the worker should honor.
+func doRequest(ctx context.Context, cfg Config, base string, clock breaker.Clock, w *worker, req Request, measureFrom time.Time) time.Duration {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+req.Path, strings.NewReader(req.Body))
+	if err != nil {
+		w.errs++
+		return 0
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			w.abort++
+		} else {
+			w.errs++
+		}
+		return 0
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusTooManyRequests {
+		w.shed++
+		return shedBackoff(resp.Body, cfg.ShedBackoff)
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		w.errs++
+		return 0
+	}
+
+	ttfaD := time.Duration(-1)
+	if req.Stream {
+		br := bufio.NewReader(resp.Body)
+		if _, err := br.ReadBytes('\n'); err != nil {
+			if ctx.Err() != nil {
+				w.abort++
+			} else {
+				w.errs++
+			}
+			return 0
+		}
+		// Stash TTFA now, file it only if the stream completes, so the
+		// TTFA and latency histograms always cover the same requests.
+		ttfaD = clock().Sub(measureFrom)
+		if _, err := io.Copy(io.Discard, br); err != nil {
+			if ctx.Err() != nil {
+				w.abort++
+			} else {
+				w.errs++
+			}
+			return 0
+		}
+	} else if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		if ctx.Err() != nil {
+			w.abort++
+		} else {
+			w.errs++
+		}
+		return 0
+	}
+
+	d := clock().Sub(measureFrom)
+	w.ok++
+	w.lat.Record(d)
+	if ttfaD >= 0 {
+		w.ttfa.Record(ttfaD)
+	}
+	if d > cfg.SLO {
+		w.sloV++
+	}
+	return 0
+}
+
+// shedBackoff extracts the retry_after_ms hint from a 429 body, capped at
+// the configured maximum (a saturated server must not park workers
+// forever).
+func shedBackoff(body io.Reader, cap time.Duration) time.Duration {
+	var sb struct {
+		RetryAfterMs int64 `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(body).Decode(&sb); err != nil || sb.RetryAfterMs <= 0 {
+		return cap / 4
+	}
+	d := time.Duration(sb.RetryAfterMs) * time.Millisecond
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// sleep waits d or until ctx is done; it reports whether the full wait
+// completed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// tokenBucket paces a closed-loop worker: capacity burst, refilled at rate
+// tokens/second against the injected clock.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	clock  breaker.Clock
+}
+
+func newTokenBucket(rate float64, burst int, clock breaker.Clock) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: clock(), clock: clock}
+}
+
+// wait blocks until a token is available (or ctx is done) and takes it.
+func (b *tokenBucket) wait(ctx context.Context) bool {
+	for {
+		now := b.clock()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		b.last = now
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		if b.tokens >= 1 {
+			b.tokens--
+			return true
+		}
+		need := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+		if !sleep(ctx, need) {
+			return false
+		}
+	}
+}

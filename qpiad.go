@@ -30,12 +30,16 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"time"
 
 	"qpiad/internal/afd"
 	"qpiad/internal/breaker"
 	"qpiad/internal/core"
 	"qpiad/internal/faults"
+	"qpiad/internal/httpapi"
+	"qpiad/internal/latency"
+	"qpiad/internal/loadgen"
 	"qpiad/internal/nbc"
 	"qpiad/internal/planner"
 	"qpiad/internal/qcache"
@@ -619,4 +623,58 @@ func (s *System) FaultStats(sourceName string) (FaultStats, bool) {
 		return FaultStats{}, false
 	}
 	return inj.Stats(), true
+}
+
+// Serving and load-harness layer (internal/httpapi, internal/loadgen,
+// internal/latency). See cmd/qpiad-server and cmd/qpiad-loadgen for the
+// ready-made binaries.
+type (
+	// AdmissionConfig tunes the HTTP server's admission gate: a bounded
+	// in-flight semaphore with a deadline-aware wait queue and 429 +
+	// Retry-After load shedding past it.
+	AdmissionConfig = httpapi.AdmissionConfig
+	// LoadConfig tunes a load-harness run: closed or open loop, worker
+	// count, per-worker token-bucket rate, seeded query mix, SLO.
+	LoadConfig = loadgen.Config
+	// LoadMix weighs the generated query classes (point/range/join/stream).
+	LoadMix = loadgen.Mix
+	// LoadMode is the loop discipline: LoadModeClosed or LoadModeOpen.
+	LoadMode = loadgen.Mode
+	// LoadReport is a folded load run: goodput, shed rate, p50/p95/p99
+	// latency and time-to-first-answer, SLO violations.
+	LoadReport = loadgen.Report
+	// LatencyHist is the lock-free mergeable exponential-bucket latency
+	// histogram shared by the server and the load harness.
+	LatencyHist = latency.Hist
+	// LatencySummary is a point-in-time histogram digest (count, sum,
+	// p50/p95/p99).
+	LatencySummary = latency.Summary
+)
+
+// Load-harness loop disciplines.
+const (
+	// LoadModeClosed issues each worker's next request after the previous
+	// completes.
+	LoadModeClosed = loadgen.ModeClosed
+	// LoadModeOpen fires on a fixed per-worker schedule, measuring latency
+	// from the intended start (coordinated-omission aware).
+	LoadModeOpen = loadgen.ModeOpen
+)
+
+// NewHTTPHandler wraps the System's mediator as the JSON-over-HTTP API
+// served by cmd/qpiad-server (GET /healthz /sources /knowledge /metrics,
+// POST /query, /query?stream=1, /join). Pass WithAdmission to bound
+// concurrent query execution and shed overload with 429 + Retry-After.
+func (s *System) NewHTTPHandler(opts ...httpapi.Option) http.Handler {
+	return httpapi.New(s.med, opts...)
+}
+
+// WithAdmission arms server-side admission control on a NewHTTPHandler.
+func WithAdmission(cfg AdmissionConfig) httpapi.Option { return httpapi.WithAdmission(cfg) }
+
+// RunLoad drives a load-harness run against a server URL and returns the
+// folded report. Cancelling ctx ends the run early; the report covers what
+// completed.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	return loadgen.Run(ctx, cfg)
 }
