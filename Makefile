@@ -10,7 +10,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: tier1 build vet lint test race vuln bench bench-json bench-planner bench-load clean
+.PHONY: tier1 build vet lint sarif test race vuln bench bench-json bench-planner bench-load clean
 
 tier1: build vet lint race
 
@@ -20,11 +20,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the project's custom analyzers (nodeterm, ctxflow, locksafe,
-# nakedgoroutine) over the whole module through the standard vet driver.
-# Exits non-zero on any finding; see DESIGN.md "Enforced invariants".
+# lint runs the project's custom analyzers (cancelleak, ctxflow, errdrop,
+# lockbalance, locksafe, nakedgoroutine, nodeterm, tupleescape) over the
+# whole module through the standard vet driver, plus the suppression audit
+# (stale or unknown //lint:allow comments are findings). Exits non-zero on
+# any finding; see DESIGN.md "Enforced invariants".
 lint: bin/qpiad-vet
 	$(GO) vet -vettool=bin/qpiad-vet ./...
+
+# sarif writes the same findings as a SARIF 2.1.0 log for CI artifact
+# upload. Exit status matches lint (non-zero on findings); the log is
+# written either way.
+SARIF_OUT ?= qpiad-vet.sarif
+sarif: bin/qpiad-vet
+	./bin/qpiad-vet -json ./... > $(SARIF_OUT)
 
 bin/qpiad-vet: FORCE
 	$(GO) build -o bin/qpiad-vet ./cmd/qpiad-vet

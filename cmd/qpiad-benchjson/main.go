@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -47,14 +48,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qpiad-benchjson:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	enc := json.NewEncoder(w)
@@ -62,6 +64,14 @@ func main() {
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "qpiad-benchjson:", err)
 		os.Exit(1)
+	}
+	// The file was written: a failed Close can mean lost output, so it is
+	// an error, not a cleanup detail.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "qpiad-benchjson:", err)
+			os.Exit(1)
+		}
 	}
 	if *out != "" {
 		names := make([]string, 0, len(results))

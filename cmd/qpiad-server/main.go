@@ -217,6 +217,7 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		// The drain deadline passed with requests still running; cut them.
+		//lint:allow errdrop the drain error below is the actionable one; Close on a dying server adds nothing
 		srv.Close()
 		return fmt.Errorf("drain incomplete after %v: %w", drain, err)
 	}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+
+	"qpiad/internal/analysis"
+	"qpiad/internal/analysis/load"
+)
+
+// maxFixRounds bounds the fix/re-run loop. Every fix is supposed to
+// eliminate the finding that suggested it, so one round usually suffices;
+// the bound turns a fix that fails to converge into an error instead of a
+// spin.
+const maxFixRounds = 8
+
+// fixLoop applies every suggested fix, gofmts the touched files, and
+// reloads until an analysis round produces no fixable findings.
+func fixLoop(cwd string, patterns []string) error {
+	for round := 0; round < maxFixRounds; round++ {
+		units, err := load.Module(cwd, patterns...)
+		if err != nil {
+			return err
+		}
+		perFile := make(map[string][]analysis.OffsetEdit)
+		for _, u := range units {
+			diags, err := analysis.Run(u, analyzers)
+			if err != nil {
+				return err
+			}
+			for _, d := range diags {
+				if len(d.Fixes) == 0 {
+					continue
+				}
+				for _, te := range d.Fixes[0].TextEdits {
+					pos := u.Fset.Position(te.Pos)
+					end := u.Fset.Position(te.End)
+					if pos.Filename == "" || pos.Filename != end.Filename {
+						continue
+					}
+					perFile[pos.Filename] = append(perFile[pos.Filename],
+						analysis.OffsetEdit{Start: pos.Offset, End: end.Offset, Text: te.NewText})
+				}
+			}
+		}
+		if len(perFile) == 0 {
+			return nil
+		}
+		applied := 0
+		for file, edits := range perFile {
+			n, err := applyEdits(file, edits)
+			if err != nil {
+				return fmt.Errorf("applying fixes to %s: %w", file, err)
+			}
+			applied += n
+			if n > 0 {
+				fmt.Fprintf(os.Stderr, "qpiad-vet: fixed %s (%d edit(s))\n", relativize(cwd, file), n)
+			}
+		}
+		if applied == 0 {
+			return fmt.Errorf("suggested fixes remain but none could be applied (overlapping edits?)")
+		}
+	}
+	return fmt.Errorf("fixes did not converge after %d rounds", maxFixRounds)
+}
+
+// applyEdits rewrites one file via analysis.ApplyEdits, then gofmts the
+// result. A fix whose output does not format is a bug in the analyzer;
+// the file is left untouched and the error surfaces.
+func applyEdits(file string, edits []analysis.OffsetEdit) (int, error) {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return 0, err
+	}
+	out, applied := analysis.ApplyEdits(src, edits)
+	if applied == 0 {
+		return 0, nil
+	}
+	formatted, err := format.Source(out)
+	if err != nil {
+		return 0, fmt.Errorf("fixed source does not parse: %w", err)
+	}
+	st, err := os.Stat(file)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(file, formatted, st.Mode().Perm()); err != nil {
+		return 0, err
+	}
+	return applied, nil
+}

@@ -1,15 +1,24 @@
 // qpiad-vet runs QPIAD's custom invariant analyzers (nodeterm, ctxflow,
-// locksafe, nakedgoroutine, tupleescape — see internal/analysis) in two
-// modes:
+// locksafe, nakedgoroutine, tupleescape, and the flow-sensitive errdrop,
+// lockbalance, cancelleak — see internal/analysis) in two modes:
 //
-//	qpiad-vet [patterns...]       standalone: analyze module packages
+//	qpiad-vet [-fix] [-json] [patterns...]
+//	                              standalone: analyze module packages
 //	                              (default ./...) and exit 1 on findings.
+//	                              -fix applies machine-applicable suggested
+//	                              fixes, gofmts the files, and re-runs until
+//	                              no fixable finding remains. -json writes
+//	                              the findings as SARIF 2.1.0 on stdout.
 //
 //	go vet -vettool=$(which qpiad-vet) ./...
 //	                              vettool: speak cmd/go's vet.cfg protocol
 //	                              (the same one x/tools' unitchecker
 //	                              implements), so findings integrate with
 //	                              go vet's caching and output.
+//
+// Both modes audit //lint:allow comments: an allow naming an unknown
+// analyzer, or one that no longer suppresses anything, is itself reported
+// (as pseudo-analyzer "suppress") so suppressions cannot rot in place.
 //
 // The binary is stdlib-only; see the internal/analysis package comment for
 // why x/tools is not used.
@@ -28,8 +37,11 @@ import (
 	"strings"
 
 	"qpiad/internal/analysis"
+	"qpiad/internal/analysis/cancelleak"
 	"qpiad/internal/analysis/ctxflow"
+	"qpiad/internal/analysis/errdrop"
 	"qpiad/internal/analysis/load"
+	"qpiad/internal/analysis/lockbalance"
 	"qpiad/internal/analysis/locksafe"
 	"qpiad/internal/analysis/nakedgoroutine"
 	"qpiad/internal/analysis/nodeterm"
@@ -38,7 +50,10 @@ import (
 
 // analyzers is the full suite, in reporting order.
 var analyzers = []*analysis.Analyzer{
+	cancelleak.Analyzer,
 	ctxflow.Analyzer,
+	errdrop.Analyzer,
+	lockbalance.Analyzer,
 	locksafe.Analyzer,
 	nakedgoroutine.Analyzer,
 	nodeterm.Analyzer,
@@ -58,8 +73,10 @@ func main() {
 			return
 		}
 	}
+	applyFix := flag.Bool("fix", false, "apply suggested fixes, gofmt, and re-run to convergence")
+	jsonOut := flag.Bool("json", false, "write findings as SARIF 2.1.0 JSON on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qpiad-vet [packages]\n       go vet -vettool=qpiad-vet [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: qpiad-vet [-fix] [-json] [packages]\n       go vet -vettool=qpiad-vet [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
@@ -70,7 +87,7 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(vettoolMode(args[0]))
 	}
-	os.Exit(standaloneMode(args))
+	os.Exit(standaloneMode(args, *applyFix, *jsonOut))
 }
 
 // versionLine answers `qpiad-vet -V=full`. cmd/go folds this into its
@@ -86,31 +103,58 @@ func versionLine() string {
 	return fmt.Sprintf("qpiad-vet version devel buildID=%x", sum[:16])
 }
 
-// standaloneMode loads the module packages itself and reports findings.
-func standaloneMode(patterns []string) int {
+// standaloneMode loads the module packages itself and reports findings —
+// after applying suggested fixes to convergence when -fix is set.
+func standaloneMode(patterns []string, applyFix, jsonOut bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qpiad-vet:", err)
 		return 1
+	}
+	if applyFix {
+		if err := fixLoop(cwd, patterns); err != nil {
+			fmt.Fprintln(os.Stderr, "qpiad-vet:", err)
+			return 1
+		}
 	}
 	units, err := load.Module(cwd, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qpiad-vet:", err)
 		return 1
 	}
-	exit := 0
+	known := analysis.Names(analyzers)
+	var findings []finding
 	for _, u := range units {
-		diags, err := analysis.Run(u, analyzers)
+		diags, err := analysis.RunWithSuppressionAudit(u, analyzers, known)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "qpiad-vet:", err)
 			return 1
 		}
 		for _, d := range diags {
-			fmt.Fprintln(os.Stderr, relativize(cwd, analysis.Format(u.Fset, d)))
-			exit = 1
+			findings = append(findings, finding{fset: u.Fset, diag: d})
 		}
 	}
-	return exit
+	if jsonOut {
+		if err := writeSARIF(os.Stdout, cwd, analyzers, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "qpiad-vet:", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, relativize(cwd, analysis.Format(f.fset, f.diag)))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// finding pairs a diagnostic with the file set that can resolve its
+// positions.
+type finding struct {
+	fset *token.FileSet
+	diag analysis.Diagnostic
 }
 
 // relativize trims the working directory off a diagnostic's path prefix.
@@ -176,7 +220,7 @@ func vettoolMode(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "qpiad-vet:", err)
 		return 1
 	}
-	diags, err := analysis.Run(unit, analyzers)
+	diags, err := analysis.RunWithSuppressionAudit(unit, analyzers, analysis.Names(analyzers))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qpiad-vet:", err)
 		return 1

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -117,4 +118,169 @@ func Mine() int64 {
 			t.Fatalf("allow-suppressed violation must exit 0, got %d; output:\n%s", code, out)
 		}
 	})
+}
+
+// runVetArgs executes the binary in dir with explicit arguments.
+func runVetArgs(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running qpiad-vet: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestFixMode pins the -fix contract: a module with fixable findings (a
+// cancel func leaked on one path, a dropped Close error) is rewritten in
+// place, the rewrite is gofmt-clean, and a followup plain run reports
+// nothing — the fixes converge to zero findings.
+func TestFixMode(t *testing.T) {
+	bin := buildVet(t)
+	dir := t.TempDir()
+	writeModule(t, dir, map[string]string{
+		"internal/leak/leak.go": `package leak
+
+import "context"
+
+func Leak(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	cancel()
+	return nil
+}
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+func Use(c *closer) (int, error) {
+	c.Close()
+	return 1, nil
+}
+`,
+	})
+	out, code := runVetArgs(t, bin, dir, "-fix", "./...")
+	if code != 0 {
+		t.Fatalf("-fix must converge to exit 0, got %d; output:\n%s", code, out)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "internal/leak/leak.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"defer cancel()", "if err := c.Close(); err != nil {", "return 0, err"} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("fixed source should contain %q; got:\n%s", want, src)
+		}
+	}
+	if out2, code2 := runVet(t, bin, dir); code2 != 0 {
+		t.Errorf("plain run after -fix must be clean, got %d:\n%s", code2, out2)
+	}
+}
+
+// TestSARIFOutput checks the -json mode emits parseable SARIF 2.1.0 with
+// the finding attributed to its analyzer at a relative path.
+func TestSARIFOutput(t *testing.T) {
+	bin := buildVet(t)
+	dir := t.TempDir()
+	writeModule(t, dir, map[string]string{
+		"internal/afd/afd.go": `package afd
+
+import "time"
+
+func Mine() int64 { return time.Now().Unix() }
+`,
+	})
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = dir
+	stdout, err := cmd.Output()
+	if err == nil {
+		t.Fatalf("findings must still exit non-zero under -json")
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout, &log); err != nil {
+		t.Fatalf("parsing SARIF: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("want one SARIF 2.1.0 run, got version %q runs %d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "qpiad-vet" || len(run.Tool.Driver.Rules) != len(analyzers)+1 {
+		t.Errorf("driver should name the tool and list every rule plus suppress, got %q / %d rules",
+			run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	}
+	found := false
+	for _, r := range run.Results {
+		if r.RuleID == "nodeterm" && len(r.Locations) == 1 &&
+			r.Locations[0].PhysicalLocation.ArtifactLocation.URI == "internal/afd/afd.go" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a nodeterm result at internal/afd/afd.go, got:\n%s", stdout)
+	}
+}
+
+// TestStaleSuppressions pins satellite behavior: an allow naming an
+// unknown analyzer, and an allow that no longer suppresses anything, are
+// both reported (as the suppress pseudo-analyzer) and fail the run.
+func TestStaleSuppressions(t *testing.T) {
+	bin := buildVet(t)
+	dir := t.TempDir()
+	writeModule(t, dir, map[string]string{
+		"internal/afd/afd.go": `package afd
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	//lint:allow nosuchpass the analyzer was renamed away
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	//lint:allow nodeterm sort is deterministic, nothing to allow
+	sort.Strings(out)
+	return out
+}
+`,
+	})
+	out, code := runVet(t, bin, dir)
+	if code == 0 {
+		t.Fatalf("stale suppressions must fail the run; output:\n%s", out)
+	}
+	for _, want := range []string{"[suppress]", `unknown analyzer "nosuchpass"`, "stale //lint:allow"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output should contain %q, got:\n%s", want, out)
+		}
+	}
 }

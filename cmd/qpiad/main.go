@@ -452,16 +452,24 @@ func printMetrics(sys *qpiad.System, name string) {
 		cs.Expired, cs.StaleHits, sys.StaleServed())
 }
 
+// emit writes best-effort REPL output. The writer is the user's terminal
+// (or a test buffer); once it dies there is nowhere left to report a
+// write failure, so the error is deliberately dropped in this one place.
+func emit(out io.Writer, format string, args ...any) {
+	//lint:allow errdrop REPL output is best-effort: a dead terminal leaves nowhere to report the error
+	fmt.Fprintf(out, format, args...)
+}
+
 // repl reads SQL statements line by line and executes each against the
 // learned system, printing certain and ranked possible answers. Blank
 // lines and lines starting with -- are skipped; \q or EOF exits.
 func repl(sys *qpiad.System, db *qpiad.Relation, in io.Reader, out io.Writer, limit int, explain bool) error {
-	fmt.Fprintln(out, "qpiad> enter SQL (FROM db); \\q to quit")
+	emit(out, "qpiad> enter SQL (FROM db); \\q to quit\n")
 	scanner := bufio.NewScanner(in)
 	for {
-		fmt.Fprint(out, "qpiad> ")
+		emit(out, "qpiad> ")
 		if !scanner.Scan() {
-			fmt.Fprintln(out)
+			emit(out, "\n")
 			return scanner.Err()
 		}
 		line := strings.TrimSpace(scanner.Text())
@@ -472,7 +480,7 @@ func repl(sys *qpiad.System, db *qpiad.Relation, in io.Reader, out io.Writer, li
 			return nil
 		}
 		if err := execSQL(sys, db, line, out, limit, explain); err != nil {
-			fmt.Fprintln(out, "error:", err)
+			emit(out, "error: %v\n", err)
 		}
 	}
 }
@@ -499,7 +507,7 @@ func execSQL(sys *qpiad.System, db *qpiad.Relation, sql string, out io.Writer, l
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "certain-only: %.2f   with prediction: %.2f\n", plain.Total, pred.Total)
+		emit(out, "certain-only: %.2f   with prediction: %.2f\n", plain.Total, pred.Total)
 		return nil
 	}
 	rs, err := sys.Query("db", q)
@@ -527,9 +535,9 @@ func execSQL(sys *qpiad.System, db *qpiad.Relation, sql string, out io.Writer, l
 		}
 		rs = projected
 	}
-	fmt.Fprintf(out, "-- certain (%d) --\n", len(rs.Certain))
+	emit(out, "-- certain (%d) --\n", len(rs.Certain))
 	fprintAnswers(out, rs.Certain, max, false)
-	fmt.Fprintf(out, "-- possible (%d, ranked) --\n", len(rs.Possible))
+	emit(out, "-- possible (%d, ranked) --\n", len(rs.Possible))
 	fprintAnswers(out, rs.Possible, max, explain)
 	return nil
 }
@@ -537,16 +545,16 @@ func execSQL(sys *qpiad.System, db *qpiad.Relation, sql string, out io.Writer, l
 func fprintAnswers(out io.Writer, answers []qpiad.Answer, limit int, explain bool) {
 	for i, a := range answers {
 		if i >= limit {
-			fmt.Fprintf(out, "  ... and %d more\n", len(answers)-limit)
+			emit(out, "  ... and %d more\n", len(answers)-limit)
 			return
 		}
-		fmt.Fprintf(out, "  [%.3f] %s\n", a.Confidence, a.Tuple)
+		emit(out, "  [%.3f] %s\n", a.Confidence, a.Tuple)
 		if explain && a.Explanation != "" {
-			fmt.Fprintf(out, "          because: %s\n", a.Explanation)
+			emit(out, "          because: %s\n", a.Explanation)
 		}
 	}
 	if len(answers) == 0 {
-		fmt.Fprintln(out, "  (none)")
+		emit(out, "  (none)\n")
 	}
 }
 

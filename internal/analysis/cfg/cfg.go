@@ -1,0 +1,550 @@
+// Package cfg builds per-function control-flow graphs from go/ast, with no
+// dependency on golang.org/x/tools/go/cfg (the module is pinned
+// dependency-free; see the internal/analysis package comment).
+//
+// A Graph is a list of basic blocks. Each block holds the AST nodes that
+// execute in it, in order, and edges to its successors. Structured control
+// flow (if/for/range/switch/select), labeled break/continue, goto, and
+// fallthrough all become explicit edges, so a client that walks edges sees
+// every execution path — which is exactly what the flow-sensitive analyzers
+// (errdrop, lockbalance, cancelleak) need and the AST-pattern passes of
+// PR 4 could not provide.
+//
+// Two distinguished blocks terminate paths:
+//
+//   - Exit is reached by every return statement and by falling off the end
+//     of the function body. Analyses check "on every path to exit" facts
+//     there.
+//   - Panic is reached by every call to the panic builtin (and the
+//     log.Panic* family). A panic unwinds through deferred calls, so a
+//     resource released only by a non-deferred statement is leaked on these
+//     edges — the "missing defer" class of bug.
+//
+// Calls that terminate the process instead of unwinding (os.Exit,
+// log.Fatal*, runtime.Goexit, and testing's Fatal/FailNow/Skip methods) end
+// their block with no successors at all: nothing after them executes and no
+// cleanup obligation survives them.
+//
+// Defer statements appear as ordinary nodes in their block (their position
+// on a path matters: a conditional defer only guards the paths that pass
+// through it) and are additionally collected in Graph.Defers so clients can
+// model "runs at every exit reached after this point".
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block in construction order; Blocks[0] is Entry.
+	Blocks []*Block
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the block every return (and the natural end of the body)
+	// flows to. It holds no nodes.
+	Exit *Block
+	// Panic is the block every panic-builtin call unwinds to. It holds no
+	// nodes and is absent from path joins unless a panic site exists.
+	Panic *Block
+	// Defers lists every defer statement in the body, in syntactic order.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one basic block: a maximal straight-line sequence of nodes.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Kind names what the block represents ("entry", "if.then",
+	// "for.body", "exit", ...), for dumps and debugging.
+	Kind string
+	// Nodes are the statements and expressions that execute in this
+	// block, in order. Entries are the granularity the builder received:
+	// whole simple statements, plus condition/tag expressions for
+	// branching constructs.
+	Nodes []ast.Node
+	// Succs are the blocks control may flow to next. Empty for Exit,
+	// Panic, unreachable tails, and blocks ending in a process-exit call.
+	Succs []*Block
+}
+
+// NoReturnClassifier reports how a call terminates control flow, if it
+// does. The builder consults it for every call statement.
+type NoReturnClassifier func(*ast.CallExpr) Termination
+
+// Termination classifies a call's effect on control flow.
+type Termination int
+
+const (
+	// Returns: the call comes back; control continues normally.
+	Returns Termination = iota
+	// Panics: the call unwinds (panic builtin, log.Panic*): deferred
+	// calls still run, so the block gets an edge to Graph.Panic.
+	Panics
+	// Exits: the call terminates the process (os.Exit, log.Fatal*,
+	// runtime.Goexit): the block ends with no successors.
+	Exits
+)
+
+// DefaultClassifier is the classification New uses when given a nil
+// classifier: the panic builtin and log.Panic* unwind; os.Exit, log.Fatal*,
+// runtime.Goexit, and testing-style Fatal/Fatalf/FailNow/SkipNow/Skip/Skipf
+// method calls end the process. It is purely syntactic (the CFG layer has
+// no type information), which errs toward Returns for shadowed names — the
+// safe direction for the analyses built on top.
+func DefaultClassifier(call *ast.CallExpr) Termination {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			return Panics
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if id, ok := fun.X.(*ast.Ident); ok {
+			switch id.Name + "." + name {
+			case "os.Exit", "runtime.Goexit":
+				return Exits
+			case "log.Panic", "log.Panicf", "log.Panicln":
+				return Panics
+			case "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return Exits
+			}
+		}
+		switch name {
+		case "Fatal", "Fatalf", "FailNow", "SkipNow", "Skip", "Skipf":
+			// testing.T/B-style terminators (only meaningful inside the
+			// goroutine running the test, which is where they appear).
+			return Exits
+		}
+	}
+	return Returns
+}
+
+// New builds the CFG of one function body. classify may be nil, in which
+// case DefaultClassifier is used.
+func New(body *ast.BlockStmt, classify NoReturnClassifier) *Graph {
+	if classify == nil {
+		classify = DefaultClassifier
+	}
+	b := &builder{classify: classify, labels: make(map[string]*labelInfo)}
+	b.graph = &Graph{}
+	b.graph.Entry = b.newBlock("entry")
+	b.graph.Exit = b.newBlock("exit")
+	b.graph.Panic = b.newBlock("panic")
+	b.current = b.graph.Entry
+	b.stmts(body.List)
+	// Falling off the end of the body is an implicit return.
+	b.jump(b.graph.Exit)
+	return b.graph
+}
+
+// labelInfo tracks the targets a label can name.
+type labelInfo struct {
+	// goto target: the block starting at the labeled statement.
+	target *Block
+	// break/continue targets, set while the labeled loop/switch/select is
+	// being built.
+	breakTo, continueTo *Block
+}
+
+type builder struct {
+	graph    *Graph
+	classify NoReturnClassifier
+	current  *Block
+	labels   map[string]*labelInfo
+
+	// Innermost enclosing break/continue targets (unlabeled), with the
+	// stack of outer targets saved around nested loops.
+	breakTo    *Block
+	continueTo *Block
+	loopStack  []loopTargets
+	// Target of a fallthrough in the current case body.
+	fallTo *Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.graph.Blocks), Kind: kind}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+// edge records a control transfer from the current block.
+func (b *builder) edge(to *Block) {
+	if b.current == nil || to == nil {
+		return
+	}
+	for _, s := range b.current.Succs {
+		if s == to {
+			return
+		}
+	}
+	b.current.Succs = append(b.current.Succs, to)
+}
+
+// jump ends the current block with a single edge and leaves no current
+// block (subsequent statements are unreachable until a new block starts).
+func (b *builder) jump(to *Block) {
+	b.edge(to)
+	b.current = nil
+}
+
+// startBlock makes blk current, resuming node accumulation there.
+func (b *builder) startBlock(blk *Block) {
+	b.current = blk
+}
+
+// add appends a node to the current block, materializing an unreachable
+// block if control already left (dead code still gets analyzed — a
+// diagnostic inside it is still a bug worth reporting).
+func (b *builder) add(n ast.Node) {
+	if b.current == nil {
+		b.current = b.newBlock("unreachable")
+	}
+	b.current.Nodes = append(b.current.Nodes, n)
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch b.classify(call) {
+			case Panics:
+				b.jump(b.graph.Panic)
+			case Exits:
+				b.current = nil
+			}
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.graph.Exit)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.graph.Defers = append(b.graph.Defers, s)
+
+	case *ast.LabeledStmt:
+		li := b.label(s.Label.Name)
+		if li.target == nil {
+			li.target = b.newBlock("label." + s.Label.Name)
+		}
+		b.jump(li.target)
+		b.startBlock(li.target)
+		b.labeledStmt(s.Label.Name, s.Stmt)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+
+	default:
+		// Assign, Decl, Send, IncDec, Go, Empty: straight-line.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.add(s)
+	}
+}
+
+// labeledStmt dispatches the statement a label names, wiring the label's
+// break/continue targets when it is a loop, switch, or select.
+func (b *builder) labeledStmt(name string, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(s, name)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, name)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, name)
+	case *ast.SelectStmt:
+		b.selectStmt(s, name)
+	default:
+		b.stmt(s)
+	}
+}
+
+func (b *builder) label(name string) *labelInfo {
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			b.jump(b.label(s.Label.Name).breakTo)
+		} else {
+			b.jump(b.breakTo)
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			b.jump(b.label(s.Label.Name).continueTo)
+		} else {
+			b.jump(b.continueTo)
+		}
+	case token.GOTO:
+		li := b.label(s.Label.Name)
+		if li.target == nil {
+			li.target = b.newBlock("label." + s.Label.Name)
+		}
+		b.jump(li.target)
+	case token.FALLTHROUGH:
+		b.jump(b.fallTo)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	then := b.newBlock("if.then")
+	done := b.newBlock("if.done")
+	b.edge(then)
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock("if.else")
+		b.edge(els)
+	} else {
+		b.edge(done)
+	}
+
+	b.startBlock(then)
+	b.stmts(s.Body.List)
+	b.jump(done)
+
+	if s.Else != nil {
+		b.startBlock(els)
+		b.stmt(s.Else)
+		b.jump(done)
+	}
+	b.startBlock(done)
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+	}
+
+	b.jump(head)
+	b.startBlock(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+		b.edge(body)
+		b.edge(done)
+	} else {
+		b.edge(body)
+	}
+	b.current = nil
+
+	b.pushLoop(label, done, post)
+	b.startBlock(body)
+	b.stmts(s.Body.List)
+	b.jump(post)
+	b.popLoop(label)
+
+	if s.Post != nil {
+		b.startBlock(post)
+		b.stmt(s.Post)
+		b.jump(head)
+	}
+	b.startBlock(done)
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+
+	b.jump(head)
+	b.startBlock(head)
+	b.add(s) // the range clause itself: X evaluation + key/value binding
+	b.edge(body)
+	b.edge(done) // ranges may iterate zero times
+	b.current = nil
+
+	b.pushLoop(label, done, head)
+	b.startBlock(body)
+	b.stmts(s.Body.List)
+	b.jump(head)
+	b.popLoop(label)
+
+	b.startBlock(done)
+}
+
+// pushLoop/popLoop save and restore the unlabeled break/continue targets
+// around a loop body, and bind them to label when the loop is labeled.
+func (b *builder) pushLoop(label string, breakTo, continueTo *Block) {
+	b.loopStack = append(b.loopStack, loopTargets{b.breakTo, b.continueTo})
+	b.breakTo, b.continueTo = breakTo, continueTo
+	if label != "" {
+		li := b.label(label)
+		li.breakTo, li.continueTo = breakTo, continueTo
+	}
+}
+
+func (b *builder) popLoop(label string) {
+	n := len(b.loopStack) - 1
+	b.breakTo, b.continueTo = b.loopStack[n].breakTo, b.loopStack[n].continueTo
+	b.loopStack = b.loopStack[:n]
+	if label != "" {
+		li := b.label(label)
+		li.breakTo, li.continueTo = nil, nil
+	}
+}
+
+type loopTargets struct{ breakTo, continueTo *Block }
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(s.Body.List, label, true, "switch")
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Assign)
+	b.caseClauses(s.Body.List, label, false, "typeswitch")
+}
+
+// caseClauses lowers the shared shape of switch and type-switch bodies:
+// the head branches to every case body (and to done when no default
+// exists); each body falls to done; fallthrough (expression switches only)
+// jumps to the next body in source order.
+func (b *builder) caseClauses(clauses []ast.Stmt, label string, allowFall bool, kind string) {
+	head := b.current
+	if head == nil {
+		head = b.newBlock(kind + ".head")
+		b.startBlock(head)
+	}
+	done := b.newBlock(kind + ".done")
+
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		k := kind + ".case"
+		if cc.List == nil {
+			hasDefault = true
+			k = kind + ".default"
+		}
+		bodies[i] = b.newBlock(k)
+	}
+
+	b.current = head
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.edge(bodies[i])
+	}
+	if !hasDefault {
+		b.edge(done)
+	}
+	b.current = nil
+
+	if label != "" {
+		b.label(label).breakTo = done
+	}
+	savedBreak := b.breakTo
+	b.breakTo = done
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		savedFall := b.fallTo
+		if allowFall && i+1 < len(clauses) {
+			b.fallTo = bodies[i+1]
+		} else {
+			b.fallTo = nil
+		}
+		b.startBlock(bodies[i])
+		b.stmts(cc.Body)
+		b.jump(done)
+		b.fallTo = savedFall
+	}
+	b.breakTo = savedBreak
+	if label != "" {
+		b.label(label).breakTo = nil
+	}
+	b.startBlock(done)
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.newBlock("select.head")
+	done := b.newBlock("select.done")
+	b.jump(head)
+
+	if label != "" {
+		b.label(label).breakTo = done
+	}
+	savedBreak := b.breakTo
+	b.breakTo = done
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		body := b.newBlock(kind)
+		b.current = head
+		b.edge(body)
+		b.startBlock(body)
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.jump(done)
+	}
+	b.breakTo = savedBreak
+	if label != "" {
+		b.label(label).breakTo = nil
+	}
+	// A select with no cases blocks forever: head keeps zero successors.
+	b.startBlock(done)
+}

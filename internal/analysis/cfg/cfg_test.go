@@ -1,0 +1,163 @@
+package cfg_test
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qpiad/internal/analysis/cfg"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CFG dumps")
+
+// TestGolden builds the CFG of every function in testdata/funcs.go and
+// compares the concatenated dumps against testdata/funcs.golden. The
+// golden file is the readable specification of the block/edge shapes for
+// if/for/range/switch/select/defer/goto/panic constructs.
+func TestGolden(t *testing.T) {
+	fset := token.NewFileSet()
+	src := filepath.Join("testdata", "funcs.go")
+	f, err := parser.ParseFile(fset, src, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, d := range f.Decls {
+		fn, ok := d.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "=== %s\n", fn.Name.Name)
+		g := cfg.New(fn.Body, nil)
+		sb.WriteString(g.Dump(fset))
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "funcs.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CFG dump drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// build parses one function body from source and returns its graph.
+func build(t *testing.T, body string) (*cfg.Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return cfg.New(fn.Body, nil), fset
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(g *cfg.Graph) map[*cfg.Block]bool {
+	seen := make(map[*cfg.Block]bool)
+	var walk func(*cfg.Block)
+	walk = func(b *cfg.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// TestReturnReachesExit: every return statement's block must have Exit as
+// its only successor.
+func TestReturnReachesExit(t *testing.T) {
+	g, _ := build(t, "if true {\nreturn\n}\nreturn")
+	n := 0
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			if _, ok := node.(*ast.ReturnStmt); ok {
+				n++
+				if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+					t.Errorf("return block b%d succs != [exit]", b.Index)
+				}
+			}
+		}
+	}
+	if n != 2 {
+		t.Fatalf("found %d return blocks, want 2", n)
+	}
+}
+
+// TestPanicEdge: panic() routes to the Panic block; code after it is
+// unreachable from entry.
+func TestPanicEdge(t *testing.T) {
+	g, _ := build(t, "x := 1\npanic(x)\nx = 2")
+	r := reachable(g)
+	if !r[g.Panic] {
+		t.Fatal("Panic block not reachable from entry despite panic call")
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == "unreachable" && r[b] {
+			t.Errorf("unreachable block b%d is reachable", b.Index)
+		}
+	}
+}
+
+// TestExitCallDangles: an os.Exit block has no successors at all.
+func TestExitCallDangles(t *testing.T) {
+	g, _ := build(t, "os.Exit(1)")
+	r := reachable(g)
+	if r[g.Exit] || r[g.Panic] {
+		t.Fatal("os.Exit must terminate the path: neither Exit nor Panic should be reachable")
+	}
+}
+
+// TestInfiniteLoopNoExit: `for {}` never reaches Exit.
+func TestInfiniteLoopNoExit(t *testing.T) {
+	g, _ := build(t, "for {\n}")
+	if reachable(g)[g.Exit] {
+		t.Fatal("infinite loop must not reach Exit")
+	}
+}
+
+// TestBreakReachesExit: a loop with a break does reach Exit.
+func TestBreakReachesExit(t *testing.T) {
+	g, _ := build(t, "for {\nbreak\n}")
+	if !reachable(g)[g.Exit] {
+		t.Fatal("loop with break must reach Exit")
+	}
+}
+
+// TestDefersCollected: every defer statement lands in Graph.Defers in
+// syntactic order.
+func TestDefersCollected(t *testing.T) {
+	g, _ := build(t, "defer a()\nif true {\ndefer b()\n}\ndefer c()")
+	if len(g.Defers) != 3 {
+		t.Fatalf("got %d defers, want 3", len(g.Defers))
+	}
+}
+
+// TestEmptySelectBlocks: `select {}` blocks forever — Exit unreachable.
+func TestEmptySelectBlocks(t *testing.T) {
+	g, _ := build(t, "select {\n}")
+	if reachable(g)[g.Exit] {
+		t.Fatal("select{} must not reach Exit")
+	}
+}

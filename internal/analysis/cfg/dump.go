@@ -1,0 +1,48 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Dump renders the graph as a stable textual listing — one section per
+// block with its kind, nodes, and successor indexes — for golden-file
+// tests and debugging. Unreachable empty blocks are included: the dump is
+// a faithful record of construction, not a pretty-printer.
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s\n", blk.Index, blk.Kind)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, "\t%s\n", nodeString(fset, n))
+		}
+		if len(blk.Succs) > 0 {
+			ss := make([]string, len(blk.Succs))
+			for i, s := range blk.Succs {
+				ss[i] = fmt.Sprintf("b%d", s.Index)
+			}
+			fmt.Fprintf(&sb, "\t-> %s\n", strings.Join(ss, " "))
+		}
+	}
+	return sb.String()
+}
+
+var spaceRe = regexp.MustCompile(`\s+`)
+
+// nodeString prints one node on one line. Range statements are summarized
+// (the body lives in its own blocks; reprinting it here would be noise).
+func nodeString(fset *token.FileSet, n ast.Node) string {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		return "range " + nodeString(fset, r.X)
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<print error: %v>", err)
+	}
+	return spaceRe.ReplaceAllString(buf.String(), " ")
+}

@@ -1,0 +1,169 @@
+// Fixture functions for CFG construction golden tests. Each top-level
+// function becomes one section of funcs.golden; the dump is regenerated
+// with `go test ./internal/analysis/cfg -run TestGolden -update`.
+package funcs
+
+import (
+	"log"
+	"os"
+)
+
+func straight() int {
+	x := 1
+	x++
+	return x
+}
+
+func ifElse(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 2
+	}
+}
+
+func ifNoElse(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	}
+	return x
+}
+
+func ifInit(f func() (int, error)) int {
+	if v, err := f(); err == nil {
+		return v
+	}
+	return -1
+}
+
+func forLoop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+		if s > 100 {
+			break
+		}
+		if i%2 == 0 {
+			continue
+		}
+		s++
+	}
+	return s
+}
+
+func forever(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+func rangeLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func switchTag(x int) string {
+	switch x {
+	case 1:
+		return "one"
+	case 2, 3:
+		fallthrough
+	case 4:
+		return "few"
+	default:
+		return "many"
+	}
+}
+
+func switchNoDefault(x int) int {
+	switch {
+	case x > 0:
+		x--
+	case x < 0:
+		x++
+	}
+	return x
+}
+
+func typeSwitch(v any) int {
+	switch t := v.(type) {
+	case int:
+		return t
+	case string:
+		return len(t)
+	}
+	return 0
+}
+
+func selectStmt(a, b chan int, done chan struct{}) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+		return 1
+	case <-done:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func deferred(mu interface{ Lock() }, f func()) {
+	defer f()
+	if mu != nil {
+		defer f()
+	}
+	f()
+}
+
+func gotoLoop(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}
+
+func labeledBreak(grid [][]int) int {
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+			if v < 0 {
+				continue outer
+			}
+		}
+	}
+	return 0
+}
+
+func panics(c bool) int {
+	if c {
+		panic("boom")
+	}
+	return 1
+}
+
+func exits(c bool) int {
+	if c {
+		log.Fatal("fatal")
+	}
+	if !c {
+		os.Exit(2)
+	}
+	return 1
+}
+
+func deadCode() int {
+	return 1
+	x := 2 //nolint
+	return x
+}

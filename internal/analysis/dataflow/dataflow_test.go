@@ -1,0 +1,264 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"qpiad/internal/analysis/cfg"
+	"qpiad/internal/analysis/dataflow"
+)
+
+func build(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return cfg.New(f.Decls[0].(*ast.FuncDecl).Body, nil)
+}
+
+// lockTransfer models a single lock "mu": mu.Lock() sets Yes, mu.Unlock()
+// sets No. It only looks at expression-statement calls.
+func lockTransfer(n ast.Node, st dataflow.State) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		st.Set("mu", dataflow.Yes)
+	case "Unlock":
+		st.Set("mu", dataflow.No)
+	}
+}
+
+func TestJoinTable(t *testing.T) {
+	cases := []struct{ a, b, want dataflow.Value }{
+		{dataflow.Bottom, dataflow.Bottom, dataflow.Bottom},
+		{dataflow.Bottom, dataflow.Yes, dataflow.Yes},
+		{dataflow.No, dataflow.Bottom, dataflow.No},
+		{dataflow.Yes, dataflow.Yes, dataflow.Yes},
+		{dataflow.No, dataflow.Yes, dataflow.Top},
+		{dataflow.Top, dataflow.Yes, dataflow.Top},
+		{dataflow.Bottom, dataflow.Top, dataflow.Top},
+	}
+	for _, c := range cases {
+		if got := dataflow.Join(c.a, c.b); got != c.want {
+			t.Errorf("Join(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := dataflow.Join(c.b, c.a); got != c.want {
+			t.Errorf("Join(%v,%v) = %v, want %v (commutativity)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// TestMustOnBothBranches: locked on both branches → Yes at exit.
+func TestMustOnBothBranches(t *testing.T) {
+	g := build(t, `
+if c {
+	mu.Lock()
+} else {
+	mu.Lock()
+}
+done()`)
+	res := dataflow.Forward(g, dataflow.State{}, lockTransfer)
+	if v := res.In[g.Exit].Get("mu"); v != dataflow.Yes {
+		t.Fatalf("exit state = %v, want Yes", v)
+	}
+}
+
+// TestMayOnOneBranch: locked on one branch only → Top (may) at exit.
+func TestMayOnOneBranch(t *testing.T) {
+	g := build(t, `
+mu.Unlock()
+if c {
+	mu.Lock()
+}
+done()`)
+	res := dataflow.Forward(g, dataflow.State{}, lockTransfer)
+	if v := res.In[g.Exit].Get("mu"); v != dataflow.Top {
+		t.Fatalf("exit state = %v, want Top", v)
+	}
+}
+
+// TestLoopFixpoint: lock/unlock balanced inside a loop converges to a
+// stable No-after-loop answer (and the solver terminates).
+func TestLoopFixpoint(t *testing.T) {
+	g := build(t, `
+for i := 0; i < n; i++ {
+	mu.Lock()
+	work()
+	mu.Unlock()
+}
+done()`)
+	res := dataflow.Forward(g, dataflow.State{"mu": dataflow.No}, lockTransfer)
+	if v := res.In[g.Exit].Get("mu"); v != dataflow.No {
+		t.Fatalf("exit state = %v, want No", v)
+	}
+}
+
+// TestLoopLeak: lock inside a loop without unlock → held (Yes or Top) at
+// exit, never No.
+func TestLoopLeak(t *testing.T) {
+	g := build(t, `
+for i := 0; i < n; i++ {
+	mu.Lock()
+}
+done()`)
+	res := dataflow.Forward(g, dataflow.State{"mu": dataflow.No}, lockTransfer)
+	if v := res.In[g.Exit].Get("mu"); v != dataflow.Top {
+		// Zero iterations leave No, ≥1 leaves Yes: the join is Top.
+		t.Fatalf("exit state = %v, want Top", v)
+	}
+}
+
+// TestEarlyReturnPath: an early return while locked shows up at Exit even
+// though the fall-through path unlocks.
+func TestEarlyReturnPath(t *testing.T) {
+	g := build(t, `
+mu.Lock()
+if c {
+	return
+}
+mu.Unlock()`)
+	res := dataflow.Forward(g, dataflow.State{}, lockTransfer)
+	if v := res.In[g.Exit].Get("mu"); v != dataflow.Top {
+		t.Fatalf("exit state = %v, want Top (held on the return path)", v)
+	}
+}
+
+// TestPanicPathState: state flows to the Panic block independently of the
+// normal exit.
+func TestPanicPathState(t *testing.T) {
+	g := build(t, `
+mu.Lock()
+if c {
+	panic("boom")
+}
+mu.Unlock()`)
+	res := dataflow.Forward(g, dataflow.State{}, lockTransfer)
+	if v := res.In[g.Panic].Get("mu"); v != dataflow.Yes {
+		t.Fatalf("panic state = %v, want Yes", v)
+	}
+	if v := res.In[g.Exit].Get("mu"); v != dataflow.No {
+		t.Fatalf("exit state = %v, want No", v)
+	}
+}
+
+// TestUnreachableUntouched: blocks unreachable from entry have no state.
+func TestUnreachableUntouched(t *testing.T) {
+	g := build(t, `
+return
+mu.Lock()`)
+	res := dataflow.Forward(g, dataflow.State{}, lockTransfer)
+	for _, b := range g.Blocks {
+		if b.Kind == "unreachable" {
+			if res.In[b] != nil {
+				t.Fatalf("unreachable block b%d has in-state %v", b.Index, res.In[b])
+			}
+		}
+	}
+}
+
+// classifyFor builds a ReachesUse classifier for ident reads/writes of one
+// variable name.
+func classifyFor(name string) func(ast.Node) dataflow.Effect {
+	return func(n ast.Node) dataflow.Effect {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Name == name {
+					return dataflow.Kill
+				}
+			}
+			for _, r := range s.Rhs {
+				if usesIdent(r, name) {
+					return dataflow.Use
+				}
+			}
+		case *ast.ExprStmt:
+			if usesIdent(s.X, name) {
+				return dataflow.Use
+			}
+		case ast.Expr:
+			if usesIdent(s, name) {
+				return dataflow.Use
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if usesIdent(r, name) {
+					return dataflow.Use
+				}
+			}
+		}
+		return dataflow.None
+	}
+}
+
+func usesIdent(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// findDef locates the block and node index of the statement assigning to
+// name.
+func findDef(g *cfg.Graph, name string) (*cfg.Block, int) {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, l := range as.Lhs {
+					if id, ok := l.(*ast.Ident); ok && id.Name == name {
+						return b, i
+					}
+				}
+			}
+		}
+	}
+	return nil, -1
+}
+
+func TestReachesUse(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"straight use", "err := f()\nuse(err)", true},
+		{"dead", "err := f()\ndone()", false},
+		{"killed before use", "err := f()\nerr = g()\nuse(err)", false},
+		{"used on one branch", "err := f()\nif c {\nuse(err)\n}\ndone()", true},
+		{"returned", "err := f()\nif c {\nreturn err\n}\ndone()", true},
+		{"used only in loop", "err := f()\nfor i := 0; i < n; i++ {\nuse(err)\n}", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := build(t, c.body)
+			blk, idx := findDef(g, "err")
+			if blk == nil {
+				t.Fatal("definition of err not found")
+			}
+			got := dataflow.ReachesUse(g, blk, idx, classifyFor("err"))
+			if got != c.want {
+				t.Fatalf("ReachesUse = %v, want %v", got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import "sort"
+
+// OffsetEdit is a TextEdit resolved to byte offsets within one file.
+type OffsetEdit struct {
+	Start, End int
+	Text       []byte
+}
+
+// ApplyEdits applies the edits to src back to front (so earlier offsets
+// stay valid) and returns the rewritten content plus the number of edits
+// applied. Malformed edits and edits overlapping an already-applied one
+// are skipped rather than corrupting the file: a fix driver re-runs the
+// analysis anyway, and the skipped fix is re-suggested on the next round
+// against fresh offsets.
+func ApplyEdits(src []byte, edits []OffsetEdit) ([]byte, int) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start > edits[j].Start
+		}
+		return edits[i].End > edits[j].End
+	})
+	out := src
+	applied := 0
+	prevStart := len(src) + 1
+	for _, e := range edits {
+		if e.Start < 0 || e.End < e.Start || e.End > len(src) || e.End > prevStart {
+			continue
+		}
+		var next []byte
+		next = append(next, out[:e.Start]...)
+		next = append(next, e.Text...)
+		next = append(next, out[e.End:]...)
+		out = next
+		prevStart = e.Start
+		applied++
+	}
+	return out, applied
+}

@@ -1,0 +1,82 @@
+// Package flow holds the small helpers the flow-sensitive analyzers
+// (errdrop, lockbalance, cancelleak) share: enumerating function bodies,
+// inspecting a node without descending into nested function literals (a
+// closure's statements belong to the closure's own CFG, not its parent's),
+// and locating a statement's syntactic context for fix insertion.
+package flow
+
+import "go/ast"
+
+// Function is one analyzable function: a declared function or a function
+// literal. Each is analyzed independently; nested literals are separate
+// entries.
+type Function struct {
+	// Body is the function's block (never nil for returned entries).
+	Body *ast.BlockStmt
+	// Type is the signature syntax, for result-type introspection.
+	Type *ast.FuncType
+	// Node is the *ast.FuncDecl or *ast.FuncLit itself.
+	Node ast.Node
+}
+
+// Functions lists every function with a body in the file, outermost first.
+func Functions(f *ast.File) []Function {
+	var fns []Function
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				fns = append(fns, Function{Body: fn.Body, Type: fn.Type, Node: fn})
+			}
+		case *ast.FuncLit:
+			fns = append(fns, Function{Body: fn.Body, Type: fn.Type, Node: fn})
+		}
+		return true
+	})
+	return fns
+}
+
+// LocalInspect walks root like ast.Inspect but does not descend into
+// nested *ast.FuncLit subtrees: their statements execute on the closure's
+// own timeline, not on the path being analyzed. The root itself may be a
+// FuncLit (when analyzing that closure's body, pass the body).
+func LocalInspect(root ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n != root {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+		}
+		return visit(n)
+	})
+}
+
+// Parents maps every node under body to its enclosing node, for questions
+// like "is this statement directly inside a block?".
+func Parents(body *ast.BlockStmt) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// InStatementList reports whether stmt sits directly in a statement list
+// (a block, case clause, or comm clause) — the positions where a fix can
+// insert a sibling statement after it.
+func InStatementList(parents map[ast.Node]ast.Node, stmt ast.Node) bool {
+	switch parents[stmt].(type) {
+	case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+		return true
+	}
+	return false
+}

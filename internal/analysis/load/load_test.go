@@ -1,0 +1,144 @@
+package load_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qpiad/internal/analysis/load"
+)
+
+// writeModule lays out a throwaway module under a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module throwaway\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestModule loads a two-package module where one package imports the
+// other, exercising the export-data import path end to end.
+func TestModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/base/base.go": `package base
+
+// Answer is consumed by the caller package.
+func Answer() int { return 42 }
+`,
+		"internal/caller/caller.go": `package caller
+
+import "throwaway/internal/base"
+
+func Double() int { return 2 * base.Answer() }
+`,
+	})
+	units, err := load.Module(dir)
+	if err != nil {
+		t.Fatalf("Module: %v", err)
+	}
+	byPath := map[string]bool{}
+	for _, u := range units {
+		byPath[u.Pkg.Path()] = true
+		if len(u.Files) == 0 {
+			t.Errorf("%s: no parsed files", u.Pkg.Path())
+		}
+		if u.Info == nil || len(u.Info.Defs) == 0 {
+			t.Errorf("%s: type info not populated", u.Pkg.Path())
+		}
+		// Comments must survive the re-parse: //lint:allow depends on them.
+		for _, f := range u.Files {
+			if u.Pkg.Path() == "throwaway/internal/base" && len(f.Comments) == 0 {
+				t.Errorf("%s: comments were dropped on re-parse", u.Pkg.Path())
+			}
+		}
+	}
+	for _, want := range []string{"throwaway/internal/base", "throwaway/internal/caller"} {
+		if !byPath[want] {
+			t.Errorf("unit for %s missing; got %v", want, byPath)
+		}
+	}
+}
+
+// TestModulePatterns restricts the target set without losing the ability
+// to import the rest of the module from export data.
+func TestModulePatterns(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/base/base.go":     "package base\n\nfunc Answer() int { return 42 }\n",
+		"internal/caller/caller.go": "package caller\n\nimport \"throwaway/internal/base\"\n\nfunc Double() int { return 2 * base.Answer() }\n",
+	})
+	units, err := load.Module(dir, "./internal/caller/...")
+	if err != nil {
+		t.Fatalf("Module: %v", err)
+	}
+	if len(units) != 1 || units[0].Pkg.Path() != "throwaway/internal/caller" {
+		t.Fatalf("want exactly the caller unit, got %d units", len(units))
+	}
+}
+
+// TestModuleMissingPackage: a pattern matching nothing that exists must
+// surface go list's error, not succeed emptily.
+func TestModuleMissingPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/base/base.go": "package base\n\nfunc Answer() int { return 42 }\n",
+	})
+	_, err := load.Module(dir, "./internal/nonexistent")
+	if err == nil {
+		t.Fatal("Module must fail for a nonexistent package path")
+	}
+	if !strings.Contains(err.Error(), "nonexistent") {
+		t.Errorf("error should name the missing package, got: %v", err)
+	}
+}
+
+// TestModuleSyntaxError: a tree that does not compile cannot produce
+// export data; the loader must report that rather than analyze half a
+// module (make lint runs after make build for exactly this reason).
+func TestModuleSyntaxError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/broken/broken.go": "package broken\n\nfunc Oops() int { return \n",
+	})
+	_, err := load.Module(dir)
+	if err == nil {
+		t.Fatal("Module must fail on a syntax error")
+	}
+}
+
+// TestModuleTypeError: syntactically valid but ill-typed code fails at
+// the export-compile step with the compiler's own message.
+func TestModuleTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/broken/broken.go": "package broken\n\nfunc Oops() int { return \"not an int\" }\n",
+	})
+	_, err := load.Module(dir)
+	if err == nil {
+		t.Fatal("Module must fail on a type error")
+	}
+}
+
+// TestCheckParseError: Check reports the offending file when it cannot
+// parse.
+func TestCheckParseError(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.go")
+	if err := os.WriteFile(bad, []byte("package bad\n\nfunc {"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, err := load.Check(token.NewFileSet(), nil, "bad", dir, []string{"bad.go"})
+	if err == nil {
+		t.Fatal("Check must fail on a parse error")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("error should name the file, got: %v", err)
+	}
+}

@@ -1,32 +1,29 @@
 // Package locksafe enforces the lock and atomic discipline the concurrent
 // layers (qcache, faults, source, relation, core) rely on.
 //
-// Three checks, all module-wide:
+// Two checks, both module-wide and deliberately flow-insensitive:
 //
 //   - lock-by-value: a function parameter, receiver, or assignment copies a
 //     value whose type contains a sync.Mutex/RWMutex/WaitGroup/Once/Cond.
 //     A copied lock guards nothing.
-//
-//   - held-across: between mu.Lock() and mu.Unlock() (or after a deferred
-//     Unlock) the function performs a channel send or calls a Query* method.
-//     Source round-trips retry and back off for up to the whole query
-//     deadline (PR 1); holding a mutex across one serializes every peer.
 //
 //   - atomic-mixed: a field or package variable is passed by address to a
 //     sync/atomic function in one place and read or written plainly in
 //     another. Mixed access is a data race the typed atomic.* wrappers
 //     exist to prevent.
 //
-// The pass is intentionally flow-insensitive where it can afford to be;
-// deliberate exceptions (e.g. a plain read that is provably under the same
-// mutex as the atomic fast-path) carry //lint:allow locksafe comments.
+// The held-across check this pass ran through PR 8 (a mutex held across a
+// channel send or Query* call) moved to the flow-sensitive lockbalance
+// pass, which tracks lock state over the real CFG — joins, loops, gotos —
+// instead of this pass's linear statement scan, and additionally reports
+// locks not released on every path. Deliberate exceptions carry
+// //lint:allow locksafe (or lockbalance) comments.
 package locksafe
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"qpiad/internal/analysis"
 )
@@ -34,7 +31,7 @@ import (
 // Analyzer is the locksafe pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "locksafe",
-	Doc:  "flag copied locks, mutexes held across channel sends or Query* calls, and mixed atomic/plain field access",
+	Doc:  "flag copied locks and mixed atomic/plain field access",
 	Run:  run,
 }
 
@@ -42,7 +39,6 @@ func run(pass *analysis.Pass) error {
 	lc := &lockChecker{pass: pass, cache: make(map[types.Type]bool)}
 	for _, f := range pass.Files {
 		lc.checkCopies(f)
-		lc.checkHeldAcross(f)
 	}
 	checkAtomicMixed(pass)
 	return nil
@@ -163,184 +159,6 @@ func (lc *lockChecker) copiesLockValue(rhs ast.Expr) bool {
 		return false
 	}
 	return lc.containsLock(t)
-}
-
-// ---- held-across ----
-
-// checkHeldAcross runs the linear lock-state scan over every function body.
-func (lc *lockChecker) checkHeldAcross(f *ast.File) {
-	ast.Inspect(f, func(n ast.Node) bool {
-		var body *ast.BlockStmt
-		switch fn := n.(type) {
-		case *ast.FuncDecl:
-			body = fn.Body
-		case *ast.FuncLit:
-			body = fn.Body
-		default:
-			return true
-		}
-		if body != nil {
-			held := make(map[string]bool)
-			lc.scanStmts(body.List, held)
-		}
-		return true
-	})
-}
-
-// scanStmts walks a statement list in order, tracking which mutexes are
-// held. The model is deliberately linear: branches are scanned with a copy
-// of the current state, and lock-state changes inside them do not propagate
-// out. That trades a little precision for predictability — and every
-// exception is one //lint:allow away.
-func (lc *lockChecker) scanStmts(stmts []ast.Stmt, held map[string]bool) {
-	for _, st := range stmts {
-		lc.scanStmt(st, held)
-	}
-}
-
-func (lc *lockChecker) scanStmt(st ast.Stmt, held map[string]bool) {
-	switch s := st.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if key, op := lc.lockOp(call); key != "" {
-				switch op {
-				case "lock":
-					held[key] = true
-				case "unlock":
-					delete(held, key)
-				}
-				return
-			}
-		}
-		lc.checkExprWhileHeld(s.X, held)
-	case *ast.DeferStmt:
-		if key, op := lc.lockOp(s.Call); key != "" && op == "unlock" {
-			// Deferred unlock: the lock stays held for the remainder of the
-			// function, which is exactly when held-across matters most.
-			return
-		}
-		lc.checkExprWhileHeld(s.Call, held)
-	case *ast.SendStmt:
-		lc.reportIfHeld(held, s.Arrow, "channel send")
-		lc.checkExprWhileHeld(s.Value, held)
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			lc.checkExprWhileHeld(e, held)
-		}
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			lc.checkExprWhileHeld(e, held)
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			lc.scanStmt(s.Init, held)
-		}
-		lc.checkExprWhileHeld(s.Cond, held)
-		lc.scanStmts(s.Body.List, copyState(held))
-		if s.Else != nil {
-			lc.scanStmt(s.Else, copyState(held))
-		}
-	case *ast.ForStmt:
-		lc.scanStmts(s.Body.List, copyState(held))
-	case *ast.RangeStmt:
-		lc.scanStmts(s.Body.List, copyState(held))
-	case *ast.BlockStmt:
-		lc.scanStmts(s.List, held)
-	case *ast.SwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				lc.scanStmts(cc.Body, copyState(held))
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				lc.scanStmts(cc.Body, copyState(held))
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				if send, ok := cc.Comm.(*ast.SendStmt); ok {
-					lc.reportIfHeld(held, send.Arrow, "channel send")
-				}
-				lc.scanStmts(cc.Body, copyState(held))
-			}
-		}
-	case *ast.GoStmt:
-		// The goroutine body runs later, under no lock we can model here.
-	}
-}
-
-func copyState(m map[string]bool) map[string]bool {
-	cp := make(map[string]bool, len(m))
-	for k, v := range m {
-		cp[k] = v
-	}
-	return cp
-}
-
-// checkExprWhileHeld looks for Query* calls inside an expression while any
-// mutex is held. Function literals are skipped: they execute later.
-func (lc *lockChecker) checkExprWhileHeld(e ast.Expr, held map[string]bool) {
-	if e == nil || len(held) == 0 {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		var name string
-		switch fn := call.Fun.(type) {
-		case *ast.SelectorExpr:
-			name = fn.Sel.Name
-		case *ast.Ident:
-			name = fn.Name
-		}
-		if strings.HasPrefix(name, "Query") {
-			lc.reportIfHeld(held, call.Pos(), name+" call")
-		}
-		return true
-	})
-}
-
-func (lc *lockChecker) reportIfHeld(held map[string]bool, pos token.Pos, what string) {
-	for key := range held {
-		lc.pass.Reportf(pos, "%s while %s is held: a blocking operation under a mutex serializes every peer", what, key)
-		return // one report per site is enough
-	}
-}
-
-// lockOp classifies call as a sync.Mutex/RWMutex Lock/Unlock on some
-// receiver expression, returning a stable key for that receiver.
-func (lc *lockChecker) lockOp(call *ast.CallExpr) (key, op string) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", ""
-	}
-	switch sel.Sel.Name {
-	case "Lock", "RLock":
-		op = "lock"
-	case "Unlock", "RUnlock":
-		op = "unlock"
-	default:
-		return "", ""
-	}
-	// Require the method to come from sync (directly or via embedding) so a
-	// user-defined Lock() is not misread.
-	if s, ok := lc.pass.Info.Selections[sel]; ok {
-		fn, ok := s.Obj().(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-			return "", ""
-		}
-	} else if t := lc.pass.Info.TypeOf(sel.X); t != nil && !lc.containsLock(t) {
-		return "", ""
-	}
-	return types.ExprString(sel.X), op
 }
 
 // ---- atomic-mixed ----

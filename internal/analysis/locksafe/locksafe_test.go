@@ -8,10 +8,10 @@ import (
 	"qpiad/internal/analysis/locksafe"
 )
 
-// TestLocksafe covers lock-by-value copies, locks held across channel
-// sends and Query* calls, mixed atomic/plain field access, and the clean
-// counterparts (pointer passing, unlock-before-send, typed atomics,
-// //lint:allow'd exceptions).
+// TestLocksafe covers lock-by-value copies, mixed atomic/plain field
+// access, and the clean counterparts (pointer passing, fresh values,
+// typed atomics). Held-across-blocking cases moved to the lockbalance
+// fixture (internal/lockflow) along with the check itself.
 func TestLocksafe(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t),
 		[]*analysis.Analyzer{locksafe.Analyzer},

@@ -42,6 +42,26 @@ func NewInfo() *types.Info {
 //     and context.Background() deliberately — but test files still
 //     participate in type checking so analyzers see complete packages.
 func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return run(u, analyzers, nil)
+}
+
+// RunWithSuppressionAudit is Run plus the stale-suppression audit: after
+// the passes and filters, every //lint:allow comment in the unit that
+// names an analyzer outside known, or that suppressed nothing this run, is
+// itself reported as a diagnostic of the pseudo-analyzer "suppress"
+// (see Suppressions.Stale).
+//
+// Drivers (qpiad-vet) use this entry point so the audit trail cannot rot.
+// analysistest uses plain Run, because fixtures exercise single analyzers
+// against files that legitimately carry allows for the others. The known
+// set must be the whole suite's names, not just the analyzers being run:
+// an allow is stale relative to what the tool could ever report.
+func RunWithSuppressionAudit(u *Unit, analyzers []*Analyzer, known map[string]bool) ([]Diagnostic, error) {
+	return run(u, analyzers, known)
+}
+
+// run is the shared engine; a nil known set disables the audit.
+func run(u *Unit, analyzers []*Analyzer, known map[string]bool) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -75,6 +95,9 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 		seen[key] = true
 		kept = append(kept, d)
 	}
+	if known != nil {
+		kept = append(kept, sup.Stale(known)...)
+	}
 	sort.SliceStable(kept, func(i, j int) bool {
 		pi, pj := u.Fset.Position(kept[i].Pos), u.Fset.Position(kept[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -89,6 +112,16 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return kept[i].Analyzer < kept[j].Analyzer
 	})
 	return kept, nil
+}
+
+// Names returns the analyzer-name set of the given suite, for
+// RunWithSuppressionAudit's known parameter.
+func Names(analyzers []*Analyzer) map[string]bool {
+	m := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		m[a.Name] = true
+	}
+	return m
 }
 
 // Format renders one diagnostic as "path:line:col: [analyzer] message",

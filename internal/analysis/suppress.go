@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/token"
 	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -17,6 +19,17 @@ import (
 // suppress anything, so every exception in the tree is auditable. The
 // analyzer field must match the reporting analyzer's name exactly (no
 // wildcards) — allowing one pass never silences another.
+//
+// The audit trail is kept honest in the other direction too: Stale reports
+// allow comments that name an analyzer the suite does not have, or that no
+// longer suppress any diagnostic. Drivers surface those as diagnostics of
+// the pseudo-analyzer "suppress" (see RunWithSuppressionAudit), so a
+// suppression cannot silently outlive the finding it was written for.
+
+// SuppressAnalyzerName is the pseudo-analyzer name stale-suppression
+// diagnostics carry. It is deliberately not a real analyzer: an allow
+// targeting it is itself unknown, so the audit cannot be suppressed.
+const SuppressAnalyzerName = "suppress"
 
 // allowRe matches a well-formed suppression comment. The directive must be
 // the start of the comment text ("// lint:allow" with a space also counts,
@@ -30,16 +43,23 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowSite is one //lint:allow comment.
+type allowSite struct {
+	reason string
+	pos    token.Pos // the comment's position, for audit diagnostics
+	used   bool      // did it suppress at least one diagnostic?
+}
+
 // Suppressions indexes every well-formed //lint:allow comment in a set of
 // parsed files (files must have been parsed with parser.ParseComments).
 type Suppressions struct {
 	fset  *token.FileSet
-	sites map[allowKey]string // -> reason
+	sites map[allowKey]*allowSite
 }
 
 // BuildSuppressions scans the files' comments for allow directives.
 func BuildSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
-	s := &Suppressions{fset: fset, sites: make(map[allowKey]string)}
+	s := &Suppressions{fset: fset, sites: make(map[allowKey]*allowSite)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -49,7 +69,7 @@ func BuildSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 				}
 				pos := fset.Position(c.Slash)
 				key := allowKey{file: pos.Filename, line: pos.Line, analyzer: m[1]}
-				s.sites[key] = strings.TrimSpace(m[2])
+				s.sites[key] = &allowSite{reason: strings.TrimSpace(m[2]), pos: c.Slash}
 			}
 		}
 	}
@@ -58,12 +78,56 @@ func BuildSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 
 // Allows reports whether a diagnostic from the named analyzer at pos is
 // suppressed: an allow for that analyzer sits on the same line or the line
-// directly above.
+// directly above. Matching allows are marked used for the stale audit.
 func (s *Suppressions) Allows(analyzer string, pos token.Pos) bool {
 	p := s.fset.Position(pos)
-	if _, ok := s.sites[allowKey{p.Filename, p.Line, analyzer}]; ok {
+	if site, ok := s.sites[allowKey{p.Filename, p.Line, analyzer}]; ok {
+		site.used = true
 		return true
 	}
-	_, ok := s.sites[allowKey{p.Filename, p.Line - 1, analyzer}]
-	return ok
+	if site, ok := s.sites[allowKey{p.Filename, p.Line - 1, analyzer}]; ok {
+		site.used = true
+		return true
+	}
+	return false
+}
+
+// Stale returns one diagnostic per allow comment that is rotten: either it
+// names an analyzer absent from known (a typo, or a pass that was renamed
+// or removed), or it suppressed nothing in this run (the finding it was
+// written for is gone — the comment should go too). Allows in _test.go
+// files are exempt, mirroring the diagnostic filter: test-file diagnostics
+// are dropped wholesale, so their allows are definitionally unused.
+//
+// Call Stale only after every analyzer has run and been filtered through
+// Allows; it reads the used marks Allows leaves behind.
+func (s *Suppressions) Stale(known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for key, site := range s.sites {
+		if strings.HasSuffix(key.file, "_test.go") {
+			continue
+		}
+		switch {
+		case !known[key.analyzer]:
+			diags = append(diags, Diagnostic{
+				Pos:      site.pos,
+				Analyzer: SuppressAnalyzerName,
+				Message:  "//lint:allow names unknown analyzer " + strconv.Quote(key.analyzer) + ": fix the name or delete the comment",
+			})
+		case !site.used:
+			diags = append(diags, Diagnostic{
+				Pos:      site.pos,
+				Analyzer: SuppressAnalyzerName,
+				Message:  "stale //lint:allow: no " + key.analyzer + " diagnostic is suppressed here anymore; delete the comment",
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := s.fset.Position(diags[i].Pos), s.fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	return diags
 }

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 )
 
@@ -101,5 +102,124 @@ func a() {
 	s := BuildSuppressions(fset, []*ast.File{f})
 	if !s.Allows("locksafe", posOnLine(t, fset, 5)) {
 		t.Error("'// lint:allow' with a space should also suppress")
+	}
+}
+
+// auditAnalyzer reports one fixed diagnostic per marker comment so audit
+// tests can exercise used vs unused allows.
+func auditAnalyzer(name, needle string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "test analyzer reporting at every " + needle + " call",
+		Run: func(p *Pass) error {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok && id.Name == needle {
+						p.Reportf(id.Pos(), "%s found", needle)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// auditUnit wraps a parsed file into a Unit without type checking (the
+// audit analyzers above are purely syntactic).
+func auditUnit(fset *token.FileSet, f *ast.File) *Unit {
+	return &Unit{Fset: fset, Files: []*ast.File{f}, Info: NewInfo()}
+}
+
+func TestSuppressionAuditStaleAndUnknown(t *testing.T) {
+	fset, f := parseForSuppress(t, `package p
+
+func marker() {}
+
+func a() {
+	//lint:allow tick live suppression with a reason
+	tick()
+	//lint:allow tick stale: nothing reported on the next line
+	_ = 1
+	//lint:allow nosuchpass typo in the analyzer name
+	tick()
+}
+
+func tick() {}
+`)
+	u := auditUnit(fset, f)
+	an := auditAnalyzer("tick", "tick")
+	known := Names([]*Analyzer{an})
+
+	diags, err := RunWithSuppressionAudit(u, []*Analyzer{an}, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stale, unknown, tick int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == SuppressAnalyzerName && strings.Contains(d.Message, "unknown analyzer"):
+			unknown++
+		case d.Analyzer == SuppressAnalyzerName:
+			stale++
+		case d.Analyzer == "tick":
+			tick++
+		}
+	}
+	if unknown != 1 {
+		t.Errorf("unknown-analyzer audits = %d, want 1", unknown)
+	}
+	if stale != 1 {
+		t.Errorf("stale audits = %d, want 1", stale)
+	}
+	// The declaration's tick idents plus the unsuppressed call report; the
+	// line-6 allow silences exactly one call site.
+	if tick == 0 {
+		t.Error("expected unsuppressed tick diagnostics to survive")
+	}
+}
+
+func TestSuppressionAuditCleanWhenAllUsed(t *testing.T) {
+	fset, f := parseForSuppress(t, `package p
+
+func a() {
+	//lint:allow tick audited: deliberate
+	tick()
+}
+
+//lint:allow tick audited: declaration site itself
+func tick() {}
+`)
+	u := auditUnit(fset, f)
+	an := auditAnalyzer("tick", "tick")
+	diags, err := RunWithSuppressionAudit(u, []*Analyzer{an}, Names([]*Analyzer{an}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == SuppressAnalyzerName {
+			t.Errorf("unexpected audit diagnostic: %s", d.Message)
+		}
+	}
+}
+
+func TestPlainRunSkipsAudit(t *testing.T) {
+	fset, f := parseForSuppress(t, `package p
+
+func a() {
+	//lint:allow otherpass allow for an analyzer not in this run
+	_ = 1
+}
+`)
+	u := auditUnit(fset, f)
+	an := auditAnalyzer("tick", "tick")
+	diags, err := Run(u, []*Analyzer{an})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == SuppressAnalyzerName {
+			t.Error("plain Run must not produce audit diagnostics")
+		}
 	}
 }

@@ -1,0 +1,133 @@
+// Fixture for the cancelleak analyzer: cancel funcs leaked on some or all
+// paths, discarded outright, and the clean counterparts (defer, escape,
+// call on every branch).
+package cancel
+
+import (
+	"context"
+	"time"
+)
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// neverCalled obtains a cancel func and forgets it entirely (the blank
+// assignment keeps the compiler quiet but releases nothing).
+func neverCalled(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent) // want "cancel function cancel returned by context.WithCancel is never called"
+	_ = cancel
+	return work(ctx)
+}
+
+// leakOnEarlyReturn calls cancel on the fall-through path but not when
+// work fails: the classic retry-loop leak.
+func leakOnEarlyReturn(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want "cancel function cancel returned by context.WithTimeout is not called on every path"
+	if err := work(ctx); err != nil {
+		return err
+	}
+	cancel()
+	return nil
+}
+
+// leakOnOneBranch cancels in the if-branch only.
+func leakOnOneBranch(parent context.Context, fast bool) error {
+	ctx, cancel := context.WithDeadline(parent, time.Now().Add(time.Second)) // want "cancel function cancel returned by context.WithDeadline is not called on every path"
+	if fast {
+		cancel()
+		return nil
+	}
+	return work(ctx)
+}
+
+// discarded throws the cancel func away at the assignment.
+func discarded(parent context.Context) error {
+	ctx, _ := context.WithCancel(parent) // want "cancel function returned by context.WithCancel is discarded"
+	return work(ctx)
+}
+
+// deferred is the canonical clean shape: defer right after obtaining.
+func deferred(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	if err := work(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// calledOnEveryBranch releases explicitly on both paths: clean.
+func calledOnEveryBranch(parent context.Context, fast bool) error {
+	ctx, cancel := context.WithCancel(parent)
+	if fast {
+		cancel()
+		return nil
+	}
+	err := work(ctx)
+	cancel()
+	return err
+}
+
+// escapes hands the cancel func to a helper, which becomes responsible for
+// it: clean here.
+func escapes(parent context.Context, keep func(context.CancelFunc)) error {
+	ctx, cancel := context.WithCancel(parent)
+	keep(cancel)
+	return work(ctx)
+}
+
+// returned passes ownership to the caller: clean.
+func returned(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	return ctx, cancel
+}
+
+// capturedByClosure is released by a goroutine the function starts: the
+// closure owns it now, so the path analysis treats it as handled.
+func capturedByClosure(parent context.Context, done chan struct{}) error {
+	ctx, cancel := context.WithCancel(parent)
+	go func() {
+		<-done
+		cancel()
+	}()
+	return work(ctx)
+}
+
+// deferConditional only schedules the release on one branch: the other
+// leaks.
+func deferConditional(parent context.Context, guard bool) error {
+	ctx, cancel := context.WithCancel(parent) // want "cancel function cancel returned by context.WithCancel is not called on every path"
+	if guard {
+		defer cancel()
+	}
+	return work(ctx)
+}
+
+// loopBody redefines the pair each iteration and cancels before the next:
+// clean.
+func loopBody(parent context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithTimeout(parent, time.Second)
+		err := work(ctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allowed documents an audited exception: the pass would report the blank
+// assignment below, but the allow (with its mandatory reason) silences it.
+func allowed(parent context.Context) error {
+	//lint:allow cancelleak the context intentionally lives until process exit (top-level root)
+	ctx, cancel := context.WithCancel(parent)
+	_ = cancel
+	return work(ctx)
+}
+
+// panicsAlways never returns normally: there is no return path to leak on.
+func panicsAlways(parent context.Context) {
+	_, cancel := context.WithCancel(parent)
+	_ = cancel
+	panic("unreachable exit")
+}

@@ -1,0 +1,153 @@
+// Fixture for the errdrop analyzer: expression-statement drops, blank
+// assignments, errors dead on every path, and the clean shapes — errors
+// checked on one branch, returned on another, read under a flag, or
+// written to infallible sinks.
+package errflow
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+type codec struct{}
+
+func (c *codec) Encode(v any) (int, error) { return 0, nil }
+
+func parse(s string) (int, error) { return strconv.Atoi(s) }
+
+// exprDrop discards the Close error in an expression statement.
+func exprDrop(c *closer) {
+	c.Close() // want "the error returned by c.Close is discarded"
+}
+
+// exprDropFixable sits in a function ending in error: the if-wrap fix
+// applies (single error result, int zero is obvious).
+func exprDropFixable(c *closer) (int, error) {
+	c.Close() // want "the error returned by c.Close is discarded"
+	return 1, nil
+}
+
+// multiResultDrop drops a (int, error) call entirely: reported, but no
+// fix (the wrap form cannot receive two results).
+func multiResultDrop(e *codec) {
+	e.Encode(42) // want "the error returned by e.Encode is discarded"
+}
+
+// deferDrop loses the error at function exit, invisibly.
+func deferDrop(c *closer) {
+	defer c.Close() // want "the error returned by deferred c.Close is discarded"
+}
+
+// blankAssign throws the error away by name.
+func blankAssign(s string) int {
+	n, _ := parse(s) // want "the error result of parse is assigned to _"
+	return n
+}
+
+// deadReassigned checks the first error but never reads the second
+// assignment before returning: the classic forgotten check.
+func deadReassigned(a, b string) (int, int) {
+	x, err := parse(a)
+	if err != nil {
+		return 0, 0
+	}
+	y, err := parse(b) // want "the error assigned to err here is never read on any path"
+	return x, y
+}
+
+// deadOverwritten assigns and then overwrites before any read: the first
+// definition is dead even though err is eventually checked.
+func deadOverwritten(a, b string) int {
+	x, err := parse(a) // want "the error assigned to err here is never read on any path"
+	y, err := parse(b)
+	if err != nil {
+		return -1
+	}
+	return x + y
+}
+
+// checkedImmediately is the canonical clean shape.
+func checkedImmediately(s string) (int, error) {
+	n, err := parse(s)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// readOnOneBranch keeps the definition live: a single reading path is
+// enough (the may-analysis must not cry wolf on log-and-continue code).
+func readOnOneBranch(s string, verbose bool) int {
+	n, err := parse(s)
+	if verbose {
+		fmt.Println("parse:", err)
+	}
+	return n
+}
+
+// checkedOnOneBranchReturnedOnOther reads err on both paths, differently.
+func checkedOnOneBranchReturnedOnOther(s string, strict bool) (int, error) {
+	n, err := parse(s)
+	if strict {
+		return n, err
+	}
+	if err != nil {
+		return 0, nil
+	}
+	return n, nil
+}
+
+// namedResultNakedReturn: assigning a named result and returning naked is
+// a read — the caller receives it.
+func namedResultNakedReturn(s string) (n int, err error) {
+	n, err = parse(s)
+	return
+}
+
+// capturedByClosure: the closure may read err after this function's CFG
+// says it is dead; captures disable the dead-def check.
+func capturedByClosure(s string, report func(func() error)) int {
+	n, err := parse(s)
+	report(func() error { return err })
+	return n
+}
+
+// printFamily: terminal output is best-effort by design.
+func printFamily(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("hello")
+	fmt.Printf("%d\n", 1)
+	fmt.Fprintf(os.Stderr, "warn: %d\n", 2)
+	fmt.Fprintln(os.Stdout, "out")
+	fmt.Fprintf(buf, "buffered %d", 3)
+	fmt.Fprintln(sb, "built")
+	buf.WriteString("x")
+	sb.WriteString("y")
+}
+
+// hashWrite: hash.Hash documents Write as never failing.
+func hashWrite(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// writerNotExempt: an arbitrary io.Writer can be a socket; its errors are
+// real.
+func writerNotExempt(w io.Writer) {
+	fmt.Fprintf(w, "payload %d", 4) // want "the error returned by fmt.Fprintf is discarded"
+}
+
+// allowed documents an audited exception.
+func allowed(c *closer) {
+	//lint:allow errdrop read-only file, close cannot fail meaningfully
+	c.Close()
+}

@@ -1,0 +1,211 @@
+// Fixture for the lockbalance analyzer: locks not released on every CFG
+// path (early returns, panics past a missing defer), blocking operations
+// while a lock is held, and the clean counterparts the path analysis must
+// not flag.
+package lockflow
+
+import "sync"
+
+// Guarded couples a mutex with the state it protects.
+type Guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Client has a Query-shaped method, standing in for a source round-trip.
+type Client struct{}
+
+// QueryRows is a blocking round-trip (name triggers the Query* heuristic).
+func (c *Client) QueryRows(q string) []string { return []string{q} }
+
+// earlyReturnLeak releases on the fall-through path but not when the
+// check fails.
+func earlyReturnLeak(g *Guarded, limit int) int {
+	g.mu.Lock() // want "g.mu is not released on every path to return"
+	if g.n > limit {
+		return -1
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// neverReleased acquires and forgets: held at every return.
+func neverReleased(g *Guarded) int {
+	g.mu.Lock() // want "g.mu is still locked at every return"
+	return g.n
+}
+
+// panicPastLock panics while holding the lock with no defer scheduled.
+func panicPastLock(g *Guarded) int {
+	g.mu.Lock() // want "g.mu is still held when a panic unwinds"
+	if g.n < 0 {
+		panic("negative")
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// deferredRelease is the canonical clean shape: every exit, panics
+// included, runs the unlock.
+func deferredRelease(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n < 0 {
+		panic("negative")
+	}
+	return g.n
+}
+
+// releasedOnBothBranches unlocks explicitly on each path: clean.
+func releasedOnBothBranches(g *Guarded, fast bool) int {
+	g.mu.Lock()
+	if fast {
+		g.mu.Unlock()
+		return 0
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// loopBalanced locks and unlocks within each iteration: clean.
+func loopBalanced(g *Guarded, rounds int) int {
+	total := 0
+	for i := 0; i < rounds; i++ {
+		g.mu.Lock()
+		total += g.n
+		g.mu.Unlock()
+	}
+	return total
+}
+
+// loopLeak breaks out of the loop between Lock and Unlock: the break path
+// reaches the return still holding the lock, the normal path does not, and
+// the exit join sees the conflict.
+func loopLeak(g *Guarded, rounds int) int {
+	total := 0
+	for i := 0; i < rounds; i++ {
+		g.mu.Lock() // want "g.mu is not released on every path to return"
+		total += g.n
+		if total > 100 {
+			break
+		}
+		g.mu.Unlock()
+	}
+	return total
+}
+
+// readWriteIndependent tracks the RWMutex halves separately: the read
+// lock is balanced, the write lock leaks.
+func readWriteIndependent(g *Guarded) int {
+	g.rw.RLock()
+	n := g.n
+	g.rw.RUnlock()
+	g.rw.Lock() // want "g.rw is still locked at every return"
+	return n
+}
+
+// readLeak leaks the read half on the early return.
+func readLeak(g *Guarded, limit int) int {
+	g.rw.RLock() // want "g.rw \\(read-locked\\) is not released on every path to return"
+	if g.n > limit {
+		return -1
+	}
+	n := g.n
+	g.rw.RUnlock()
+	return n
+}
+
+// sendWhileHeld performs a channel send between Lock and Unlock.
+func sendWhileHeld(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.n // want "channel send while g.mu is held"
+	g.mu.Unlock()
+}
+
+// sendWhileDeferHeld: a deferred unlock releases at return, not before —
+// the send still runs under the lock.
+func sendWhileDeferHeld(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n // want "channel send while g.mu is held"
+}
+
+// sendAfterUnlock releases first: clean.
+func sendAfterUnlock(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	ch <- n
+}
+
+// queryWhileHeld calls a Query* method under the lock.
+func queryWhileHeld(g *Guarded, c *Client) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return c.QueryRows("q") // want "QueryRows call while g.mu is held"
+}
+
+// queryOutsideLock snapshots under the lock, queries outside: clean.
+func queryOutsideLock(g *Guarded, c *Client) []string {
+	g.mu.Lock()
+	q := "q"
+	g.mu.Unlock()
+	return c.QueryRows(q)
+}
+
+// selectSendWhileHeld: sends inside select count too.
+func selectSendWhileHeld(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case ch <- g.n: // want "channel send while g.mu is held"
+	default:
+	}
+}
+
+// sendMaybeHeld locks on one branch only: the send is not under the lock
+// on every path, so the must-analysis stays quiet (the balance check
+// reports the leak at the acquisition instead).
+func sendMaybeHeld(g *Guarded, ch chan int, lock bool) {
+	if lock {
+		g.mu.Lock() // want "g.mu is not released on every path to return"
+	}
+	ch <- g.n
+}
+
+// closureNotThisPath: lock operations inside a nested closure belong to
+// the closure's own analysis, and the closure's send runs on its own
+// timeline: both sides stay clean here.
+func closureNotThisPath(g *Guarded, ch chan int) func() {
+	g.mu.Lock()
+	f := func() {
+		ch <- g.n
+	}
+	g.mu.Unlock()
+	return f
+}
+
+// allowedSend documents an audited exception: the channel is buffered and
+// drained by the metrics goroutine, so the send cannot block.
+func allowedSend(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	//lint:allow lockbalance buffered metrics channel, send cannot block
+	ch <- g.n
+	g.mu.Unlock()
+}
+
+// ownLockMethods: a user-defined Lock/Unlock pair (not sync's) must not be
+// tracked at all.
+type fakeLock struct{ n int }
+
+func (f *fakeLock) Lock()   { f.n++ }
+func (f *fakeLock) Unlock() { f.n-- }
+
+func fakeLockUser(f *fakeLock) int {
+	f.Lock()
+	return f.n
+}

@@ -1,5 +1,6 @@
-// Fixture for the locksafe analyzer: lock copies, locks held across
-// blocking operations, and mixed atomic/plain field access.
+// Fixture for the locksafe analyzer: lock copies and mixed atomic/plain
+// field access (held-across cases live in internal/lockflow, under the
+// flow-sensitive lockbalance pass).
 package locks
 
 import (
@@ -44,61 +45,6 @@ func copyDecl(g Guarded) { // want "parameter passes a lock by value"
 func freshValue() *Guarded {
 	g := Guarded{}
 	return &g
-}
-
-// Client has a Query-shaped method, standing in for a source round-trip.
-type Client struct{}
-
-// QueryRows is a blocking round-trip (name triggers the Query* heuristic).
-func (c *Client) QueryRows(q string) []string { return []string{q} }
-
-// sendWhileHeld performs a channel send between Lock and Unlock.
-func sendWhileHeld(g *Guarded, ch chan int) {
-	g.mu.Lock()
-	ch <- g.n // want "channel send while g.mu is held"
-	g.mu.Unlock()
-}
-
-// sendAfterUnlock releases first: clean.
-func sendAfterUnlock(g *Guarded, ch chan int) {
-	g.mu.Lock()
-	n := g.n
-	g.mu.Unlock()
-	ch <- n
-}
-
-// queryWhileHeld calls a Query* method under the lock.
-func queryWhileHeld(g *Guarded, c *Client) []string {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return c.QueryRows("q") // want "QueryRows call while g.mu is held"
-}
-
-// queryOutsideLock snapshots under the lock, queries outside: clean.
-func queryOutsideLock(g *Guarded, c *Client) []string {
-	g.mu.Lock()
-	q := "q"
-	g.mu.Unlock()
-	return c.QueryRows(q)
-}
-
-// selectSendWhileHeld: sends inside select count too.
-func selectSendWhileHeld(g *Guarded, ch chan int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	select {
-	case ch <- g.n: // want "channel send while g.mu is held"
-	default:
-	}
-}
-
-// allowedSend documents an audited exception: the channel is buffered and
-// drained by the metrics goroutine, so the send cannot block.
-func allowedSend(g *Guarded, ch chan int) {
-	g.mu.Lock()
-	//lint:allow locksafe buffered metrics channel, send cannot block
-	ch <- g.n
-	g.mu.Unlock()
 }
 
 // Counter mixes atomic and plain access to the same field.

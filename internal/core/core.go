@@ -235,6 +235,7 @@ func MineKnowledge(sourceName string, smpl *relation.Relation, ratio, perInc flo
 			// An attribute that cannot be learned (e.g. always null in the
 			// sample) simply has no predictor; queries constraining it fall
 			// back to certain answers only.
+			//lint:allow errdrop unlearnable attribute degrades to certain-only answers by design
 			preds[i], _ = nbc.TrainPredictor(smpl, attr, k.AFDs, cfg.Predictor)
 		}
 	} else {
@@ -245,6 +246,7 @@ func MineKnowledge(sourceName string, smpl *relation.Relation, ratio, perInc flo
 			go func() {
 				defer wg.Done()
 				for i := range next {
+					//lint:allow errdrop unlearnable attribute degrades to certain-only answers by design
 					preds[i], _ = nbc.TrainPredictor(smpl, attrs[i], k.AFDs, cfg.Predictor)
 				}
 			}()

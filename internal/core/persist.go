@@ -60,6 +60,7 @@ func (k *Knowledge) SaveFile(path string, cfg KnowledgeConfig) error {
 		return fmt.Errorf("core: save knowledge: %w", err)
 	}
 	if err := k.Save(f, cfg); err != nil {
+		//lint:allow errdrop the Save error is already being returned; a second Close error adds nothing
 		f.Close()
 		return err
 	}
@@ -90,6 +91,7 @@ func LoadKnowledgeFile(path string) (*Knowledge, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: load knowledge: %w", err)
 	}
+	//lint:allow errdrop file opened read-only; Close cannot lose data
 	defer f.Close()
 	return LoadKnowledge(f)
 }

@@ -322,6 +322,7 @@ func doRequest(ctx context.Context, cfg Config, base string, clock breaker.Clock
 		}
 		return 0
 	}
+	//lint:allow errdrop body close failures are unactionable; the request outcome is already recorded
 	defer resp.Body.Close()
 
 	if resp.StatusCode == http.StatusTooManyRequests {
@@ -329,6 +330,7 @@ func doRequest(ctx context.Context, cfg Config, base string, clock breaker.Clock
 		return shedBackoff(resp.Body, cfg.ShedBackoff)
 	}
 	if resp.StatusCode != http.StatusOK {
+		//lint:allow errdrop best-effort drain so the connection can be reused; the request already failed
 		io.Copy(io.Discard, resp.Body)
 		w.errs++
 		return 0

@@ -95,6 +95,7 @@ func (r *Relation) SaveCSV(path string) error {
 		return fmt.Errorf("relation: save csv: %w", err)
 	}
 	if err := r.WriteCSV(f); err != nil {
+		//lint:allow errdrop the WriteCSV error is already being returned; a second Close error adds nothing
 		f.Close()
 		return err
 	}
@@ -108,6 +109,7 @@ func LoadCSV(name, path string) (*Relation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("relation: load csv: %w", err)
 	}
+	//lint:allow errdrop file opened read-only; Close cannot lose data
 	defer f.Close()
 	return ReadCSV(name, f)
 }
