@@ -10,7 +10,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: tier1 build vet lint sarif test race vuln bench bench-json bench-planner bench-load clean
+.PHONY: tier1 build vet lint sarif test race vuln bench bench-json bench-planner bench-load bench-chaos clean
 
 tier1: build vet lint race
 
@@ -86,6 +86,19 @@ BENCH_LOAD_JSON ?= BENCH_PR8.json
 bench-load:
 	$(GO) test -run '^$$' -bench 'BenchmarkLoadSLO' \
 		-benchtime=1x $(BENCH_FLAGS) . | $(GO) run ./cmd/qpiad-benchjson -o $(BENCH_LOAD_JSON)
+
+# bench-chaos pins the PR10 robustness claim: one full chaos run (seeded
+# loadgen traffic while the generated scenario crashes/restores the source,
+# flaps faults, kills and drains the server, corrupts and reloads knowledge,
+# and skews the clock) with the four invariant oracles armed. The benchmark
+# b.Fatals unless every invariant passes — degradation-soundness violations
+# must be zero — and availability stays at or above the floor (default 99%).
+# One run is one measurement, so -benchtime=1x is baked in; QPIAD_CHAOS_MS /
+# QPIAD_CHAOS_MIN_AVAIL shrink the window and floor for CI smoke.
+BENCH_CHAOS_JSON ?= BENCH_PR10.json
+bench-chaos:
+	$(GO) test -run '^$$' -bench 'BenchmarkChaosAvailability' \
+		-benchtime=1x $(BENCH_FLAGS) . | $(GO) run ./cmd/qpiad-benchjson -o $(BENCH_CHAOS_JSON)
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,7 @@ import (
 
 	"qpiad/internal/afd"
 	"qpiad/internal/breaker"
+	"qpiad/internal/chaos"
 	"qpiad/internal/core"
 	"qpiad/internal/datagen"
 	"qpiad/internal/experiments"
@@ -806,5 +807,84 @@ func BenchmarkLoadSLO(b *testing.B) {
 			b.Fatalf("admission costs too much goodput: on=%.1f rps off=%.1f rps at %d workers",
 				on.goodput, off.goodput, sat)
 		}
+	}
+}
+
+// chaosBenchWindow is the chaos scenario window BenchmarkChaosAvailability
+// runs (QPIAD_CHAOS_MS overrides; CI smoke uses ~1500).
+func chaosBenchWindow(b *testing.B) time.Duration {
+	env := os.Getenv("QPIAD_CHAOS_MS")
+	if env == "" {
+		// Long enough that the two fixed ~50ms scheduled bounces plus the
+		// graceful drain's Shutdown wait fit inside a 1% downtime budget.
+		return 30 * time.Second
+	}
+	ms, err := strconv.Atoi(env)
+	if err != nil || ms <= 0 {
+		b.Fatalf("bad QPIAD_CHAOS_MS %q", env)
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// chaosBenchMinAvail is the availability floor the benchmark asserts, in
+// percent (QPIAD_CHAOS_MIN_AVAIL overrides; shrunken CI windows lower it
+// because the two fixed ~50ms downtime gaps weigh more in a short run).
+func chaosBenchMinAvail(b *testing.B) float64 {
+	env := os.Getenv("QPIAD_CHAOS_MIN_AVAIL")
+	if env == "" {
+		return 99
+	}
+	v, err := strconv.ParseFloat(env, 64)
+	if err != nil || v <= 0 || v > 100 {
+		b.Fatalf("bad QPIAD_CHAOS_MIN_AVAIL %q", env)
+	}
+	return v
+}
+
+// BenchmarkChaosAvailability is the robustness benchmark behind
+// BENCH_PR10.json: one full chaos run — seeded loadgen traffic against the
+// in-process server while the generated scenario crashes/restores the
+// source, flaps faults, kills and drains the server, corrupts and reloads
+// knowledge, and skews the clock — with the four invariant oracles armed.
+//
+// The headline claims are asserted in-bench: every invariant verdict must
+// pass (soundness violations in particular must be zero — under chaos the
+// mediator may degrade or go stale, but it must never fabricate an
+// unflagged answer), and measured availability must stay at or above the
+// floor even though the scenario schedules two full server bounces.
+func BenchmarkChaosAvailability(b *testing.B) {
+	window := chaosBenchWindow(b)
+	minAvail := chaosBenchMinAvail(b)
+	for i := 0; i < b.N; i++ {
+		rep, err := chaos.Run(context.Background(), chaos.Config{
+			Seed:     41,
+			Scenario: chaos.Generate(41, window),
+			Dir:      b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed() {
+			b.Fatalf("invariants failed:\n%s\nviolations: %q", rep.Summary(), rep.Violations)
+		}
+		soundness := 0
+		for _, v := range rep.Deterministic.Verdicts {
+			if v.Name == chaos.InvSoundness && !v.Passed {
+				soundness++
+			}
+		}
+		if soundness != 0 {
+			b.Fatalf("degradation soundness violated: %q", rep.Violations)
+		}
+		if rep.Metrics.AvailabilityPct < minAvail {
+			b.Fatalf("availability %.2f%% below the %.2f%% floor (mttr %.0fms over %d outages)",
+				rep.Metrics.AvailabilityPct, minAvail, rep.Metrics.MTTRMs, rep.Metrics.Outages)
+		}
+		b.ReportMetric(rep.Metrics.AvailabilityPct, "availability-pct/op")
+		b.ReportMetric(rep.Metrics.MTTRMs, "mttr-ms/op")
+		b.ReportMetric(float64(rep.Metrics.Outages), "outages/op")
+		b.ReportMetric(float64(rep.Metrics.Probes), "probes/op")
+		b.ReportMetric(rep.Metrics.BaselineP95Ms, "baseline-p95-ms/op")
+		b.ReportMetric(rep.Metrics.RecoveryP95Ms, "recovery-p95-ms/op")
 	}
 }

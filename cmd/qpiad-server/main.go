@@ -97,6 +97,7 @@ func main() {
 		writeTimeout      = flag.Duration("write-timeout", 0, "http.Server WriteTimeout (0 = unbounded; streams can be long)")
 		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout for keep-alive connections")
 		drainTimeout      = flag.Duration("drain-timeout", 15*time.Second, "max time to finish in-flight requests on SIGINT/SIGTERM")
+		drainGrace        = flag.Duration("drain-grace", 0, "keep serving this long after /readyz starts failing, so routing can observe not-ready before the listener closes")
 	)
 	flag.Parse()
 
@@ -151,9 +152,10 @@ func main() {
 	}
 	opts = append(opts, admissionOptions(*maxInflight, *maxQueue, *queueTimeout, *retryAfter)...)
 
+	api := httpapi.New(med, opts...)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(med, opts...),
+		Handler:           api,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
@@ -169,7 +171,7 @@ func main() {
 	if *maxInflight > 0 {
 		log.Printf("admission control on: max-inflight %d, max-queue %d", *maxInflight, resolvedQueue(*maxInflight, *maxQueue))
 	}
-	if err := serve(ctx, srv, ln, *drainTimeout); err != nil {
+	if err := serve(ctx, srv, api, ln, *drainTimeout, *drainGrace); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("qpiad-server drained and stopped")
@@ -203,8 +205,14 @@ func resolvedQueue(maxInflight, maxQueue int) int {
 
 // serve runs srv on ln until ctx is cancelled (SIGINT/SIGTERM in main),
 // then drains gracefully: no new connections, in-flight requests — long
-// NDJSON streams included — get up to drain to finish.
-func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+// NDJSON streams included — get up to drain to finish. Readiness flips
+// first: GET /readyz starts failing before Shutdown begins, and the
+// listener keeps serving for grace so routing can actually observe
+// not-ready and stop sending traffic instead of eating mid-drain
+// connection errors (Shutdown closes the listener immediately, so without
+// the grace window the flip is externally invisible). A nil api skips the
+// readiness flip (tests that drain a bare handler).
+func serve(ctx context.Context, srv *http.Server, api *httpapi.Server, ln net.Listener, drain, grace time.Duration) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -212,7 +220,14 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutdown signal received, draining for up to %v", drain)
+	if api != nil {
+		api.BeginDrain()
+		if grace > 0 {
+			log.Printf("shutdown signal received, readyz now failing; serving %v more before the drain", grace)
+			time.Sleep(grace)
+		}
+	}
+	log.Printf("draining for up to %v", drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

@@ -100,7 +100,7 @@ func TestServeGracefulDrain(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serve(ctx, srv, ln, 5*time.Second) }()
+	go func() { serveDone <- serve(ctx, srv, nil, ln, 5*time.Second, 0) }()
 
 	respDone := make(chan error, 1)
 	go func() {
@@ -150,7 +150,7 @@ func TestServeDrainDeadline(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- serve(ctx, srv, ln, 100*time.Millisecond) }()
+	go func() { serveDone <- serve(ctx, srv, nil, ln, 100*time.Millisecond, 0) }()
 	go http.Get("http://" + ln.Addr().String() + "/")
 	time.Sleep(30 * time.Millisecond)
 	cancel()

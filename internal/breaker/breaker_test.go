@@ -372,3 +372,125 @@ func TestErrOpenWrapping(t *testing.T) {
 		t.Fatalf("error should carry the source name %q: %v", want, err)
 	}
 }
+
+// TestHalfOpenProbeRacesRestart models a server restart racing the
+// half-open transition, the scenario the chaos harness drives: the circuit
+// opens while the backend is down, the backend comes back right as
+// OpenTimeout elapses, and a stampede of concurrent queries arrives.
+// Exactly one query per probe slot may reach the backend; every other
+// racer must be rejected with ErrOpen, and the winning probes' successes
+// close the circuit without ever exceeding HalfOpenProbes in flight.
+func TestHalfOpenProbeRacesRestart(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk)) // HalfOpenProbes 1, CloseAfter 2
+	for i := 0; i < 3; i++ {
+		settle(t, b, time.Millisecond, ClassFailure)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	before := b.Snapshot()
+	clk.Advance(100 * time.Millisecond) // backend restarts as the circuit ages out
+
+	const racers = 16
+	var (
+		wg       sync.WaitGroup
+		admitted = make(chan *Call, racers)
+		rejected int64
+		mu       sync.Mutex
+	)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := b.Allow()
+			if err != nil {
+				if !errors.Is(err, ErrOpen) {
+					t.Errorf("racer rejected with %v, want ErrOpen", err)
+				}
+				mu.Lock()
+				rejected++
+				mu.Unlock()
+				return
+			}
+			admitted <- c
+		}()
+	}
+	wg.Wait()
+	close(admitted)
+
+	var calls []*Call
+	for c := range admitted {
+		calls = append(calls, c)
+	}
+	// One probe slot: exactly one racer reached the (restarted) backend.
+	if len(calls) != 1 {
+		t.Fatalf("%d racers admitted concurrently, want 1 (HalfOpenProbes)", len(calls))
+	}
+	if int64(len(calls))+rejected != racers {
+		t.Fatalf("admitted %d + rejected %d != %d racers", len(calls), rejected, racers)
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+
+	// The restarted backend answers the probe; the slot frees and the next
+	// probe closes the circuit.
+	calls[0].Observe(time.Millisecond, ClassSuccess)
+	settle(t, b, time.Millisecond, ClassSuccess)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after probe successes = %v, want closed", got)
+	}
+
+	snap := b.Snapshot()
+	if got := snap.Probes - before.Probes; got != 2 {
+		t.Errorf("probes = %d, want 2 (the racer winner and the closer)", got)
+	}
+	if snap.ProbeFailures != before.ProbeFailures {
+		t.Errorf("probe failures moved: %d -> %d", before.ProbeFailures, snap.ProbeFailures)
+	}
+	if got := snap.Rejections - before.Rejections; got != uint64(rejected) {
+		t.Errorf("rejections counter moved by %d, want %d", got, rejected)
+	}
+}
+
+// TestHalfOpenProbeFailureMidRestart: the probe fires while the backend is
+// still mid-restart and fails — the circuit reopens for a full OpenTimeout
+// (racing queries stay rejected), and only the next aged-out probe, now
+// against the healthy backend, closes it.
+func TestHalfOpenProbeFailureMidRestart(t *testing.T) {
+	clk := newManualClock()
+	b := New("s", testConfig(clk))
+	for i := 0; i < 3; i++ {
+		settle(t, b, time.Millisecond, ClassFailure)
+	}
+	clk.Advance(100 * time.Millisecond)
+
+	probe, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe Allow: %v", err)
+	}
+	probe.Observe(time.Millisecond, ClassFailure) // backend not up yet
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open (reopened)", got)
+	}
+	// Reopening restarts the OpenTimeout clock: a query halfway through
+	// the window must still be rejected.
+	clk.Advance(50 * time.Millisecond)
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow mid-reopen: err = %v, want ErrOpen", err)
+	}
+	clk.Advance(50 * time.Millisecond)
+	settle(t, b, time.Millisecond, ClassSuccess)
+	settle(t, b, time.Millisecond, ClassSuccess)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %v, want closed after recovery probes", got)
+	}
+	snap := b.Snapshot()
+	if snap.ProbeFailures == 0 {
+		t.Error("the failed restart probe was not counted")
+	}
+	if snap.Trips < 2 {
+		t.Errorf("trips = %d, want at least 2 (initial trip + reopen)", snap.Trips)
+	}
+}

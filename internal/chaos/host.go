@@ -1,0 +1,270 @@
+// The chaos host: builds the mediator world (data, mining, knowledge file)
+// and runs the HTTP server in-process with the levers the scenario pulls —
+// abrupt kill, graceful drain, listener restart on the same port, fault
+// profile swaps, knowledge corruption/reload, and clock skew.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qpiad/internal/core"
+	"qpiad/internal/datagen"
+	"qpiad/internal/faults"
+	"qpiad/internal/httpapi"
+	"qpiad/internal/source"
+)
+
+// worldConfig describes one mediator world; the chaos target and the
+// fault-free oracle are built from the same values so their answer sets
+// are comparable.
+type worldConfig struct {
+	dataN   int
+	seed    int64
+	coreCfg core.Config
+	knowCfg core.KnowledgeConfig
+	profile faults.Profile // zero for the oracle
+}
+
+// world is a built mediator plus the pieces chaos events manipulate.
+type world struct {
+	med  *core.Mediator
+	src  *source.Source
+	know *core.Knowledge
+	cfg  worldConfig
+}
+
+// buildWorld mirrors qpiad-server's construction: generate the cars
+// dataset, poke holes in it, sample, mine, register. Everything is keyed
+// off cfg.seed, so two builds with equal configs hold identical data and
+// knowledge.
+func buildWorld(cfg worldConfig) (*world, error) {
+	gd := datagen.Cars(cfg.dataN, cfg.seed)
+	ed, _ := datagen.MakeIncomplete(gd, 0.10, cfg.seed+1)
+	src := source.New("cars", ed, source.Capabilities{})
+	smplN := cfg.dataN / 10
+	if smplN < 50 {
+		smplN = 50
+	}
+	smpl := ed.Sample(smplN, rand.New(rand.NewSource(cfg.seed+2)))
+	know, err := core.MineKnowledge("cars", smpl,
+		float64(ed.Len())/float64(smpl.Len()), smpl.IncompleteFraction(), cfg.knowCfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: build world: %w", err)
+	}
+	med := core.New(cfg.coreCfg)
+	med.Register(src, know)
+	if cfg.profile.Enabled() {
+		src.SetFaults(faults.New(cfg.profile))
+	}
+	return &world{med: med, src: src, know: know, cfg: cfg}, nil
+}
+
+// host runs the chaos target server and exposes the scenario levers. All
+// mutating methods are called from the single event-executor goroutine;
+// the underlying handler is shared with concurrent traffic.
+type host struct {
+	w   *world
+	api *httpapi.Server
+
+	mu      sync.Mutex
+	srv     *http.Server
+	serveWG sync.WaitGroup
+	addr    string // recorded on first start; restarts rebind it
+	up      bool
+
+	clockOff atomic.Int64 // injected clock offset, nanoseconds
+
+	knowPath  string
+	corrupted bool // file corrupted since the last good write
+}
+
+// newHost builds the chaos world, saves its knowledge file, and wires the
+// API handler. The injected clock (wall clock + skew offset) goes into the
+// core config before the mediator is built, so every cache TTL decision
+// reads chaos-owned time.
+func newHost(cfg worldConfig, knowPath string, apiOpts ...httpapi.Option) (*host, error) {
+	h := &host{knowPath: knowPath}
+	cfg.coreCfg.Clock = func() time.Time {
+		return time.Now().Add(time.Duration(h.clockOff.Load()))
+	}
+	w, err := buildWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.know.SaveFile(knowPath, cfg.knowCfg); err != nil {
+		return nil, err
+	}
+	h.w = w
+	h.api = httpapi.New(w.med, apiOpts...)
+	return h, nil
+}
+
+// start binds the listener (the recorded address on restarts, an ephemeral
+// port on first start) and serves in the background. Go listeners set
+// SO_REUSEADDR, so rebinding the recorded port right after a close works.
+func (h *host) start() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.up {
+		return fmt.Errorf("chaos: server already up")
+	}
+	addr := h.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("chaos: listen %s: %w", addr, err)
+	}
+	h.addr = ln.Addr().String()
+	h.srv = &http.Server{Handler: h.api, ReadHeaderTimeout: 5 * time.Second}
+	srv := h.srv
+	h.serveWG.Add(1)
+	go func() {
+		defer h.serveWG.Done()
+		// Serve returns ErrServerClosed on kill/drain; anything else is a
+		// listener-level failure the probes will surface as downtime.
+		//lint:allow errdrop serve exit is joined via the WaitGroup; its error is expected ErrServerClosed
+		srv.Serve(ln)
+	}()
+	h.api.EndDrain()
+	h.up = true
+	return nil
+}
+
+// baseURL returns the server's recorded address as an HTTP base URL.
+func (h *host) baseURL() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return "http://" + h.addr
+}
+
+// kill closes the server abruptly: listener gone, open connections cut.
+func (h *host) kill() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.up {
+		return fmt.Errorf("chaos: kill: server not up")
+	}
+	err := h.srv.Close()
+	h.serveWG.Wait() // Serve has returned
+	h.up = false
+	return err
+}
+
+// drain performs a graceful stop: readiness flips first, then Shutdown
+// waits (bounded by timeout under ctx) for in-flight requests. The
+// handler — counters, caches, breaker state — survives for the next
+// restart.
+func (h *host) drain(ctx context.Context, timeout time.Duration) error {
+	// Shutdown can wait a while for in-flight requests; h.mu must not be
+	// held across it or concurrent baseURL() readers (the prober) would
+	// stall and corrupt the availability measurement. Mutating methods are
+	// only called from the single event-executor goroutine, so releasing
+	// the lock mid-drain races nothing.
+	h.mu.Lock()
+	if !h.up {
+		h.mu.Unlock()
+		return fmt.Errorf("chaos: drain: server not up")
+	}
+	srv := h.srv
+	h.mu.Unlock()
+	h.api.BeginDrain()
+	sctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if err != nil {
+		// Deadline passed with requests still in flight; cut them.
+		//lint:allow errdrop the shutdown error is the actionable one
+		srv.Close()
+	}
+	h.serveWG.Wait()
+	h.mu.Lock()
+	h.up = false
+	h.mu.Unlock()
+	return err
+}
+
+// stop takes the server down if it is up; used by run teardown, not
+// scenarios.
+func (h *host) stop(ctx context.Context, timeout time.Duration) {
+	h.mu.Lock()
+	up := h.up
+	h.mu.Unlock()
+	if up {
+		//lint:allow errdrop teardown is best-effort; the run result is already computed
+		h.drain(ctx, timeout)
+	}
+}
+
+// skewClock jumps the injected clock by d (cumulative).
+func (h *host) skewClock(d time.Duration) {
+	h.clockOff.Add(int64(d))
+}
+
+// setFaults swaps the source's active fault profile.
+func (h *host) setFaults(p faults.Profile) {
+	if p.Enabled() {
+		h.w.src.SetFaults(faults.New(p))
+		return
+	}
+	h.w.src.SetFaults(nil)
+}
+
+// corruptKnowledge flips a byte in the middle of the on-disk knowledge
+// file — inside the sample payload, where the JSON stays well-formed and
+// only the checksum can catch it.
+func (h *host) corruptKnowledge() error {
+	b, err := os.ReadFile(h.knowPath)
+	if err != nil {
+		return fmt.Errorf("chaos: corrupt knowledge: %w", err)
+	}
+	if len(b) < 2 {
+		return fmt.Errorf("chaos: corrupt knowledge: file too small (%d bytes)", len(b))
+	}
+	b[len(b)/2] ^= 0x5a
+	// Deliberately not crash-safe: corruption IS the torn write.
+	if err := os.WriteFile(h.knowPath, b, 0o644); err != nil {
+		return fmt.Errorf("chaos: corrupt knowledge: %w", err)
+	}
+	h.corrupted = true
+	return nil
+}
+
+// reloadKnowledge exercises the hot-reload path. When the file was
+// corrupted since the last good write, the load MUST fail — that failure
+// is the crash-safety contract; accepting the file is reported as a
+// violation. The good knowledge is then re-saved and reloaded for real,
+// and the reloaded generation is registered mid-traffic (the registry is
+// RWMutex-guarded for exactly this).
+func (h *host) reloadKnowledge() (violation string, err error) {
+	k, loadErr := core.LoadKnowledgeFile(h.knowPath)
+	if h.corrupted {
+		if loadErr == nil {
+			violation = "corrupt knowledge file loaded without error (checksum failed to catch a byte flip)"
+		}
+		// Restore the good file (crash-safely) and reload it.
+		if err := h.w.know.SaveFile(h.knowPath, h.w.cfg.knowCfg); err != nil {
+			return violation, err
+		}
+		h.corrupted = false
+		k, loadErr = core.LoadKnowledgeFile(h.knowPath)
+	}
+	if loadErr != nil {
+		return violation, fmt.Errorf("chaos: reload knowledge: %w", loadErr)
+	}
+	h.w.med.Register(h.w.src, k)
+	return violation, nil
+}
+
+// defaultKnowPath places the knowledge file in dir.
+func defaultKnowPath(dir string) string { return filepath.Join(dir, "cars.knowledge.json") }

@@ -1,0 +1,165 @@
+// The blind prober and the degradation-soundness oracle.
+//
+// The prober issues a fixed, deterministic rotation of selection queries
+// at the chaos server for the whole run, recording per-probe availability
+// (did the server answer at all), success, and latency. Soundness is
+// checked against a fault-free oracle: a second mediator built from the
+// identical seeds, served through the same httpapi JSON path so
+// serialization differences cannot masquerade as answer differences.
+// Faults can only *remove* answers — a failed rewrite drops its possible
+// answers, a truncated page drops tuples — so every answer a chaos
+// response serves WITHOUT a Degraded or Stale flag must already exist in
+// the oracle's answer set for that query. An unflagged answer the oracle
+// has never seen is a fabrication: a soundness violation.
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// probeQueries is the deterministic probe rotation: every body style (the
+// selectivity spread from popular to rare) plus a make and a model
+// selection, so the rewriting pipeline and the cache both see repeats.
+func probeQueries() []string {
+	qs := make([]string, 0, 8)
+	for _, bs := range []string{"Sedan", "Convt", "Coupe", "Wagon", "Truck", "SUV"} {
+		qs = append(qs, fmt.Sprintf("SELECT * FROM cars WHERE body_style = '%s'", bs))
+	}
+	qs = append(qs,
+		"SELECT * FROM cars WHERE make = 'Honda'",
+		"SELECT * FROM cars WHERE model = 'Civic'",
+	)
+	return qs
+}
+
+// probeResponse is the slice of the /query payload the prober reads.
+type probeResponse struct {
+	Certain  []probeAnswer `json:"certain"`
+	Possible []probeAnswer `json:"possible"`
+	Unranked []probeAnswer `json:"unranked"`
+	Degraded bool          `json:"degraded"`
+	Stale    bool          `json:"stale"`
+}
+
+type probeAnswer struct {
+	Values map[string]any `json:"values"`
+}
+
+// answerKey canonicalizes one answer tuple: attribute-sorted "a=v" pairs.
+// JSON round-trips numbers as float64 on both sides, so formatting is
+// consistent between oracle and chaos responses.
+func answerKey(values map[string]any) string {
+	attrs := make([]string, 0, len(values))
+	for a := range values {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	var b strings.Builder
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%s=%v", a, values[a])
+	}
+	return b.String()
+}
+
+// oracleAnswers maps each probe query to the fault-free answer-key set.
+type oracleAnswers map[string]map[string]bool
+
+// collectOracle queries the oracle server for every probe query and
+// collects the union of its certain, possible, and unranked answer keys.
+func collectOracle(ctx context.Context, client *http.Client, baseURL string, queries []string) (oracleAnswers, error) {
+	out := make(oracleAnswers, len(queries))
+	for _, q := range queries {
+		resp, err := postQuery(ctx, client, baseURL, q, 5*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: oracle query %q: %w", q, err)
+		}
+		if resp.Degraded || resp.Stale {
+			return nil, fmt.Errorf("chaos: oracle run degraded on %q — the oracle must be fault-free", q)
+		}
+		keys := make(map[string]bool)
+		for _, section := range [][]probeAnswer{resp.Certain, resp.Possible, resp.Unranked} {
+			for _, a := range section {
+				keys[answerKey(a.Values)] = true
+			}
+		}
+		out[q] = keys
+	}
+	return out, nil
+}
+
+// postQuery issues one /query request and decodes the probe slice of the
+// response. Non-200 statuses are returned as typed errors so the prober
+// can classify them.
+func postQuery(ctx context.Context, client *http.Client, baseURL, sql string, timeout time.Duration) (*probeResponse, error) {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	body := fmt.Sprintf(`{"sql": %q}`, sql)
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, baseURL+"/query", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	//lint:allow errdrop read-side close; the response is already decoded or failed
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		//lint:allow errdrop best-effort drain so the connection can be reused
+		io.Copy(io.Discard, resp.Body)
+		return nil, &statusError{code: resp.StatusCode}
+	}
+	var pr probeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, err
+	}
+	return &pr, nil
+}
+
+// statusError is a non-200 probe outcome; the server answered, so the
+// service was available even though the query failed.
+type statusError struct{ code int }
+
+func (e *statusError) Error() string { return fmt.Sprintf("chaos: probe status %d", e.code) }
+
+// probeRecord is one probe outcome in the run log.
+type probeRecord struct {
+	at        time.Duration // offset from run start
+	available bool          // any HTTP response at all
+	ok        bool          // 200 with a sound (or flagged) answer set
+	status    int           // HTTP status when available (200 for ok probes)
+	latency   time.Duration
+}
+
+// soundnessCheck verifies one successful chaos response against the
+// oracle. Responses flagged Degraded or Stale are admissible by contract;
+// unflagged responses must serve a subset of the oracle's answers.
+// Returns a description of the violation, or "".
+func soundnessCheck(oracle oracleAnswers, sql string, resp *probeResponse) string {
+	if resp.Degraded || resp.Stale {
+		return ""
+	}
+	keys, ok := oracle[sql]
+	if !ok {
+		return fmt.Sprintf("probe query %q missing from the oracle answer map", sql)
+	}
+	for _, section := range [][]probeAnswer{resp.Certain, resp.Possible, resp.Unranked} {
+		for _, a := range section {
+			if k := answerKey(a.Values); !keys[k] {
+				return fmt.Sprintf("unflagged answer not in fault-free oracle for %q: %s", sql, k)
+			}
+		}
+	}
+	return ""
+}

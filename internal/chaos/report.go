@@ -1,0 +1,145 @@
+// Report types. The report is split in two on purpose:
+//
+//   - Deterministic holds everything the same seed must reproduce
+//     byte-for-byte: the resolved event schedule and the four invariant
+//     verdicts. Determinism tests (and the CLI's -check-determinism mode)
+//     compare this section's canonical JSON across runs.
+//   - Metrics holds wall-clock-dependent measurements — availability,
+//     MTTR, latencies, the loadgen fold — which vary run to run and are
+//     the quantities the chaos benchmark reports.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"qpiad/internal/loadgen"
+)
+
+// Invariant names, in report order.
+const (
+	InvSoundness    = "degradation_soundness"
+	InvConservation = "metric_conservation"
+	InvNoLeaks      = "no_goroutine_leaks"
+	InvRecovery     = "recovery"
+)
+
+// Verdict is one invariant's pass/fail.
+type Verdict struct {
+	Name   string `json:"name"`
+	Passed bool   `json:"passed"`
+}
+
+// ScheduledEvent is one resolved schedule entry in the deterministic
+// section.
+type ScheduledEvent struct {
+	Ordinal int    `json:"ordinal"`
+	AtMs    int64  `json:"at_ms"`
+	Action  Action `json:"action"`
+	Source  string `json:"source,omitempty"`
+	SkewMs  int64  `json:"skew_ms,omitempty"`
+	FlapUp  int    `json:"flap_up,omitempty"`
+	FlapDn  int    `json:"flap_down,omitempty"`
+}
+
+// Deterministic is the seed-reproducible report section.
+type Deterministic struct {
+	Seed     int64            `json:"seed"`
+	Scenario string           `json:"scenario"`
+	Schedule []ScheduledEvent `json:"schedule"`
+	Verdicts []Verdict        `json:"verdicts"`
+}
+
+// Canonical returns the section's canonical JSON encoding; two runs with
+// the same seed must produce identical bytes.
+func (d *Deterministic) Canonical() ([]byte, error) {
+	return json.Marshal(d)
+}
+
+// ExecutedEvent is one event's runtime outcome (timing section: offsets
+// and error texts vary).
+type ExecutedEvent struct {
+	Ordinal int    `json:"ordinal"`
+	Action  Action `json:"action"`
+	// AtMs is the scheduled offset, ActualMs when it actually ran
+	// (relative to the scenario window start).
+	AtMs     int64  `json:"at_ms"`
+	ActualMs int64  `json:"actual_ms"`
+	Err      string `json:"err,omitempty"`
+}
+
+// Metrics is the timing-dependent report section.
+type Metrics struct {
+	ElapsedMs int64 `json:"elapsed_ms"`
+
+	// Probes partition: OK (200 + sound) + Failed (non-200 response) +
+	// Down (no response at all) = Probes.
+	Probes       int64 `json:"probes"`
+	ProbesOK     int64 `json:"probes_ok"`
+	ProbesFailed int64 `json:"probes_failed"`
+	ProbesDown   int64 `json:"probes_down"`
+
+	// AvailabilityPct is responses received / probes issued: the server
+	// answered, even if with an error or a shed.
+	AvailabilityPct float64 `json:"availability_pct"`
+	// MTTRMs is the mean outage length (first unanswered probe to the next
+	// answered one); Outages counts the episodes; LongestOutageMs the
+	// worst.
+	MTTRMs          float64 `json:"mttr_ms"`
+	Outages         int     `json:"outages"`
+	LongestOutageMs float64 `json:"longest_outage_ms"`
+
+	// Baseline (warmup window) vs recovery (post-event tail) probe
+	// latency, the recovery invariant's inputs.
+	BaselineP95Ms float64 `json:"baseline_p95_ms"`
+	RecoveryP95Ms float64 `json:"recovery_p95_ms"`
+	// RecoveryOKRate is the OK fraction over the recovery tail.
+	RecoveryOKRate float64 `json:"recovery_ok_rate"`
+
+	// Load is the background loadgen fold for the whole run.
+	Load *loadgen.Report `json:"load,omitempty"`
+
+	// Events is the executed-event log with runtime outcomes.
+	Events []ExecutedEvent `json:"events"`
+}
+
+// Report is a chaos run's full outcome.
+type Report struct {
+	Deterministic Deterministic `json:"deterministic"`
+	Metrics       Metrics       `json:"metrics"`
+	// Violations lists every invariant violation in detail (empty on a
+	// clean run). Soundness violations here mean unflagged fabricated
+	// answers; conservation violations name the unbalanced counter.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Passed reports whether every invariant verdict passed.
+func (r *Report) Passed() bool {
+	for _, v := range r.Deterministic.Verdicts {
+		if !v.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary is a one-paragraph human rendering for CLI output.
+func (r *Report) Summary() string {
+	status := "PASS"
+	if !r.Passed() {
+		status = "FAIL"
+	}
+	s := fmt.Sprintf("%s scenario=%s seed=%d availability=%.2f%% mttr=%.0fms outages=%d probes=%d (ok=%d failed=%d down=%d) violations=%d",
+		status, r.Deterministic.Scenario, r.Deterministic.Seed,
+		r.Metrics.AvailabilityPct, r.Metrics.MTTRMs, r.Metrics.Outages,
+		r.Metrics.Probes, r.Metrics.ProbesOK, r.Metrics.ProbesFailed, r.Metrics.ProbesDown,
+		len(r.Violations))
+	for _, v := range r.Deterministic.Verdicts {
+		mark := "ok"
+		if !v.Passed {
+			mark = "FAILED"
+		}
+		s += fmt.Sprintf("\n  %-24s %s", v.Name, mark)
+	}
+	return s
+}

@@ -1,0 +1,222 @@
+// Scenario definition and generation: the scripted fault schedule a chaos
+// run executes. Scenarios are either loaded from a JSON file or generated
+// deterministically from a seed; either way the resolved schedule is part
+// of the run's deterministic report section, so two runs with the same
+// inputs produce byte-identical schedules.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"qpiad/internal/faults"
+)
+
+// Action is one kind of scripted chaos event.
+type Action string
+
+const (
+	// ActSourceCrash makes every source query attempt fail transiently
+	// (TransientRate 1) — the source is down but answers fast.
+	ActSourceCrash Action = "source_crash"
+	// ActSourceHang makes every source query attempt time out
+	// (TimeoutRate 1) — the source is up but never answers.
+	ActSourceHang Action = "source_hang"
+	// ActSourceRestore reinstates the source's baseline fault profile.
+	ActSourceRestore Action = "source_restore"
+	// ActFaultsFlap swaps in a scripted FlapUp/FlapDown profile: the
+	// source alternates serving and failing on a fixed attempt cadence.
+	ActFaultsFlap Action = "faults_flap"
+	// ActServerKill closes the HTTP server abruptly: the listener dies
+	// and every open connection is cut mid-flight.
+	ActServerKill Action = "server_kill"
+	// ActServerDrain begins a graceful drain: /readyz flips to 503, then
+	// the server shuts down letting in-flight requests finish.
+	ActServerDrain Action = "server_drain"
+	// ActServerRestart rebinds the recorded port and serves again with
+	// the same handler (counters and caches survive, as a process-level
+	// supervisor restart of the listener would).
+	ActServerRestart Action = "server_restart"
+	// ActKnowledgeCorrupt corrupts the on-disk knowledge file in place
+	// (a byte flip inside the payload), simulating bit rot or a torn
+	// copy. The live mediator keeps its in-memory knowledge.
+	ActKnowledgeCorrupt Action = "knowledge_corrupt"
+	// ActKnowledgeReload reloads knowledge from disk and re-registers it,
+	// the hot-reload path. Loading a file corrupted since the last good
+	// write MUST fail — silently accepting it is a soundness violation;
+	// the event then restores the good file and reloads that.
+	ActKnowledgeReload Action = "knowledge_reload"
+	// ActClockSkew jumps the mediator's injected clock forward by SkewMs,
+	// expiring answer-cache entries en masse.
+	ActClockSkew Action = "clock_skew"
+)
+
+// knownActions is the validation set.
+var knownActions = map[Action]bool{
+	ActSourceCrash: true, ActSourceHang: true, ActSourceRestore: true,
+	ActFaultsFlap: true, ActServerKill: true, ActServerDrain: true,
+	ActServerRestart: true, ActKnowledgeCorrupt: true,
+	ActKnowledgeReload: true, ActClockSkew: true,
+}
+
+// Event is one scheduled chaos action. AtMs is the offset from the end of
+// the warmup phase.
+type Event struct {
+	AtMs   int64  `json:"at_ms"`
+	Action Action `json:"action"`
+	// Source names the target source for source_* and faults_flap events;
+	// empty means the run's single default source.
+	Source string `json:"source,omitempty"`
+	// SkewMs is the clock jump for clock_skew events.
+	SkewMs int64 `json:"skew_ms,omitempty"`
+	// FlapUp/FlapDown configure faults_flap (attempts served / attempts
+	// failed per cycle).
+	FlapUp   int `json:"flap_up,omitempty"`
+	FlapDown int `json:"flap_down,omitempty"`
+}
+
+// Scenario is a named, scripted fault schedule.
+type Scenario struct {
+	Name string `json:"name"`
+	// DurationMs is the scripted window length; every event must fall in
+	// [0, DurationMs). The run keeps probing through a recovery window
+	// after it.
+	DurationMs int64   `json:"duration_ms"`
+	Events     []Event `json:"events"`
+}
+
+// Validate checks the schedule is well-formed: known actions, events in
+// order and inside the window, server kills/drains alternating with
+// restarts (a second kill while down would target nothing), and flap
+// events carrying a schedule.
+func (s *Scenario) Validate() error {
+	if s.DurationMs <= 0 {
+		return fmt.Errorf("chaos: scenario %q: duration_ms must be positive", s.Name)
+	}
+	down := false
+	last := int64(-1)
+	for i, e := range s.Events {
+		if !knownActions[e.Action] {
+			return fmt.Errorf("chaos: scenario %q event %d: unknown action %q", s.Name, i, e.Action)
+		}
+		if e.AtMs < 0 || e.AtMs >= s.DurationMs {
+			return fmt.Errorf("chaos: scenario %q event %d (%s): at_ms %d outside [0, %d)", s.Name, i, e.Action, e.AtMs, s.DurationMs)
+		}
+		if e.AtMs < last {
+			return fmt.Errorf("chaos: scenario %q event %d (%s): events must be sorted by at_ms", s.Name, i, e.Action)
+		}
+		last = e.AtMs
+		switch e.Action {
+		case ActServerKill, ActServerDrain:
+			if down {
+				return fmt.Errorf("chaos: scenario %q event %d: %s while the server is already down", s.Name, i, e.Action)
+			}
+			down = true
+		case ActServerRestart:
+			if !down {
+				return fmt.Errorf("chaos: scenario %q event %d: server_restart while the server is up", s.Name, i)
+			}
+			down = false
+		case ActFaultsFlap:
+			if e.FlapDown <= 0 || e.FlapUp < 0 {
+				return fmt.Errorf("chaos: scenario %q event %d: faults_flap needs flap_down > 0", s.Name, i)
+			}
+		case ActClockSkew:
+			if e.SkewMs == 0 {
+				return fmt.Errorf("chaos: scenario %q event %d: clock_skew needs skew_ms", s.Name, i)
+			}
+		}
+	}
+	if down {
+		return fmt.Errorf("chaos: scenario %q: ends with the server down (add a server_restart)", s.Name)
+	}
+	return nil
+}
+
+// LoadScenario reads and validates a scenario JSON file.
+func LoadScenario(path string) (*Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: load scenario: %w", err)
+	}
+	var s Scenario
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("chaos: load scenario %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Generate builds the default full-stack scenario deterministically from a
+// seed: a source crash/restore, a fault flap, a knowledge corrupt/reload
+// pair, a clock skew, an abrupt server kill and a graceful drain — each
+// with seeded jitter on its offset so different seeds exercise different
+// interleavings while any one seed replays exactly. Server downtime is
+// kept to two short windows so availability stays measurable against a
+// tight budget.
+func Generate(seed int64, duration time.Duration) *Scenario {
+	if duration <= 0 {
+		duration = 8 * time.Second
+	}
+	total := duration.Milliseconds()
+	rng := rand.New(rand.NewSource(seed))
+	// Lay events out over fractional anchors of the window, jittered by up
+	// to 4% of it; downtime gaps (kill->restart, drain->restart) stay
+	// fixed-width so the availability budget does not depend on the seed.
+	at := func(frac float64) int64 {
+		jitter := int64(rng.Float64() * 0.04 * float64(total))
+		ms := int64(frac*float64(total)) + jitter
+		if ms >= total {
+			ms = total - 1
+		}
+		return ms
+	}
+	gap := int64(50) // ms of scheduled downtime per bounce
+	crash := at(0.05)
+	restore := crash + total/10
+	kill := at(0.30)
+	flap := at(0.45)
+	corrupt := at(0.55)
+	reload := corrupt + total/20
+	skew := at(0.70)
+	// The flap ends before the graceful drain: draining under an active
+	// fault profile makes Shutdown wait on slow retrying in-flight
+	// requests, which is listener downtime — the drain should measure the
+	// cost of a clean bounce, the kill already measures the dirty one.
+	unflap := at(0.78)
+	drain := at(0.86)
+	ev := []Event{
+		{AtMs: crash, Action: ActSourceCrash},
+		{AtMs: restore, Action: ActSourceRestore},
+		{AtMs: kill, Action: ActServerKill},
+		{AtMs: kill + gap, Action: ActServerRestart},
+		{AtMs: flap, Action: ActFaultsFlap, FlapUp: 6, FlapDown: 2},
+		{AtMs: corrupt, Action: ActKnowledgeCorrupt},
+		{AtMs: reload, Action: ActKnowledgeReload},
+		{AtMs: skew, Action: ActClockSkew, SkewMs: int64((30 * time.Minute).Milliseconds())},
+		{AtMs: unflap, Action: ActSourceRestore},
+		{AtMs: drain, Action: ActServerDrain},
+		{AtMs: drain + gap, Action: ActServerRestart},
+	}
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].AtMs < ev[j].AtMs })
+	return &Scenario{
+		Name:       fmt.Sprintf("generated-seed-%d", seed),
+		DurationMs: total,
+		Events:     ev,
+	}
+}
+
+// flapProfile derives the scripted flap profile for a faults_flap event
+// from the baseline profile, preserving its seed.
+func flapProfile(base faults.Profile, e Event) faults.Profile {
+	p := base
+	p.FlapUp = e.FlapUp
+	p.FlapDown = e.FlapDown
+	return p
+}

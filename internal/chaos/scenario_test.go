@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, 0)
+	b := Generate(7, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different scenarios:\n%+v\n%+v", a, b)
+	}
+	c := Generate(8, 0)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, seed := range []int64{0, 1, 2, 42, 12345, -3} {
+		for _, dur := range []time.Duration{0, 2 * time.Second, 30 * time.Second} {
+			s := Generate(seed, dur)
+			if err := s.Validate(); err != nil {
+				t.Errorf("Generate(%d, %v): %v", seed, dur, err)
+			}
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scenario
+		want string
+	}{
+		{
+			"zero duration",
+			Scenario{Name: "x"},
+			"duration_ms",
+		},
+		{
+			"unknown action",
+			Scenario{Name: "x", DurationMs: 100, Events: []Event{{AtMs: 0, Action: "explode"}}},
+			"unknown action",
+		},
+		{
+			"event outside window",
+			Scenario{Name: "x", DurationMs: 100, Events: []Event{{AtMs: 100, Action: ActSourceCrash}}},
+			"outside",
+		},
+		{
+			"unsorted",
+			Scenario{Name: "x", DurationMs: 100, Events: []Event{
+				{AtMs: 50, Action: ActSourceCrash}, {AtMs: 10, Action: ActSourceRestore}}},
+			"sorted",
+		},
+		{
+			"double kill",
+			Scenario{Name: "x", DurationMs: 100, Events: []Event{
+				{AtMs: 10, Action: ActServerKill}, {AtMs: 20, Action: ActServerKill}}},
+			"already down",
+		},
+		{
+			"restart while up",
+			Scenario{Name: "x", DurationMs: 100, Events: []Event{{AtMs: 10, Action: ActServerRestart}}},
+			"while the server is up",
+		},
+		{
+			"ends down",
+			Scenario{Name: "x", DurationMs: 100, Events: []Event{{AtMs: 10, Action: ActServerDrain}}},
+			"ends with the server down",
+		},
+		{
+			"flap without schedule",
+			Scenario{Name: "x", DurationMs: 100, Events: []Event{{AtMs: 10, Action: ActFaultsFlap}}},
+			"flap_down",
+		},
+		{
+			"skew without offset",
+			Scenario{Name: "x", DurationMs: 100, Events: []Event{{AtMs: 10, Action: ActClockSkew}}},
+			"skew_ms",
+		},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted an invalid scenario", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLoadScenarioRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	body := `{
+ "name": "file-scenario",
+ "duration_ms": 2000,
+ "events": [
+  {"at_ms": 100, "action": "source_crash"},
+  {"at_ms": 400, "action": "source_restore"},
+  {"at_ms": 800, "action": "server_kill"},
+  {"at_ms": 900, "action": "server_restart"},
+  {"at_ms": 1200, "action": "clock_skew", "skew_ms": 60000}
+ ]
+}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadScenario(path)
+	if err != nil {
+		t.Fatalf("LoadScenario: %v", err)
+	}
+	if s.Name != "file-scenario" || len(s.Events) != 5 {
+		t.Fatalf("unexpected scenario: %+v", s)
+	}
+	if s.Events[4].SkewMs != 60000 {
+		t.Fatalf("skew_ms not decoded: %+v", s.Events[4])
+	}
+
+	if _, err := LoadScenario(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("LoadScenario accepted a missing file")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name": "x", "duration_ms": 10, "events": [{"at_ms": 99, "action": "source_crash"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScenario(bad); err == nil {
+		t.Fatal("LoadScenario accepted an out-of-window event")
+	}
+}

@@ -104,11 +104,10 @@ func (m *Mediator) QueryAggregateWithCtx(ctx context.Context, cfg Config, srcNam
 	if q.Agg == nil {
 		return nil, fmt.Errorf("core: QueryAggregate needs an aggregate query")
 	}
-	src, ok := m.sources[srcName]
+	src, k, ok := m.lookup(srcName)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", srcName)
 	}
-	k := m.knowledge[srcName]
 	if k == nil {
 		return nil, fmt.Errorf("core: no knowledge mined for source %q", srcName)
 	}

@@ -325,7 +325,14 @@ type ResultSet struct {
 
 // Mediator coordinates sources and their mined knowledge.
 type Mediator struct {
-	cfg       Config
+	cfg Config
+	// mu guards the sources and knowledge maps: Register (including
+	// knowledge reload mid-serve — the chaos harness swaps knowledge files
+	// under live traffic) takes the write lock, every query path reads
+	// through the lookup accessors under the read lock. SetConfig is a
+	// setup-time operation and is NOT safe concurrently with queries (it
+	// also swaps the answer cache and rebuilds breakers).
+	mu        sync.RWMutex
 	sources   map[string]*source.Source
 	knowledge map[string]*Knowledge
 	// cache memoizes full QuerySelect results keyed by (source, query key,
@@ -388,6 +395,8 @@ func (m *Mediator) Config() Config { return m.cfg }
 // Per-source breakers are likewise rebuilt (or detached when cfg.Breaker
 // is nil), starting every source closed with an empty failure window.
 func (m *Mediator) SetConfig(cfg Config) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.cfg = cfg
 	m.cache = newAnswerCache(cfg)
 	for name, src := range m.sources {
@@ -401,6 +410,8 @@ func (m *Mediator) SetConfig(cfg Config) {
 // both re-registration with fresh data and knowledge reload (LoadKnowledge
 // funnels through here) must not serve answers derived from the old state.
 func (m *Mediator) Register(src *source.Source, k *Knowledge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.sources[src.Name()] = src
 	if k != nil {
 		m.knowledge[src.Name()] = k
@@ -411,6 +422,18 @@ func (m *Mediator) Register(src *source.Source, k *Knowledge) {
 	if m.cfg.Breaker != nil && src.Breaker() == nil {
 		src.SetBreaker(newBreaker(m.cfg, src.Name()))
 	}
+}
+
+// lookup returns the named source and its knowledge under the registry
+// read lock. The knowledge may be nil for sources registered without any.
+// In-flight queries that resolved their source before a concurrent
+// Register keep using the generation they saw — the swap is atomic at
+// lookup granularity, never mid-pipeline.
+func (m *Mediator) lookup(name string) (*source.Source, *Knowledge, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	src, ok := m.sources[name]
+	return src, m.knowledge[name], ok
 }
 
 // StaleServed returns the number of answers served by the stale-cache
@@ -456,7 +479,7 @@ func (m *Mediator) PlannerStats() PlannerStats {
 // BreakerSnapshot returns the named source's breaker accounting; ok is
 // false when the source is unknown or carries no breaker.
 func (m *Mediator) BreakerSnapshot(name string) (breaker.Snapshot, bool) {
-	src, found := m.sources[name]
+	src, _, found := m.lookup(name)
 	if !found {
 		return breaker.Snapshot{}, false
 	}
@@ -478,18 +501,24 @@ func (m *Mediator) CacheStats() qcache.Stats {
 
 // Source returns a registered source.
 func (m *Mediator) Source(name string) (*source.Source, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	s, ok := m.sources[name]
 	return s, ok
 }
 
 // Knowledge returns a source's mined knowledge.
 func (m *Mediator) Knowledge(name string) (*Knowledge, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	k, ok := m.knowledge[name]
 	return k, ok
 }
 
 // SourceNames lists registered sources in sorted order.
 func (m *Mediator) SourceNames() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]string, 0, len(m.sources))
 	for n := range m.sources {
 		out = append(out, n)

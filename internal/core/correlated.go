@@ -27,6 +27,8 @@ type CorrelatedPlan struct {
 // AFD's determining set. Among eligible sources the one with the
 // highest-confidence AFD wins.
 func (m *Mediator) FindCorrelatedSource(target, attr string) (CorrelatedPlan, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	sk, ok := m.sources[target]
 	if !ok {
 		return CorrelatedPlan{}, false
@@ -85,7 +87,7 @@ func (m *Mediator) QuerySelectCorrelated(targetSrc string, q relation.Query) (*R
 // context: cancelling ctx aborts in-flight source attempts and retry
 // backoffs promptly.
 func (m *Mediator) QuerySelectCorrelatedCtx(ctx context.Context, targetSrc string, q relation.Query) (*ResultSet, error) {
-	sk, ok := m.sources[targetSrc]
+	sk, _, ok := m.lookup(targetSrc)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", targetSrc)
 	}
@@ -107,8 +109,10 @@ func (m *Mediator) QuerySelectCorrelatedCtx(ctx context.Context, targetSrc strin
 	if !ok {
 		return nil, fmt.Errorf("core: no correlated source for %q on %q", unsupported, targetSrc)
 	}
-	sc := m.sources[plan.Correlated]
-	k := m.knowledge[plan.Correlated]
+	sc, k, ok := m.lookup(plan.Correlated)
+	if !ok {
+		return nil, fmt.Errorf("core: correlated source %q vanished", plan.Correlated)
+	}
 
 	// Step 1 (modified): base set from the correlated source.
 	bres := fetchOne(ctx, sc, q, m.cfg.Retry)

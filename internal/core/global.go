@@ -55,7 +55,10 @@ func (m *Mediator) QuerySelectGlobalCtx(ctx context.Context, q relation.Query) (
 	}
 	names := m.SourceNames()
 	for _, name := range names {
-		src := m.sources[name]
+		src, k, ok := m.lookup(name)
+		if !ok {
+			continue
+		}
 		supportsAll := true
 		for _, attr := range q.ConstrainedAttrs() {
 			if !src.Supports(attr) {
@@ -67,7 +70,7 @@ func (m *Mediator) QuerySelectGlobalCtx(ctx context.Context, q relation.Query) (
 			rs  *ResultSet
 			err error
 		)
-		if supportsAll && m.knowledge[name] != nil {
+		if supportsAll && k != nil {
 			rs, err = m.QuerySelectCtx(ctx, name, q)
 		} else if !supportsAll {
 			rs, err = m.QuerySelectCorrelatedCtx(ctx, name, q)

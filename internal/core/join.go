@@ -118,16 +118,14 @@ func (m *Mediator) QueryJoin(spec JoinSpec) (*JoinResult, error) {
 // QueryJoinCtx is QueryJoin under a caller-supplied context: cancelling ctx
 // aborts in-flight source attempts and retry backoffs promptly.
 func (m *Mediator) QueryJoinCtx(ctx context.Context, spec JoinSpec) (*JoinResult, error) {
-	ls, ok := m.sources[spec.LeftSource]
+	ls, lk, ok := m.lookup(spec.LeftSource)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", spec.LeftSource)
 	}
-	rsrc, ok := m.sources[spec.RightSource]
+	rsrc, rk, ok := m.lookup(spec.RightSource)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", spec.RightSource)
 	}
-	lk := m.knowledge[spec.LeftSource]
-	rk := m.knowledge[spec.RightSource]
 	if lk == nil || rk == nil {
 		return nil, fmt.Errorf("core: join requires knowledge for both sources")
 	}

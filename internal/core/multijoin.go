@@ -107,11 +107,10 @@ func (m *Mediator) QueryJoinChainCtx(ctx context.Context, spec ChainSpec) (*Chai
 	}
 	sides := make([]side, n)
 	for i, name := range spec.Sources {
-		src, ok := m.sources[name]
+		src, k, ok := m.lookup(name)
 		if !ok {
 			return nil, fmt.Errorf("core: unknown source %q", name)
 		}
-		k := m.knowledge[name]
 		if k == nil {
 			return nil, fmt.Errorf("core: no knowledge for source %q", name)
 		}

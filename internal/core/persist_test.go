@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -87,9 +88,101 @@ func TestLoadKnowledgeErrors(t *testing.T) {
 		t.Error("wrong version should error")
 	}
 	if _, err := LoadKnowledge(strings.NewReader(`{"version": 1, "source": "x", "sample_csv": ""}`)); err == nil {
-		t.Error("empty sample should error")
+		t.Error("pre-checksum version-1 file should error")
+	}
+	if _, err := LoadKnowledge(strings.NewReader(`{"version": 2, "source": "x", "sample_csv": "a"}`)); err == nil {
+		t.Error("missing checksum should error")
 	}
 	if _, err := LoadKnowledgeFile("/nonexistent"); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// TestLoadKnowledgeRejectsCorruption pins the crash-safety contract the
+// chaos harness leans on: a knowledge file that was truncated mid-write or
+// had payload bytes flipped must fail to load with a clear error — never
+// silently re-mine different knowledge.
+func TestLoadKnowledgeRejectsCorruption(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	cfg := KnowledgeConfig{AFD: afd.Config{MinSupport: 5}}
+	var buf bytes.Buffer
+	if err := f.k.Save(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+
+	// Truncation at any JSON-breaking point fails the decode; truncation
+	// that happens to keep the JSON well-formed fails the checksum. Sweep a
+	// few cut points of both kinds.
+	for _, frac := range []float64{0.25, 0.5, 0.9, 0.99} {
+		cut := doc[:int(float64(len(doc))*frac)]
+		if _, err := LoadKnowledge(strings.NewReader(cut)); err == nil {
+			t.Errorf("truncation at %.0f%% loaded without error", 100*frac)
+		}
+	}
+
+	// Flip bytes inside the sample payload (keeps the JSON valid: one CSV
+	// character becomes another) — the checksum must catch it.
+	i := strings.Index(doc, "sample_csv")
+	if i < 0 {
+		t.Fatal("no sample_csv field in saved document")
+	}
+	corrupted := doc[:i+40] + "X" + doc[i+41:]
+	_, err := LoadKnowledge(strings.NewReader(corrupted))
+	if err == nil {
+		t.Fatal("payload corruption loaded without error")
+	}
+	if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("corruption error should name the cause, got: %v", err)
+	}
+}
+
+// TestSaveFileIsAtomic pins that a failed or interrupted SaveFile never
+// clobbers the existing file: the write goes to a temp file and lands by
+// rename, so the target is either the old complete version or the new one.
+func TestSaveFileIsAtomic(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	cfg := KnowledgeConfig{AFD: afd.Config{MinSupport: 5}}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cars.knowledge.json")
+	if err := f.k.SaveFile(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A save into an unwritable directory fails without touching the target
+	// and without leaving temp litter behind.
+	if err := f.k.SaveFile(filepath.Join(dir, "nosuchdir", "x.json"), cfg); err == nil {
+		t.Fatal("save into a missing directory should error")
+	}
+
+	// Overwrite succeeds and the directory holds exactly the target — no
+	// abandoned temp files from this or the failed attempt.
+	if err := f.k.SaveFile(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "cars.knowledge.json" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory should hold only the target, got %v", names)
+	}
+	now, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, now) {
+		t.Error("re-saving identical knowledge should produce identical bytes")
+	}
+	if _, err := LoadKnowledgeFile(path); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -133,11 +133,10 @@ func (rs *ResultSet) clone() *ResultSet {
 
 // querySelectUncached runs the full selection pipeline against the source.
 func (m *Mediator) querySelectUncached(ctx context.Context, cfg Config, srcName string, q relation.Query) (*ResultSet, error) {
-	src, ok := m.sources[srcName]
+	src, k, ok := m.lookup(srcName)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", srcName)
 	}
-	k := m.knowledge[srcName]
 	if k == nil {
 		return nil, fmt.Errorf("core: no knowledge mined for source %q", srcName)
 	}

@@ -152,11 +152,10 @@ func (m *Mediator) SelectStream(ctx context.Context, srcName string, q relation.
 // last cached answer within the staleness bound is replayed as a stream —
 // every answer event flagged Stale — instead of failing.
 func (m *Mediator) SelectStreamWith(ctx context.Context, cfg Config, srcName string, q relation.Query) (<-chan StreamEvent, error) {
-	src, ok := m.sources[srcName]
+	src, k, ok := m.lookup(srcName)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown source %q", srcName)
 	}
-	k := m.knowledge[srcName]
 	if k == nil {
 		return nil, fmt.Errorf("core: no knowledge mined for source %q", srcName)
 	}

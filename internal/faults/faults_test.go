@@ -226,3 +226,76 @@ func TestHedgeContext(t *testing.T) {
 		t.Fatal("hedge tag and attempt number must compose")
 	}
 }
+
+// TestFlapBoundaryOrdinals pins the exact ordinals the flap window flips
+// on: the first down ordinal is FlapUp itself, the last is period-1, and
+// the cycle wraps cleanly at every period multiple.
+func TestFlapBoundaryOrdinals(t *testing.T) {
+	up, down := 3, 2
+	in := New(Profile{FlapUp: up, FlapDown: down})
+	period := up + down
+	for ord := 0; ord < 4*period; ord++ {
+		out := in.Decide("cars", "q", 1)
+		wantDown := ord%period >= up
+		if (out.Err != nil) != wantDown {
+			t.Fatalf("ordinal %d: down=%v, want %v", ord, out.Err != nil, wantDown)
+		}
+		switch ord % period {
+		case up:
+			if out.Err == nil {
+				t.Fatalf("ordinal %d is the first down slot of its cycle and served", ord)
+			}
+		case period - 1:
+			if out.Err == nil {
+				t.Fatalf("ordinal %d is the last down slot of its cycle and served", ord)
+			}
+		case 0:
+			if out.Err != nil {
+				t.Fatalf("ordinal %d starts a cycle and must serve", ord)
+			}
+		}
+	}
+}
+
+// TestFlapAlwaysDown: FlapUp 0 means no up window at all — every attempt
+// fails on schedule.
+func TestFlapAlwaysDown(t *testing.T) {
+	in := New(Profile{FlapUp: 0, FlapDown: 4})
+	for i := 0; i < 10; i++ {
+		if out := in.Decide("cars", "q", 1); out.Err == nil {
+			t.Fatalf("attempt %d served under FlapUp=0", i)
+		}
+	}
+	if st := in.Stats(); st.FlapFailures != 10 {
+		t.Fatalf("FlapFailures = %d, want 10", st.FlapFailures)
+	}
+}
+
+// TestFlapAlternating: the tightest schedule (1 up, 1 down) flips on every
+// single ordinal.
+func TestFlapAlternating(t *testing.T) {
+	in := New(Profile{FlapUp: 1, FlapDown: 1})
+	for i := 0; i < 12; i++ {
+		out := in.Decide("cars", "q", 1)
+		if wantDown := i%2 == 1; (out.Err != nil) != wantDown {
+			t.Fatalf("ordinal %d: down=%v, want %v", i, out.Err != nil, wantDown)
+		}
+	}
+}
+
+// TestFlapResetStatsRewindsSchedule: the ordinal is the Decisions counter,
+// so ResetStats rewinds the flap position to the start of an up window.
+func TestFlapResetStatsRewindsSchedule(t *testing.T) {
+	in := New(Profile{FlapUp: 2, FlapDown: 2})
+	// Advance into a down window.
+	for i := 0; i < 3; i++ {
+		in.Decide("cars", "q", 1)
+	}
+	if out := in.Decide("cars", "q", 1); out.Err == nil {
+		t.Fatal("ordinal 3 should be down")
+	}
+	in.ResetStats()
+	if out := in.Decide("cars", "q", 1); out.Err != nil {
+		t.Fatalf("after ResetStats the schedule must restart up: %v", out.Err)
+	}
+}

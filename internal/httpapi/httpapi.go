@@ -5,6 +5,9 @@
 //	GET  /healthz            liveness plus per-source admission state: each
 //	                         source's circuit-breaker state and health score;
 //	                         overall status degrades when any circuit is open
+//	GET  /readyz             readiness: 200 while accepting traffic, 503 the
+//	                         moment BeginDrain is called (liveness /healthz
+//	                         keeps answering through the drain window)
 //	GET  /sources            registered sources, schemas, accounting
 //	GET  /knowledge?source=S mined AFDs / AKeys / pruned AFDs for S
 //	GET  /metrics            per-source query/retry/error counters with
@@ -74,6 +77,16 @@ type Server struct {
 	// server failures.
 	clientDisconnects atomic.Int64
 	serverErrors      atomic.Int64
+	// panics counts handler panics caught by the recovery middleware; each
+	// is also a server error. Admission slots are never leaked by a panic:
+	// release is deferred inside the admitted frame, so it runs during the
+	// unwinding before the recovery middleware regains control.
+	panics atomic.Int64
+
+	// draining flips once BeginDrain is called: GET /readyz starts failing
+	// immediately so routers stop sending new traffic, while /healthz stays
+	// live for the requests still finishing inside the drain window.
+	draining atomic.Bool
 }
 
 // Option customises a Server at construction time.
@@ -107,6 +120,7 @@ func New(med *core.Mediator, opts ...Option) *Server {
 		}
 	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /sources", s.instrument("sources", s.handleSources))
 	s.mux.HandleFunc("GET /knowledge", s.instrument("knowledge", s.handleKnowledge))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
@@ -115,13 +129,60 @@ func New(med *core.Mediator, opts ...Option) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request runs under the panic
+// recovery middleware: a handler panic answers a structured 500 (when the
+// response has not started) instead of killing the connection with no
+// accounting, and is counted under both panics and server_errors.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	tw := &trackingWriter{ResponseWriter: w}
+	defer func() {
+		if v := recover(); v != nil {
+			// net/http's own recovery would abort the connection silently;
+			// here the panic becomes an observable outcome. Deferred frames
+			// below us (admission release, endpoint recording) have already
+			// run during the unwinding, so gauges and histograms balance.
+			s.panics.Add(1)
+			if !tw.wrote {
+				s.writeErr(tw, http.StatusInternalServerError, "internal error: handler panic: %v", v)
+				return
+			}
+			// Mid-response (e.g. mid-stream) the status is already out;
+			// count the failure and let the connection die.
+			s.serverErrors.Add(1)
+		}
+	}()
+	s.mux.ServeHTTP(tw, r)
+}
+
+// trackingWriter records whether the response has started, so the panic
+// middleware knows if a structured 500 can still be written. Flush is
+// forwarded for NDJSON streaming.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+func (t *trackingWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with per-endpoint service-time recording when
 // admission metrics are on; otherwise it returns the handler untouched.
+// Recording is deferred so panicking requests still land in the histogram:
+// the conservation invariant admitted == sum(endpoint completions) holds
+// even under handler panics.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	if s.adm == nil {
 		return h
@@ -130,9 +191,36 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	clock := s.adm.clock
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := clock()
+		defer func() { hist.Record(clock().Sub(start)) }()
 		h(w, r)
-		hist.Record(clock().Sub(start))
 	}
+}
+
+// BeginDrain flips the server not-ready: GET /readyz starts failing
+// immediately (503) while /healthz keeps answering for the in-flight
+// requests a graceful shutdown lets finish. Call it the moment a drain is
+// decided — before http.Server.Shutdown — so upstream routing stops
+// sending traffic that would otherwise die mid-drain as 499s.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// EndDrain flips the server back to ready. A production process exits
+// after a drain, but a handler reused across listener restarts (the chaos
+// harness drains and then rebinds the same port, keeping every counter)
+// needs readiness to recover once traffic may flow again.
+func (s *Server) EndDrain() { s.draining.Store(false) }
+
+// handleReady serves GET /readyz: the readiness half of the
+// readiness/liveness split. It fails during drain while /healthz stays
+// live; chaos restarts and multi-instance routing key off this signal.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // admitted wraps an expensive handler with the admission gate (and, like
@@ -427,6 +515,11 @@ type httpMetrics struct {
 	Endpoints         map[string]latency.Summary `json:"endpoints,omitempty"`
 	ClientDisconnects int64                      `json:"client_disconnects"`
 	ServerErrors      int64                      `json:"server_errors"`
+	// Panics counts handler panics caught by the recovery middleware
+	// (each also counts as a server error).
+	Panics int64 `json:"panics"`
+	// Draining reports the /readyz state: true once BeginDrain was called.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // metricsResponse is the full /metrics payload.
@@ -497,6 +590,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	out.HTTP = httpMetrics{
 		ClientDisconnects: s.clientDisconnects.Load(),
 		ServerErrors:      s.serverErrors.Load(),
+		Panics:            s.panics.Load(),
+		Draining:          s.draining.Load(),
 	}
 	if s.adm != nil {
 		out.HTTP.Admission = s.adm.snapshot()

@@ -1,0 +1,235 @@
+// Package leakcheck detects goroutine leaks by snapshot/diff over the
+// runtime's full stack dump — a stdlib-only take on the goleak pattern.
+//
+// The chaos harness (internal/chaos) wraps every scenario in a
+// Snapshot/Check pair: goroutines alive at Check that were not alive at
+// Snapshot, and that do not match the allowlist of known-benign creators,
+// are leaks. Because goroutines legitimately take a moment to unwind
+// (HTTP keep-alive conns, timer callbacks, worker pools draining), Check
+// retries with a short backoff before declaring a leak.
+//
+// Identity is the goroutine id the runtime prints in "goroutine N [state]"
+// headers. Ids are never reused within a process run, so a goroutine
+// present in the "after" dump but absent from the "before" dump was
+// created in between — the only candidates for a leak.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Goroutine is one parsed entry from a full runtime stack dump.
+type Goroutine struct {
+	// ID is the runtime's goroutine id from the dump header.
+	ID int64
+	// State is the scheduler state in the header, e.g. "running",
+	// "chan receive", "IO wait", "select".
+	State string
+	// Stack is the raw stack text below the header, newline-separated
+	// function/position pairs.
+	Stack string
+}
+
+// FirstFunction returns the innermost function on the stack — the frame
+// the goroutine is currently executing — or "" for an empty stack.
+func (g Goroutine) FirstFunction() string {
+	for _, line := range strings.Split(g.Stack, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "created by ") {
+			continue
+		}
+		// Function lines look like "net/http.(*conn).serve(0x...)"; the
+		// following line is the file:line position (starts with a path).
+		if strings.HasPrefix(line, "/") || strings.HasPrefix(line, "\t") {
+			continue
+		}
+		if i := strings.LastIndex(line, "("); i > 0 {
+			return line[:i]
+		}
+		return line
+	}
+	return ""
+}
+
+// CreatedBy returns the function named in the "created by" trailer, or ""
+// for main/runtime-spawned goroutines without one.
+func (g Goroutine) CreatedBy() string {
+	for _, line := range strings.Split(g.Stack, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "created by "); ok {
+			// Trailer shape: "created by pkg.fn in goroutine 12".
+			if i := strings.Index(rest, " in goroutine"); i > 0 {
+				rest = rest[:i]
+			}
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// Snapshot captures the set of currently-live goroutines.
+type Snapshot struct {
+	ids map[int64]struct{}
+}
+
+// Take captures a snapshot of every live goroutine.
+func Take() *Snapshot {
+	s := &Snapshot{ids: make(map[int64]struct{})}
+	for _, g := range dump() {
+		s.ids[g.ID] = struct{}{}
+	}
+	return s
+}
+
+// Option adjusts a leak check.
+type Option func(*config)
+
+type config struct {
+	retries  int
+	backoff  time.Duration
+	allowed  []string
+	sleeper  func(time.Duration)
+	maxDumps int
+}
+
+// WithRetries sets how many times Check re-dumps before reporting a leak
+// (default 20). Each retry waits the backoff set by WithBackoff.
+func WithRetries(n int) Option { return func(c *config) { c.retries = n } }
+
+// WithBackoff sets the wait between retries (default 10ms).
+func WithBackoff(d time.Duration) Option { return func(c *config) { c.backoff = d } }
+
+// IgnoreCreatedBy allowlists goroutines whose "created by" function (or
+// current function, for runtime-spawned ones) contains the given
+// substring. Use for known-benign background machinery, e.g.
+// "net/http.(*Server).Serve" keep-alive readers in tests that hold a
+// client open deliberately.
+func IgnoreCreatedBy(substr string) Option {
+	return func(c *config) { c.allowed = append(c.allowed, substr) }
+}
+
+// withSleeper replaces the retry sleeper (tests).
+func withSleeper(f func(time.Duration)) Option {
+	return func(c *config) { c.sleeper = f }
+}
+
+// Leak describes one goroutine alive at Check time that was not alive at
+// Snapshot time and matched no allowlist entry.
+type Leak struct {
+	Goroutine Goroutine
+	// CreatedBy is the spawning function, pre-extracted for reports.
+	CreatedBy string
+}
+
+func (l Leak) String() string {
+	created := l.CreatedBy
+	if created == "" {
+		created = "(no creator recorded)"
+	}
+	return fmt.Sprintf("goroutine %d [%s] in %s, created by %s",
+		l.Goroutine.ID, l.Goroutine.State, l.Goroutine.FirstFunction(), created)
+}
+
+// Check diffs the current goroutines against the snapshot. New goroutines
+// that persist through every retry and match no allowlist entry are
+// returned as leaks; an empty slice means clean. Callers should close
+// idle HTTP client connections first — keep-alive readers park for their
+// idle timeout otherwise.
+func (s *Snapshot) Check(opts ...Option) []Leak {
+	cfg := config{retries: 20, backoff: 10 * time.Millisecond, sleeper: time.Sleep}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var fresh []Goroutine
+	for attempt := 0; ; attempt++ {
+		fresh = fresh[:0]
+		for _, g := range dump() {
+			if _, old := s.ids[g.ID]; old {
+				continue
+			}
+			if g.State == "running" && strings.Contains(g.Stack, "leakcheck.dump") {
+				continue // the dumping goroutine itself
+			}
+			if cfg.allowedMatch(g) {
+				continue
+			}
+			fresh = append(fresh, g)
+		}
+		if len(fresh) == 0 || attempt >= cfg.retries {
+			break
+		}
+		cfg.sleeper(cfg.backoff)
+	}
+	leaks := make([]Leak, 0, len(fresh))
+	for _, g := range fresh {
+		leaks = append(leaks, Leak{Goroutine: g, CreatedBy: g.CreatedBy()})
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].Goroutine.ID < leaks[j].Goroutine.ID })
+	return leaks
+}
+
+func (c *config) allowedMatch(g Goroutine) bool {
+	created := g.CreatedBy()
+	if created == "" {
+		created = g.FirstFunction()
+	}
+	for _, substr := range c.allowed {
+		if strings.Contains(created, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// dump parses runtime.Stack(buf, true) into goroutine records. The buffer
+// grows until the dump fits (runtime.Stack truncates silently otherwise).
+func dump() []Goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	return Parse(string(buf))
+}
+
+// Parse splits a full stack dump into goroutine records. Exposed so tests
+// can exercise the parser on fixed dumps.
+func Parse(dump string) []Goroutine {
+	var out []Goroutine
+	// Records are separated by blank lines; each starts with a
+	// "goroutine N [state...]:" header.
+	for _, block := range strings.Split(dump, "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		header, stack, _ := strings.Cut(block, "\n")
+		var id int64
+		rest, ok := strings.CutPrefix(header, "goroutine ")
+		if !ok {
+			continue
+		}
+		idStr, rest, ok := strings.Cut(rest, " ")
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Sscanf(idStr, "%d", &id); err != nil {
+			continue
+		}
+		state := strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(rest), "["), "]:")
+		// States can carry a duration: "chan receive, 5 minutes".
+		if i := strings.Index(state, ","); i > 0 {
+			state = state[:i]
+		}
+		out = append(out, Goroutine{ID: id, State: state, Stack: stack})
+	}
+	return out
+}

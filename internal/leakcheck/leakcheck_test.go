@@ -1,0 +1,132 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleDump = `goroutine 1 [running]:
+main.main()
+	/src/main.go:10 +0x1c
+
+goroutine 18 [chan receive, 3 minutes]:
+qpiad/internal/loadgen.(*pool).worker(0xc000102000)
+	/src/loadgen/runner.go:88 +0x65
+created by qpiad/internal/loadgen.Run in goroutine 1
+	/src/loadgen/runner.go:40 +0x1a4
+
+goroutine 33 [IO wait]:
+net/http.(*persistConn).readLoop(0xc0001b2000)
+	/usr/local/go/src/net/http/transport.go:2218 +0xda
+created by net/http.(*Transport).dialConn in goroutine 18
+	/usr/local/go/src/net/http/transport.go:1798 +0x152f
+`
+
+func TestParse(t *testing.T) {
+	gs := Parse(sampleDump)
+	if len(gs) != 3 {
+		t.Fatalf("parsed %d goroutines, want 3", len(gs))
+	}
+	if gs[0].ID != 1 || gs[0].State != "running" {
+		t.Errorf("g0 = %+v", gs[0])
+	}
+	if gs[1].ID != 18 || gs[1].State != "chan receive" {
+		t.Errorf("g1 = %+v (state must drop the duration suffix)", gs[1])
+	}
+	if got := gs[1].FirstFunction(); got != "qpiad/internal/loadgen.(*pool).worker" {
+		t.Errorf("FirstFunction = %q", got)
+	}
+	if got := gs[1].CreatedBy(); got != "qpiad/internal/loadgen.Run" {
+		t.Errorf("CreatedBy = %q (must drop the 'in goroutine' trailer)", got)
+	}
+	if got := gs[0].CreatedBy(); got != "" {
+		t.Errorf("main goroutine CreatedBy = %q, want empty", got)
+	}
+	if gs[2].ID != 33 || gs[2].CreatedBy() != "net/http.(*Transport).dialConn" {
+		t.Errorf("g2 = %+v, created by %q", gs[2], gs[2].CreatedBy())
+	}
+}
+
+func TestCheckDetectsLeak(t *testing.T) {
+	snap := Take()
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go func() { // the deliberate leak
+		close(started)
+		<-stop
+	}()
+	<-started
+	leaks := snap.Check(WithRetries(2), WithBackoff(time.Millisecond))
+	if len(leaks) != 1 {
+		t.Fatalf("leaks = %v, want exactly the blocked goroutine", leaks)
+	}
+	if !strings.Contains(leaks[0].String(), "leakcheck") {
+		t.Errorf("leak report should name this package's test func, got %q", leaks[0])
+	}
+}
+
+func TestCheckCleanAfterGoroutineExits(t *testing.T) {
+	snap := Take()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(done)
+	}()
+	// The goroutine is likely still alive on the first dump; retries must
+	// absorb the unwind window.
+	if leaks := snap.Check(WithRetries(100), WithBackoff(2*time.Millisecond)); len(leaks) != 0 {
+		t.Errorf("transient goroutine reported as leak: %v", leaks)
+	}
+	<-done
+}
+
+func TestIgnoreCreatedBy(t *testing.T) {
+	snap := Take()
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	var sleeps int
+	leaks := snap.Check(
+		IgnoreCreatedBy("leakcheck.TestIgnoreCreatedBy"),
+		WithRetries(50),
+		withSleeper(func(time.Duration) { sleeps++ }),
+	)
+	if len(leaks) != 0 {
+		t.Errorf("allowlisted goroutine reported as leak: %v", leaks)
+	}
+	if sleeps != 0 {
+		t.Errorf("clean first pass should not retry, slept %d times", sleeps)
+	}
+}
+
+func TestCheckRetriesBeforeReporting(t *testing.T) {
+	snap := Take()
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	var sleeps int
+	leaks := snap.Check(WithRetries(200), withSleeper(func(time.Duration) {
+		sleeps++
+		if sleeps == 2 {
+			close(stop) // goroutine exits mid-retry
+		}
+		time.Sleep(time.Millisecond) // let it actually unwind
+	}))
+	if len(leaks) != 0 {
+		t.Errorf("goroutine that exited during retries reported as leak: %v", leaks)
+	}
+	if sleeps < 2 {
+		t.Errorf("expected at least 2 retry sleeps, got %d", sleeps)
+	}
+}

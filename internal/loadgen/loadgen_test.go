@@ -2,7 +2,9 @@ package loadgen
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -207,5 +209,57 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Mode: "wild"}); err == nil {
 		t.Error("unknown mode accepted")
+	}
+}
+
+// TestStreamServerDeathMidStream kills the connection after the first
+// NDJSON line is flushed. The worker has already seen a 200 and a first
+// answer, but the stream never completes — the request must be counted as
+// an error (never OK), and its TTFA must not be filed: the TTFA histogram
+// covers completed streams only.
+func TestStreamServerDeathMidStream(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"type":"certain","values":{"make":"honda"}}`)
+		w.(http.Flusher).Flush()
+		// The server dies mid-stream: hijack the connection and cut it so
+		// the client sees an unexpected EOF, not a clean end of body.
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		//lint:allow errdrop the abrupt close IS the fault being simulated
+		conn.Close()
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Workers:     2,
+		Duration:    5 * time.Second,
+		MaxRequests: 10,
+		Mix:         Mix{Stream: 1},
+		Seed:        31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Issued == 0 {
+		t.Fatal("no requests issued")
+	}
+	if rep.OK != 0 {
+		t.Errorf("%d requests counted OK after mid-stream death", rep.OK)
+	}
+	if rep.Errors != rep.Issued-rep.Aborted {
+		t.Errorf("errors %d, want every non-aborted request (%d issued, %d aborted)",
+			rep.Errors, rep.Issued, rep.Aborted)
+	}
+	if rep.TTFA.Count != 0 {
+		t.Errorf("TTFA filed for %d truncated streams", rep.TTFA.Count)
+	}
+	if rep.Latency.Count != 0 {
+		t.Errorf("latency filed for %d failed requests", rep.Latency.Count)
 	}
 }
